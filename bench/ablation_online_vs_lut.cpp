@@ -1,0 +1,68 @@
+// Ablation: offline LUT vs model-free online optimization (extremum
+// seeking) vs temperature-tracking PID.
+//
+// The LUT needs an offline characterization campaign; the extremum seeker
+// finds the same fan-plus-leakage minimum online but pays for the search
+// with dithering; the PID needs no model but regulates temperature, not
+// power.  This bench quantifies the cost of not having the LUT.
+#include <cstdio>
+#include <memory>
+
+#include "core/characterization.hpp"
+#include "core/controller_runtime.hpp"
+#include "core/default_controller.hpp"
+#include "core/extremum_seeking_controller.hpp"
+#include "core/lut_controller.hpp"
+#include "core/pid_controller.hpp"
+#include "sim/metrics.hpp"
+#include "sim/server_simulator.hpp"
+#include "workload/paper_tests.hpp"
+#include "workload/profile.hpp"
+
+int main() {
+    using namespace ltsc;
+    using namespace ltsc::util::literals;
+
+    sim::server_simulator server;
+    const core::fan_lut lut_table = core::characterize(server).lut;
+    const util::watts_t idle = server.idle_power(3300_rpm);
+
+    const auto report = [&](const char* workload_name,
+                            const workload::utilization_profile& profile) {
+        core::default_controller dflt;
+        core::lut_controller lut(lut_table);
+        core::extremum_seeking_controller seeker;
+        core::pid_controller pid;
+
+        std::printf("%s\n", workload_name);
+        std::printf("%-14s %13s %10s %12s %13s %10s\n", "policy", "energy[kWh]", "net sav",
+                    "maxT[degC]", "#fan changes", "avg RPM");
+        const sim::run_metrics base = core::run_controlled(server, dflt, profile);
+        std::printf("%-14s %13.4f %10s %12.1f %13zu %10.0f\n", base.controller_name.c_str(),
+                    base.energy_kwh, "--", base.max_temp_c, base.fan_changes, base.avg_rpm);
+        core::fan_controller* cs[] = {&lut, &seeker, &pid};
+        for (core::fan_controller* c : cs) {
+            const sim::run_metrics m = core::run_controlled(server, *c, profile);
+            std::printf("%-14s %13.4f %9.1f%% %12.1f %13zu %10.0f\n",
+                        m.controller_name.c_str(), m.energy_kwh,
+                        100.0 * sim::net_savings(m, base, idle), m.max_temp_c, m.fan_changes,
+                        m.avg_rpm);
+        }
+        std::printf("\n");
+    };
+
+    std::printf("== Ablation: offline LUT vs online controllers ==\n\n");
+
+    workload::utilization_profile steady("steady-75%");
+    steady.idle(5.0_min).constant(75.0, 65.0_min).idle(10.0_min);
+    report("steady 75 % plateau (best case for online search):", steady);
+
+    report("Test-3 (frequent level changes — search never settles):",
+           workload::make_paper_test(workload::paper_test::test3_frequent));
+
+    std::printf("expected: on the plateau the seeker approaches the LUT's result after a\n"
+                "transient; on Test-3 its comparisons are invalidated at every level\n"
+                "change and the offline LUT wins clearly.  The PID holds ~70 degC, which\n"
+                "is near-optimal only at high utilization.\n");
+    return 0;
+}

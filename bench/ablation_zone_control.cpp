@@ -1,0 +1,55 @@
+// Ablation: lockstep vs per-zone (differential) LUT fan control under
+// skewed socket load.
+//
+// The paper's server drives its 3 fan pairs from independent supplies but
+// evaluates only lockstep control.  With the load pinned unevenly across
+// sockets, lockstep must serve the hottest socket with all fans; the
+// per-zone controller serves each socket with its own pair.  This bench
+// sweeps the imbalance and reports the differential controller's edge.
+#include <cstdio>
+#include <memory>
+
+#include "core/characterization.hpp"
+#include "core/controller_runtime.hpp"
+#include "core/lut_controller.hpp"
+#include "core/zone_lut_controller.hpp"
+#include "sim/metrics.hpp"
+#include "sim/server_simulator.hpp"
+#include "workload/profile.hpp"
+
+int main() {
+    using namespace ltsc;
+    using namespace ltsc::util::literals;
+
+    sim::server_simulator server;
+    const core::fan_lut lut_table = core::characterize(server).lut;
+
+    // A sustained mixed workload; imbalance is applied on top.
+    workload::utilization_profile profile("skewed");
+    profile.idle(5.0_min).constant(80.0, 30.0_min).constant(40.0, 30.0_min).idle(10.0_min);
+
+    std::printf("== Ablation: lockstep LUT vs per-zone LUT under socket imbalance ==\n\n");
+    std::printf("%12s %-10s %13s %12s %12s %10s\n", "socket0 [%]", "policy", "energy[kWh]",
+                "maxT0[degC]", "maxT1[degC]", "avg RPM");
+    for (double imbalance : {0.50, 0.65, 0.80}) {
+        for (int policy = 0; policy < 2; ++policy) {
+            server.set_load_imbalance(imbalance);
+            std::unique_ptr<core::fan_controller> controller;
+            if (policy == 0) {
+                controller = std::make_unique<core::lut_controller>(lut_table);
+            } else {
+                controller = std::make_unique<core::zone_lut_controller>(lut_table);
+            }
+            const sim::run_metrics m = core::run_controlled(server, *controller, profile);
+            const double t0 = server.trace().cpu0_temp.max();
+            const double t1 = server.trace().cpu1_temp.max();
+            std::printf("%12.0f %-10s %13.4f %12.1f %12.1f %10.0f\n", 100.0 * imbalance,
+                        m.controller_name.c_str(), m.energy_kwh, t0, t1, m.avg_rpm);
+        }
+    }
+    server.set_load_imbalance(0.5);
+    std::printf("\nexpected: at 50/50 both policies coincide; as the skew grows the\n"
+                "zone controller keeps the idle socket's fans slow, saving energy at\n"
+                "equal or lower hot-socket temperature.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces Fig. 1(a): average CPU0 temperature over the 45-minute
+// protocol at 100 % utilization, one series per fan speed
+// (1800/2400/3000/3600/4200 RPM).
+//
+// Paper shape to verify: steady temperatures ~85 degC (1800 RPM) down to
+// ~55 degC (4200 RPM); settling after ~15 min at 1800 RPM vs ~5 min at
+// 4200 RPM (fan-speed-dependent thermal time constants).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "power/fan_model.hpp"
+#include "sim/experiment.hpp"
+#include "sim/server_simulator.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+    using namespace ltsc;
+    const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+
+    std::printf("== Fig. 1(a): CPU temperature, 100%% utilization, per fan speed ==\n");
+    std::printf("protocol: cold start, 5 min idle, 30 min LoadGen at 100%%, 10 min idle\n\n");
+
+    const std::vector<util::rpm_t> speeds = power::paper_rpm_settings();
+    std::vector<util::time_series> traces;
+    std::vector<double> settle_min;
+
+    for (util::rpm_t rpm : speeds) {
+        sim::server_simulator s;
+        sim::run_protocol_experiment(s, rpm, 100.0);
+        traces.push_back(s.trace().avg_cpu_temp);
+
+        // Time (from load onset at minute 5) to reach 95 % of the rise.
+        const util::time_series& tr = traces.back();
+        const double start = tr.value_at(5.0 * 60.0);
+        const double steady = tr.value_at(34.5 * 60.0);
+        double reached = 30.0;
+        for (double t = 5.0 * 60.0; t <= 35.0 * 60.0; t += 5.0) {
+            if (tr.value_at(t) >= start + 0.95 * (steady - start)) {
+                reached = (t - 5.0 * 60.0) / 60.0;
+                break;
+            }
+        }
+        settle_min.push_back(reached);
+    }
+
+    // Series table: one row per minute, one column per fan speed.
+    std::printf("%8s", "t[min]");
+    for (util::rpm_t rpm : speeds) {
+        std::printf("  %5.0frpm", rpm.value());
+    }
+    std::printf("\n");
+    for (double t_min = 0.0; t_min <= 45.0; t_min += 1.0) {
+        std::printf("%8.0f", t_min);
+        for (const auto& tr : traces) {
+            std::printf("  %8.1f", tr.value_at(t_min * 60.0));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n%-12s %18s %22s\n", "fan [RPM]", "steady T [degC]", "95%-settle [min]");
+    for (std::size_t i = 0; i < speeds.size(); ++i) {
+        std::printf("%-12.0f %18.1f %22.1f\n", speeds[i].value(),
+                    traces[i].value_at(34.5 * 60.0), settle_min[i]);
+    }
+    std::printf("\npaper anchors: 1800 RPM -> ~85 degC, settles ~15 min; "
+                "4200 RPM -> ~55 degC, settles ~5 min\n");
+
+    if (csv) {
+        std::vector<util::named_series> series;
+        for (std::size_t i = 0; i < speeds.size(); ++i) {
+            series.push_back(util::named_series{
+                "cpu_temp_" + std::to_string(static_cast<int>(speeds[i].value())) + "rpm",
+                "degC", traces[i]});
+        }
+        util::write_series_csv(std::cout, series);
+    }
+    return 0;
+}

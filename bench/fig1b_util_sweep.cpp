@@ -1,0 +1,70 @@
+// Reproduces Fig. 1(b): average CPU0 temperature at a fixed 1800 RPM for
+// utilization levels 25/50/75/100 %.
+//
+// Paper shape to verify: higher duty -> hotter steady state; visible
+// thermal oscillation at partial duty (LoadGen's PWM), with the fast
+// transient raising the die 5-8 degC in under 30 s on load onset.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/server_simulator.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+    using namespace ltsc;
+    using namespace ltsc::util::literals;
+    const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+
+    std::printf("== Fig. 1(b): CPU temperature at 1800 RPM per utilization level ==\n\n");
+
+    const std::vector<double> duties = {25.0, 50.0, 75.0, 100.0};
+    std::vector<util::time_series> traces;
+    for (double duty : duties) {
+        sim::server_simulator s;
+        sim::run_protocol_experiment(s, 1800_rpm, duty);
+        traces.push_back(s.trace().avg_cpu_temp);
+    }
+
+    std::printf("%8s", "t[min]");
+    for (double duty : duties) {
+        std::printf("  %6.0f%%", duty);
+    }
+    std::printf("\n");
+    for (double t_min = 0.0; t_min <= 45.0; t_min += 1.0) {
+        std::printf("%8.0f", t_min);
+        for (const auto& tr : traces) {
+            std::printf("  %7.1f", tr.value_at(t_min * 60.0));
+        }
+        std::printf("\n");
+    }
+
+    // Oscillation amplitude during the loaded window (PWM thermal ripple)
+    // and the fast-transient magnitude at load onset.
+    std::printf("\n%-10s %16s %22s %24s\n", "duty [%]", "T @30min[degC]",
+                "PWM ripple p-p [degC]", "fast rise in 30 s [degC]");
+    for (std::size_t i = 0; i < duties.size(); ++i) {
+        const auto& tr = traces[i];
+        const double ripple =
+            tr.max(20.0 * 60.0, 34.0 * 60.0) - tr.min(20.0 * 60.0, 34.0 * 60.0);
+        const double fast = tr.value_at(5.0 * 60.0 + 30.0) - tr.value_at(5.0 * 60.0);
+        std::printf("%-10.0f %16.1f %22.1f %24.1f\n", duties[i], tr.value_at(30.0 * 60.0),
+                    ripple, fast);
+    }
+    std::printf("\npaper shape: two transient trends — a fast 5-8 degC rise in <30 s on\n"
+                "load changes, and the slow (up to 15 min) heatsink time constant;\n"
+                "partial-duty traces oscillate with the PWM.\n");
+
+    if (csv) {
+        std::vector<util::named_series> series;
+        for (std::size_t i = 0; i < duties.size(); ++i) {
+            series.push_back(util::named_series{
+                "cpu_temp_" + std::to_string(static_cast<int>(duties[i])) + "pct", "degC",
+                traces[i]});
+        }
+        util::write_series_csv(std::cout, series);
+    }
+    return 0;
+}

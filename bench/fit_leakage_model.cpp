@@ -1,0 +1,59 @@
+// Reproduces the Eqn. (1)/(2) model fitting of Section IV: sweeps the
+// plant, fits P - P_fan = c0 + k1*U + k2*e^(k3*T), and compares the
+// recovered constants with the paper's published values
+// (k1 = 0.4452 per-rail / 3.5 system-level, k2 = 0.3231, k3 = 0.04749,
+// 2.243 W fitting error, 98 % accuracy).
+//
+// Two fits are reported: one on the noise-free sweep (exact recovery) and
+// one with realistic sensor noise injected, which lands the residual in
+// the same band the paper reports.
+#include <cstdio>
+
+#include "core/characterization.hpp"
+#include "power/active_model.hpp"
+#include "power/leakage_model.hpp"
+#include "sim/server_simulator.hpp"
+#include "util/rng.hpp"
+
+int main() {
+    using namespace ltsc;
+
+    sim::server_simulator server;
+    core::characterization_result ch = core::characterize(server);
+
+    std::printf("== Eqn. (1)/(2) model fit ==\n\n");
+    std::printf("%-26s %12s %12s\n", "", "recovered", "paper");
+    std::printf("%-26s %12.4f %12.4f\n", "k1 [W/% system-level]", ch.fit.k1_w_per_pct,
+                power::active_model::system_k1_w_per_pct);
+    std::printf("%-26s %12.4f %12.4f   (system k1 x cpu-rail share)\n",
+                "k1 [W/% per-rail equiv.]", ch.fit.k1_w_per_pct / 8.0,
+                power::active_model::paper_rail_k1_w_per_pct);
+    std::printf("%-26s %12.4f %12.4f\n", "k2 [W]", ch.fit.k2_w,
+                power::leakage_params::paper_fit().k2);
+    std::printf("%-26s %12.5f %12.5f\n", "k3 [1/degC]", ch.fit.k3_per_c,
+                power::leakage_params::paper_fit().k3);
+    std::printf("%-26s %12.4f %12s\n", "c0 [W] (base + C)", ch.fit.c0_w, "n/a");
+    std::printf("%-26s %12.4f %12.3f\n", "fit error (RMSE) [W]", ch.fit.rmse_w, 2.243);
+    std::printf("%-26s %11.2f%% %11.0f%%\n", "accuracy (R^2)", 100.0 * ch.fit.r_squared, 98.0);
+
+    // Noisy refit: the paper measured a real machine, so its 2.243 W error
+    // is sensor/measurement noise; injecting ~2 W RMS on the power reading
+    // and 0.5 degC on temperature reproduces that regime.
+    util::pcg32 rng(0xF17);
+    std::vector<sim::steady_point> noisy = ch.sweep;
+    for (auto& p : noisy) {
+        p.total_power_w += rng.normal(0.0, 2.0);
+        p.avg_cpu_temp_c += rng.normal(0.0, 0.5);
+    }
+    const core::power_model_fit noisy_fit = core::fit_power_model(noisy);
+    std::printf("\nwith measurement noise (2 W power, 0.5 degC temperature):\n");
+    std::printf("  k2 = %.4f, k3 = %.5f, rmse = %.3f W, R^2 = %.4f\n", noisy_fit.k2_w,
+                noisy_fit.k3_per_c, noisy_fit.rmse_w, noisy_fit.r_squared);
+
+    std::printf("\nleakage curve from the fit (Fig. 2(a)'s leakage component):\n");
+    std::printf("%8s %14s\n", "T[degC]", "P_leak[W]");
+    for (double t = 45.0; t <= 85.0; t += 5.0) {
+        std::printf("%8.0f %14.2f\n", t, ch.fit.c0_w - 331.6 + ch.fit.leakage_at(t));
+    }
+    return 0;
+}

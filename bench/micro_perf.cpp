@@ -1,0 +1,123 @@
+// Google-benchmark microbenchmarks: throughput of the library's hot
+// paths.  These are engineering benchmarks (simulation speed), not paper
+// reproductions — the figure/table harnesses live in the sibling
+// binaries.
+#include <benchmark/benchmark.h>
+
+#include "core/bang_bang_controller.hpp"
+#include "core/characterization.hpp"
+#include "core/controller_runtime.hpp"
+#include "core/lut_controller.hpp"
+#include "fit/nlls.hpp"
+#include "sim/server_simulator.hpp"
+#include "thermal/server_thermal_model.hpp"
+#include "thermal/steady_state.hpp"
+#include "workload/paper_tests.hpp"
+#include "workload/queueing.hpp"
+
+namespace {
+
+using namespace ltsc;
+using namespace ltsc::util::literals;
+
+void BM_ThermalStep(benchmark::State& state) {
+    thermal::server_thermal_model m;
+    m.set_cpu_heat(0, 115_W);
+    m.set_cpu_heat(1, 115_W);
+    m.set_dimm_heat(145_W);
+    for (auto _ : state) {
+        m.step(1_s);
+        benchmark::DoNotOptimize(m.average_cpu_temp());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThermalStep);
+
+void BM_ThermalSteadyStateSolve(benchmark::State& state) {
+    thermal::server_thermal_model m;
+    m.set_cpu_heat(0, 115_W);
+    m.set_cpu_heat(1, 115_W);
+    m.set_dimm_heat(145_W);
+    for (auto _ : state) {
+        m.settle_to_steady_state();
+        benchmark::DoNotOptimize(m.average_cpu_temp());
+    }
+}
+BENCHMARK(BM_ThermalSteadyStateSolve);
+
+void BM_SimulatorSecond(benchmark::State& state) {
+    sim::server_simulator s;
+    workload::utilization_profile p("bench");
+    p.constant(60.0, util::seconds_t{1e9});
+    s.bind_workload(p);
+    for (auto _ : state) {
+        s.step(1_s);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel("simulated seconds per wall second");
+}
+BENCHMARK(BM_SimulatorSecond);
+
+void BM_LutDecision(benchmark::State& state) {
+    sim::server_simulator s;
+    core::lut_controller lut(core::characterize(s).lut);
+    core::controller_inputs in;
+    in.utilization_pct = 63.0;
+    in.max_cpu_temp = 68_degC;
+    in.current_rpm = 1800_rpm;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lut.decide(in));
+    }
+}
+BENCHMARK(BM_LutDecision);
+
+void BM_BangBangDecision(benchmark::State& state) {
+    core::bang_bang_controller bang;
+    core::controller_inputs in;
+    in.max_cpu_temp = 72_degC;
+    in.current_rpm = 2400_rpm;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bang.decide(in));
+    }
+}
+BENCHMARK(BM_BangBangDecision);
+
+void BM_LeakageFit(benchmark::State& state) {
+    sim::server_simulator s;
+    const auto sweep =
+        sim::run_steady_sweep(s, sim::paper_utilization_levels(), power::paper_rpm_settings());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::fit_power_model(sweep));
+    }
+}
+BENCHMARK(BM_LeakageFit);
+
+void BM_MmcSimulation(benchmark::State& state) {
+    workload::mmc_config cfg;
+    cfg.servers = 64;
+    cfg.service_rate_hz = 0.05;
+    cfg.arrival_rate_hz = 1.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            workload::simulate_mmc(cfg, util::seconds_t{static_cast<double>(state.range(0))}));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MmcSimulation)->Arg(600)->Arg(4800);
+
+void BM_FullTable1Cell(benchmark::State& state) {
+    // One Table-I cell: an 80-minute closed-loop run.
+    sim::server_simulator s;
+    const auto lut_table = core::characterize(s).lut;
+    const auto profile = workload::make_paper_test(workload::paper_test::test3_frequent);
+    for (auto _ : state) {
+        core::lut_controller lut(lut_table);
+        benchmark::DoNotOptimize(core::run_controlled(s, lut, profile));
+    }
+    state.SetLabel("80 simulated minutes per iteration");
+}
+BENCHMARK(BM_FullTable1Cell);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Full Section-IV walkthrough: experimental protocol, sweep, leakage
+// model fitting, and LUT generation — with the intermediate data printed
+// the way the paper reports it.
+//
+//   $ ./characterize_server [--csv]
+//
+// With --csv the raw sweep is dumped as CSV for external plotting.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "core/characterization.hpp"
+#include "power/leakage_model.hpp"
+#include "sim/experiment.hpp"
+#include "sim/server_simulator.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+    using namespace ltsc;
+    using namespace ltsc::util::literals;
+
+    const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+    sim::server_simulator server;
+
+    // --- protocol experiment (Fig. 1 style) -----------------------------
+    // Cold start, fans pinned, 5 min idle, 30 min full load, 10 min idle.
+    std::printf("# protocol experiment: 100%% load at 2400 RPM (45 min timeline)\n");
+    sim::run_protocol_experiment(server, 2400_rpm, 100.0);
+    const auto& tr = server.trace();
+    for (double t_min : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0}) {
+        std::printf("  t=%4.0f min  Tcpu=%5.1f degC  P=%6.1f W\n", t_min,
+                    tr.avg_cpu_temp.value_at(t_min * 60.0 - 1.0),
+                    tr.total_power.value_at(t_min * 60.0 - 1.0));
+    }
+
+    // --- sweep + fit (Eqn. 1 / Eqn. 2) -----------------------------------
+    const core::characterization_result ch = core::characterize(server);
+    std::printf("\n# model fit (paper: k2 = 0.3231, k3 = 0.04749, err 2.243 W, acc 98%%)\n");
+    std::printf("  c0 = %.3f W, k1 = %.4f W/%%, k2 = %.4f W, k3 = %.5f 1/degC\n", ch.fit.c0_w,
+                ch.fit.k1_w_per_pct, ch.fit.k2_w, ch.fit.k3_per_c);
+    std::printf("  rmse = %.3f W, R^2 = %.4f, converged = %s\n", ch.fit.rmse_w,
+                ch.fit.r_squared, ch.fit.converged ? "yes" : "no");
+
+    const auto paper = power::leakage_params::paper_fit();
+    std::printf("  recovered-vs-paper: dk2 = %+.4f, dk3 = %+.5f\n", ch.fit.k2_w - paper.k2,
+                ch.fit.k3_per_c - paper.k3);
+
+    // --- LUT --------------------------------------------------------------
+    std::printf("\n# generated LUT (cap 75 degC)\n");
+    for (const auto& e : ch.lut.entries()) {
+        std::printf("  U <= %5.1f %% -> %4.0f RPM   T = %4.1f degC   fan+leak = %5.1f W\n",
+                    e.utilization_pct, e.rpm.value(), e.expected_cpu_temp_c,
+                    e.expected_fan_leak_w);
+    }
+
+    if (csv) {
+        std::printf("\n# sweep CSV\n");
+        util::csv_writer w(std::cout);
+        w.write_header({"utilization_pct", "fan_rpm", "avg_cpu_temp_c", "fan_power_w",
+                        "leakage_power_w", "total_power_w"});
+        for (const auto& p : ch.sweep) {
+            w.write_row({p.utilization_pct, p.fan_rpm, p.avg_cpu_temp_c, p.fan_power_w,
+                         p.leakage_power_w, p.total_power_w});
+        }
+    }
+    return 0;
+}

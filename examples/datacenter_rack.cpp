@@ -1,0 +1,152 @@
+// Scale-out scenario: a rack of simulated servers under heterogeneous
+// workloads, comparing cooling policies fleet-wide.
+//
+//   $ ./datacenter_rack [server_count]
+//
+// Each server gets its own workload mix (web-like diurnal ramps, batch
+// plateaus, bursty shells).  The example reports per-policy fleet energy,
+// the PSU conversion losses (power::psu_model), and the aggregate heat the
+// rack dumps into the hot aisle — the quantity a facility-level study
+// would feed into a CRAC model.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bang_bang_controller.hpp"
+#include "core/characterization.hpp"
+#include "core/controller_runtime.hpp"
+#include "core/default_controller.hpp"
+#include "core/lut_controller.hpp"
+#include "power/psu_model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/server_simulator.hpp"
+#include "thermal/room_model.hpp"
+#include "workload/profile.hpp"
+#include "workload/queueing.hpp"
+
+namespace {
+
+using namespace ltsc;
+using namespace ltsc::util::literals;
+
+/// Builds the i-th server's workload: one of three archetypes.
+workload::utilization_profile rack_workload(std::size_t i) {
+    switch (i % 3) {
+        case 0: {  // web front-end: diurnal ramp up and down
+            workload::utilization_profile p("web");
+            p.idle(4.0_min)
+                .ramp(10.0, 85.0, 24.0_min)
+                .constant(85.0, 8.0_min)
+                .ramp(85.0, 10.0, 20.0_min)
+                .idle(4.0_min);
+            return p;
+        }
+        case 1: {  // batch: long plateaus
+            workload::utilization_profile p("batch");
+            p.idle(4.0_min)
+                .constant(95.0, 22.0_min)
+                .constant(35.0, 12.0_min)
+                .constant(95.0, 18.0_min)
+                .idle(4.0_min);
+            return p;
+        }
+        default: {  // interactive shells: bursty M/M/c
+            workload::mmc_config cfg;
+            cfg.servers = 64;
+            cfg.service_rate_hz = 1.0 / 20.0;
+            cfg.arrival_rate_hz = 0.2 * 64.0 * cfg.service_rate_hz;
+            cfg.modulation.enabled = true;
+            cfg.modulation.burst_arrival_rate_hz = 0.9 * 64.0 * cfg.service_rate_hz;
+            cfg.seed = 0xACE0 + i;
+            return workload::mmc_profile("shell", cfg, 60.0_min);
+        }
+    }
+}
+
+struct fleet_result {
+    double energy_kwh = 0.0;
+    double peak_w = 0.0;
+    double max_temp_c = 0.0;
+    double exhaust_heat_kwh = 0.0;  // heat into the hot aisle (= DC energy)
+    double psu_loss_kwh = 0.0;      // conversion losses at the rack PDU
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::size_t servers = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
+    std::printf("rack of %zu servers, 60-minute heterogeneous workloads\n\n", servers);
+
+    // Characterize once (all servers share the hardware model).
+    sim::server_simulator reference;
+    const core::fan_lut lut_table = core::characterize(reference).lut;
+    const power::psu_model psu;  // 2 kW 80+ Gold supply per server
+
+    const char* policies[] = {"Default", "Bang", "LUT"};
+    std::printf("%-8s %14s %11s %12s %14s %14s\n", "policy", "energy[kWh]", "peak[W]",
+                "maxT[degC]", "PSU loss[kWh]", "aisle heat[kWh]");
+    for (const char* policy : policies) {
+        fleet_result fleet;
+        for (std::size_t i = 0; i < servers; ++i) {
+            sim::server_simulator s;
+            std::unique_ptr<core::fan_controller> controller;
+            if (std::string(policy) == "Bang") {
+                controller = std::make_unique<core::bang_bang_controller>();
+            } else if (std::string(policy) == "LUT") {
+                controller = std::make_unique<core::lut_controller>(lut_table);
+            } else {
+                controller = std::make_unique<core::default_controller>();
+            }
+            const sim::run_metrics m =
+                core::run_controlled(s, *controller, rack_workload(i));
+            fleet.energy_kwh += m.energy_kwh;
+            fleet.peak_w += m.peak_power_w;
+            fleet.max_temp_c = std::max(fleet.max_temp_c, m.max_temp_c);
+            // Everything a server draws ends up as heat in the aisle; the
+            // PSU adds its conversion loss on top of the DC draw.
+            const double avg_dc_w = m.energy_kwh * 3.6e6 / s.trace().total_power.duration();
+            const double loss_w = psu.loss(util::watts_t{avg_dc_w}).value();
+            fleet.psu_loss_kwh +=
+                loss_w * s.trace().total_power.duration() / 3.6e6;
+            fleet.exhaust_heat_kwh += m.energy_kwh;
+        }
+        std::printf("%-8s %14.3f %11.0f %12.1f %14.3f %14.3f\n", policy, fleet.energy_kwh,
+                    fleet.peak_w, fleet.max_temp_c, fleet.psu_loss_kwh,
+                    fleet.exhaust_heat_kwh + fleet.psu_loss_kwh);
+    }
+
+    // --- facility view: server control x room setpoint -------------------
+    // The CRAC's COP improves with warmer supply air, but warmer rooms
+    // raise server leakage and fan effort.  Sweep the setpoint with the
+    // LUT policy (recharacterized per ambient) to find the facility knee.
+    std::printf("\nfacility view (LUT policy, rack IT power + CRAC compressor):\n");
+    std::printf("%14s %10s %14s %16s %8s\n", "setpoint[degC]", "COP", "IT avg [W]",
+                "facility avg [W]", "PUE");
+    const thermal::crac_model crac;
+    for (double setpoint : {16.0, 20.0, 24.0, 28.0}) {
+        auto cfg = sim::paper_server();
+        cfg.thermal.ambient_c = setpoint;
+        sim::server_simulator probe(cfg);
+        const core::fan_lut warm_lut = core::characterize(probe).lut;
+        double it_avg_w = 0.0;
+        for (std::size_t i = 0; i < servers; ++i) {
+            sim::server_simulator s(cfg);
+            core::lut_controller lut(warm_lut);
+            const sim::run_metrics m = core::run_controlled(s, lut, rack_workload(i));
+            it_avg_w += m.energy_kwh * 3.6e6 / m.duration_s;
+        }
+        const auto facility =
+            crac.facility(util::watts_t{it_avg_w}, util::celsius_t{setpoint});
+        std::printf("%14.0f %10.2f %14.0f %16.0f %8.3f\n", setpoint,
+                    crac.cop(util::celsius_t{setpoint}), facility.it.value(),
+                    facility.total.value(), facility.pue);
+    }
+
+    std::printf("\nFleet-level takeaway: per-server savings compound linearly across the\n"
+                "rack, lower peak power relaxes the rack's provisioned power budget, and\n"
+                "leakage-aware server control shifts the facility-optimal setpoint.\n");
+    return 0;
+}

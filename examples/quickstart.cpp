@@ -1,0 +1,64 @@
+// Quickstart: build the paper's server, characterize it, and run the
+// LUT-based cooling controller on a simple step workload.
+//
+//   $ ./quickstart
+//
+// Walks through the library's core loop in ~30 lines of user code:
+//   1. instantiate the simulated enterprise server (sim::server_simulator)
+//   2. run the Section-IV characterization to obtain the fan LUT
+//   3. define a workload profile
+//   4. run the LUT controller against the stock policy and compare.
+#include <cstdio>
+
+#include "core/characterization.hpp"
+#include "core/controller_runtime.hpp"
+#include "core/default_controller.hpp"
+#include "core/lut_controller.hpp"
+#include "sim/metrics.hpp"
+#include "sim/server_simulator.hpp"
+#include "workload/profile.hpp"
+
+int main() {
+    using namespace ltsc;
+    using namespace ltsc::util::literals;
+
+    // 1. The plant: a 2-socket SPARC-T3-class server, calibrated to the
+    //    DATE'13 paper (366 W idle, ~720 W peak, 6 fans in 3 pairs).
+    sim::server_simulator server;
+
+    // 2. Offline characterization: sweep utilization x fan speed, fit the
+    //    leakage model, derive the optimal-RPM lookup table.
+    const core::characterization_result ch = core::characterize(server);
+    std::printf("fitted power model: P - Pfan = %.1f + %.3f*U + %.4f*e^(%.5f*T)  (R^2 = %.4f)\n",
+                ch.fit.c0_w, ch.fit.k1_w_per_pct, ch.fit.k2_w, ch.fit.k3_per_c,
+                ch.fit.r_squared);
+    std::printf("LUT: utilization -> fan speed\n");
+    for (const auto& e : ch.lut.entries()) {
+        std::printf("  <= %5.1f %%  ->  %4.0f RPM  (expected %.1f degC)\n", e.utilization_pct,
+                    e.rpm.value(), e.expected_cpu_temp_c);
+    }
+
+    // 3. A workload: 10 min idle, 25 min at 70 %, 10 min at 30 %, idle tail.
+    workload::utilization_profile profile("quickstart");
+    profile.idle(5.0_min)
+        .constant(70.0, 25.0_min)
+        .constant(30.0, 10.0_min)
+        .idle(5.0_min);
+
+    // 4. Run the stock fixed-speed policy and the LUT controller.
+    core::default_controller stock;
+    core::lut_controller lut(ch.lut);
+    const sim::run_metrics m_stock = core::run_controlled(server, stock, profile);
+    const sim::run_metrics m_lut = core::run_controlled(server, lut, profile);
+    const util::watts_t idle = server.idle_power(3300_rpm);
+
+    std::printf("\n%-8s %12s %10s %10s %12s %9s\n", "policy", "energy[kWh]", "peak[W]",
+                "maxT[degC]", "fan changes", "avg RPM");
+    for (const auto& m : {m_stock, m_lut}) {
+        std::printf("%-8s %12.4f %10.1f %10.1f %12zu %9.0f\n", m.controller_name.c_str(),
+                    m.energy_kwh, m.peak_power_w, m.max_temp_c, m.fan_changes, m.avg_rpm);
+    }
+    std::printf("\nnet savings (idle energy discounted): %.1f %%\n",
+                100.0 * sim::net_savings(m_lut, m_stock, idle));
+    return 0;
+}

@@ -1,0 +1,68 @@
+// Workload playground: generates the paper's four controller benchmarks
+// plus the building-block profiles, and dumps them as CSV for plotting.
+//
+//   $ ./workload_explorer            # summary table
+//   $ ./workload_explorer --csv > workloads.csv
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "util/csv.hpp"
+#include "workload/loadgen.hpp"
+#include "workload/paper_tests.hpp"
+#include "workload/queueing.hpp"
+
+int main(int argc, char** argv) {
+    using namespace ltsc;
+    using namespace ltsc::util::literals;
+
+    const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+
+    const auto tests = workload::all_paper_tests();
+
+    if (csv) {
+        std::vector<util::named_series> series;
+        for (const auto& t : tests) {
+            series.push_back(util::named_series{t.name() + "_target", "pct",
+                                                t.sampled(util::seconds_t{10.0})});
+            // Include what the PWM synthesis actually plays on the CPUs.
+            workload::loadgen lg(t);
+            util::time_series inst;
+            for (double x = 0.0; x < t.duration().value(); x += 10.0) {
+                inst.push_back(x, lg.instantaneous_utilization(util::seconds_t{x}));
+            }
+            series.push_back(util::named_series{t.name() + "_pwm", "pct", inst});
+        }
+        util::write_series_csv(std::cout, series);
+        return 0;
+    }
+
+    std::printf("%-8s %10s %12s %10s %10s\n", "test", "dur[min]", "avg util[%]", "segments",
+                "peak[%]");
+    for (const auto& t : tests) {
+        double peak = 0.0;
+        for (double x = 0.0; x < t.duration().value(); x += 5.0) {
+            peak = std::max(peak, t.utilization_at(util::seconds_t{x}));
+        }
+        std::printf("%-8s %10.1f %12.1f %10zu %10.1f\n", t.name().c_str(),
+                    t.duration().value() / 60.0, t.average_utilization(), t.segment_count(),
+                    peak);
+    }
+
+    // Queueing statistics for the Test-4 generator, against Erlang theory.
+    workload::mmc_config cfg;
+    cfg.servers = 64;
+    cfg.service_rate_hz = 1.0 / 20.0;
+    cfg.arrival_rate_hz = 0.4 * 64.0 * cfg.service_rate_hz;
+    const auto r = workload::simulate_mmc(cfg, util::seconds_t{20000.0});
+    std::printf("\nM/M/64 sanity (rho = 0.4): measured util %.1f %%  "
+                "mean queue %.3f  mean response %.1f s  completed %llu\n",
+                r.stats.mean_utilization_pct, r.stats.mean_queue_length,
+                r.stats.mean_response_time_s,
+                static_cast<unsigned long long>(r.stats.completed_jobs));
+    std::printf("Erlang-C wait probability at this load: %.4f\n",
+                workload::erlang_c(64, 0.4 * 64.0));
+    std::printf("\nRun with --csv to dump target and PWM traces for plotting.\n");
+    return 0;
+}

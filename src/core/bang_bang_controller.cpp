@@ -1,0 +1,49 @@
+#include "core/bang_bang_controller.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ltsc::core {
+
+bang_bang_controller::bang_bang_controller(const bang_bang_thresholds& thresholds, util::rpm_t step,
+                                           util::rpm_t min_rpm, util::rpm_t max_rpm)
+    : thresholds_(thresholds), step_(step), min_rpm_(min_rpm), max_rpm_(max_rpm) {
+    util::ensure(thresholds.floor_c < thresholds.low_c && thresholds.low_c < thresholds.high_c &&
+                     thresholds.high_c < thresholds.ceiling_c,
+                 "bang_bang_controller: thresholds not strictly ordered");
+    util::ensure(step.value() > 0.0, "bang_bang_controller: non-positive step");
+    util::ensure(min_rpm.value() > 0.0 && max_rpm > min_rpm,
+                 "bang_bang_controller: invalid RPM range");
+}
+
+// The paper notes "the time between two consecutive actions of the
+// controller is longer than the time it takes for the temperature values
+// to cross thresholds": the bang-bang policy acts on a slower clock than
+// the 10 s CSTH sampling underneath it.
+util::seconds_t bang_bang_controller::polling_period() const { return util::seconds_t{30.0}; }
+
+std::optional<util::rpm_t> bang_bang_controller::decide(const controller_inputs& in) {
+    const double t = in.max_cpu_temp.value();
+    const double rpm = in.current_rpm.value();
+
+    double target = rpm;
+    if (t > thresholds_.ceiling_c) {
+        target = max_rpm_.value();
+    } else if (t > thresholds_.high_c) {
+        target = rpm + step_.value();
+    } else if (t < thresholds_.floor_c) {
+        target = min_rpm_.value();
+    } else if (t < thresholds_.low_c) {
+        target = rpm - step_.value();
+    } else {
+        return std::nullopt;  // inside the 65-75 band: hold
+    }
+    target = std::clamp(target, min_rpm_.value(), max_rpm_.value());
+    if (target == rpm) {
+        return std::nullopt;
+    }
+    return util::rpm_t{target};
+}
+
+}  // namespace ltsc::core

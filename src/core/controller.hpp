@@ -1,0 +1,68 @@
+// Fan controller interface.
+//
+// A controller plays the role of the paper's DLC-PC software: it
+// periodically observes the signals a real deployment could see (polled
+// utilization, CSTH sensor temperatures, its own last command) and decides
+// a fan speed.  Controllers never touch plant internals; the runtime
+// (controller_runtime.hpp) mediates between controller and simulator.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ltsc::core {
+
+/// Observations available to a controller at a decision instant.
+struct controller_inputs {
+    util::seconds_t now{0.0};            ///< Simulation time.
+    double utilization_pct = 0.0;        ///< `sar`-style measured utilization.
+    util::celsius_t max_cpu_temp{0.0};   ///< Max CPU sensor reading (CSTH).
+    util::rpm_t current_rpm{0.0};        ///< Currently commanded speed (mean).
+    util::watts_t system_power{0.0};     ///< Wall power reading (CSTH).
+
+    // Per-zone observability (the extension surface for differential
+    // control; single-speed controllers ignore these).
+    std::array<double, 2> socket_util_pct{0.0, 0.0};  ///< Per-socket load.
+    std::array<double, 2> socket_temp_c{0.0, 0.0};    ///< Max sensor per die.
+    std::vector<util::rpm_t> zone_rpm;                ///< Per-pair speeds.
+};
+
+/// Abstract fan-speed policy.
+class fan_controller {
+public:
+    virtual ~fan_controller() = default;
+
+    /// How often the runtime calls `decide` (the LUT controller polls
+    /// utilization every 1 s; the bang-bang controller rides the 10 s CSTH
+    /// cadence).
+    [[nodiscard]] virtual util::seconds_t polling_period() const = 0;
+
+    /// Returns the new fan speed for all pairs, or std::nullopt to keep
+    /// the current speed.
+    [[nodiscard]] virtual std::optional<util::rpm_t> decide(const controller_inputs& in) = 0;
+
+    /// Per-zone decision surface: returns one speed per fan pair, or
+    /// std::nullopt to keep all speeds.  The default adapter replicates
+    /// `decide` across zones, so single-speed policies need not override.
+    [[nodiscard]] virtual std::optional<std::vector<util::rpm_t>> decide_zones(
+        const controller_inputs& in) {
+        const auto cmd = decide(in);
+        if (!cmd.has_value()) {
+            return std::nullopt;
+        }
+        return std::vector<util::rpm_t>(std::max<std::size_t>(1, in.zone_rpm.size()), *cmd);
+    }
+
+    /// Policy name for reports ("Default", "Bang", "LUT", ...).
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Clears internal state between runs.
+    virtual void reset() {}
+};
+
+}  // namespace ltsc::core

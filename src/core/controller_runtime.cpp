@@ -1,0 +1,65 @@
+#include "core/controller_runtime.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ltsc::core {
+
+sim::run_metrics run_controlled(sim::server_simulator& sim, fan_controller& controller,
+                                const workload::utilization_profile& profile,
+                                const runtime_config& config) {
+    util::ensure(config.sim_dt.value() > 0.0, "run_controlled: non-positive step");
+    util::ensure(config.util_window.value() > 0.0, "run_controlled: non-positive window");
+
+    sim.bind_workload(profile);
+    sim.force_cold_start();
+    sim.set_all_fans(config.initial_rpm);
+    sim.reset_fan_change_counter();
+    controller.reset();
+
+    const double duration = profile.duration().value();
+    const double period = controller.polling_period().value();
+    double next_decision = 0.0;
+
+    while (sim.now().value() < duration - 1e-9) {
+        if (sim.now().value() + 1e-9 >= next_decision) {
+            controller_inputs in;
+            in.now = sim.now();
+            in.utilization_pct = sim.measured_utilization(config.util_window);
+            in.max_cpu_temp = sim.max_cpu_sensor_temp();
+            in.current_rpm = sim.average_fan_rpm();
+            in.system_power = sim.system_power_reading();
+            const std::vector<double> sensors = sim.cpu_sensor_temps();
+            for (std::size_t s = 0; s < 2; ++s) {
+                in.socket_util_pct[s] = sim.measured_socket_utilization(s, config.util_window);
+                // Sensors 2s and 2s+1 sit on die s; the policy sees the max.
+                in.socket_temp_c[s] = std::max(sensors[2 * s], sensors[2 * s + 1]);
+            }
+            for (std::size_t z = 0; z < sim.config().fan_pairs; ++z) {
+                in.zone_rpm.push_back(sim.fan_speed(z));
+            }
+            if (const auto cmds = controller.decide_zones(in)) {
+                util::ensure(cmds->size() == sim.config().fan_pairs,
+                             "run_controlled: controller returned wrong zone count");
+                bool uniform = true;
+                for (const util::rpm_t r : *cmds) {
+                    uniform = uniform && r.value() == cmds->front().value();
+                }
+                if (uniform) {
+                    sim.set_all_fans(cmds->front());  // one counted change
+                } else {
+                    for (std::size_t z = 0; z < cmds->size(); ++z) {
+                        sim.set_fan_speed(z, (*cmds)[z]);
+                    }
+                }
+            }
+            next_decision += period;
+        }
+        sim.step(config.sim_dt);
+    }
+    return sim::compute_metrics(sim, profile.name(), controller.name());
+}
+
+}  // namespace ltsc::core

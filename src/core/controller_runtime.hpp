@@ -1,0 +1,38 @@
+// Runtime that wires a controller to the simulated server.
+//
+// Plays the DLC-PC's role: polls the utilization (sar/mpstat emulation)
+// and the CSTH sensor snapshot at the controller's cadence, forwards the
+// observations, and actuates the returned fan commands.  Also owns the
+// end-to-end "run a test" flow used by Table I: bind workload, force the
+// cold start, let the controller drive, then extract metrics.
+#pragma once
+
+#include <string>
+
+#include "core/controller.hpp"
+#include "sim/metrics.hpp"
+#include "sim/server_simulator.hpp"
+#include "workload/profile.hpp"
+
+namespace ltsc::core {
+
+/// Runtime tunables.
+struct runtime_config {
+    util::seconds_t sim_dt{1.0};         ///< Plant integration step.
+    util::seconds_t util_window{240.0};  ///< Averaging window of the
+                                         ///< utilization measurement; spans
+                                         ///< one LoadGen PWM period so the
+                                         ///< duty cycling reads as its level.
+    util::rpm_t initial_rpm{3300.0};     ///< Fan speed at t = 0 (the stock
+                                         ///< default, as on a real machine).
+};
+
+/// Runs `controller` against `sim` for the whole `profile` and returns the
+/// Table-I metrics row.  The simulator's trace is left in place for
+/// figure-level inspection (Fig. 3 uses it).
+[[nodiscard]] sim::run_metrics run_controlled(sim::server_simulator& sim,
+                                              fan_controller& controller,
+                                              const workload::utilization_profile& profile,
+                                              const runtime_config& config = {});
+
+}  // namespace ltsc::core

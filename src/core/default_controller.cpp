@@ -1,0 +1,22 @@
+#include "core/default_controller.hpp"
+
+#include "util/error.hpp"
+
+namespace ltsc::core {
+
+default_controller::default_controller() : default_controller(util::rpm_t{3300.0}) {}
+
+default_controller::default_controller(util::rpm_t fixed_rpm) : rpm_(fixed_rpm) {
+    util::ensure(fixed_rpm.value() > 0.0, "default_controller: non-positive RPM");
+}
+
+util::seconds_t default_controller::polling_period() const { return util::seconds_t{10.0}; }
+
+std::optional<util::rpm_t> default_controller::decide(const controller_inputs& in) {
+    if (in.current_rpm.value() == rpm_.value()) {
+        return std::nullopt;
+    }
+    return rpm_;
+}
+
+}  // namespace ltsc::core

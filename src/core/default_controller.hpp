@@ -1,0 +1,31 @@
+// The server's stock cooling policy: a fixed fan speed.
+//
+// Table I's baseline keeps the fans "close to a fixed speed of 3300 RPM",
+// a conservative margin for worst-case ambient/altitude that over-cools
+// the machine in normal conditions — exactly the inefficiency the paper
+// attacks.
+#pragma once
+
+#include "core/controller.hpp"
+
+namespace ltsc::core {
+
+/// Fixed-speed baseline controller.
+class default_controller final : public fan_controller {
+public:
+    /// Uses the paper's 3300 RPM default.
+    default_controller();
+    /// Fixed speed variant for ablations.
+    explicit default_controller(util::rpm_t fixed_rpm);
+
+    [[nodiscard]] util::seconds_t polling_period() const override;
+    [[nodiscard]] std::optional<util::rpm_t> decide(const controller_inputs& in) override;
+    [[nodiscard]] std::string name() const override { return "Default"; }
+
+    [[nodiscard]] util::rpm_t fixed_rpm() const { return rpm_; }
+
+private:
+    util::rpm_t rpm_;
+};
+
+}  // namespace ltsc::core

@@ -1,0 +1,83 @@
+#include "core/extremum_seeking_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltsc::core {
+
+extremum_seeking_controller::extremum_seeking_controller(const extremum_seeking_config& config)
+    : config_(config) {
+    util::ensure(config.decision_period.value() > 0.0,
+                 "extremum_seeking_controller: bad decision period");
+    util::ensure(config.step.value() > 0.0, "extremum_seeking_controller: bad step");
+    util::ensure(config.max_rpm > config.min_rpm, "extremum_seeking_controller: bad RPM range");
+}
+
+util::seconds_t extremum_seeking_controller::polling_period() const {
+    return config_.decision_period;
+}
+
+std::optional<util::rpm_t> extremum_seeking_controller::decide(const controller_inputs& in) {
+    const double rpm = in.current_rpm.value();
+    const double power = in.system_power.value();
+
+    // Reliability guard dominates everything.
+    if (in.max_cpu_temp.value() > config_.max_cpu_temp_c) {
+        has_baseline_ = false;
+        const double target = std::min(config_.max_rpm.value(), rpm + config_.step.value());
+        if (target != rpm) {
+            return util::rpm_t{target};
+        }
+        return std::nullopt;
+    }
+
+    // A large utilization move lands us on a new power curve; previous
+    // comparisons are meaningless.
+    if (has_util_ &&
+        std::fabs(in.utilization_pct - last_util_pct_) > config_.util_restart_delta_pct) {
+        has_baseline_ = false;
+    }
+    last_util_pct_ = in.utilization_pct;
+    has_util_ = true;
+
+    if (!has_baseline_) {
+        // First settled observation at this operating point: record it and
+        // probe downward (the stock policy over-cools, so down is the
+        // better first guess).
+        has_baseline_ = true;
+        baseline_power_w_ = power;
+        direction_ = -1.0;
+        const double target = std::clamp(rpm + direction_ * config_.step.value(),
+                                         config_.min_rpm.value(), config_.max_rpm.value());
+        if (target == rpm) {
+            direction_ = -direction_;
+            return std::nullopt;
+        }
+        return util::rpm_t{target};
+    }
+
+    // Compare the settled power against the pre-move baseline.
+    if (power > baseline_power_w_) {
+        direction_ = -direction_;  // got worse: turn around
+    }
+    baseline_power_w_ = power;
+    const double target = std::clamp(rpm + direction_ * config_.step.value(),
+                                     config_.min_rpm.value(), config_.max_rpm.value());
+    if (target == rpm) {
+        direction_ = -direction_;  // pinned at a rail: try the other way next time
+        return std::nullopt;
+    }
+    return util::rpm_t{target};
+}
+
+void extremum_seeking_controller::reset() {
+    direction_ = -1.0;
+    has_baseline_ = false;
+    has_util_ = false;
+    baseline_power_w_ = 0.0;
+    last_util_pct_ = 0.0;
+}
+
+}  // namespace ltsc::core

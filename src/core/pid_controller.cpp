@@ -1,0 +1,55 @@
+#include "core/pid_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltsc::core {
+
+pid_controller::pid_controller(const pid_config& config) : config_(config) {
+    util::ensure(config.period.value() > 0.0, "pid_controller: bad period");
+    util::ensure(config.max_rpm > config.min_rpm, "pid_controller: bad RPM range");
+    util::ensure(config.kp >= 0.0 && config.ki >= 0.0 && config.kd >= 0.0,
+                 "pid_controller: negative gain");
+    util::ensure(config.deadband.value() >= 0.0, "pid_controller: negative deadband");
+}
+
+util::seconds_t pid_controller::polling_period() const { return config_.period; }
+
+std::optional<util::rpm_t> pid_controller::decide(const controller_inputs& in) {
+    const double error = in.max_cpu_temp.value() - config_.setpoint_c;
+    const double dt = has_prev_ ? std::max(1e-6, in.now.value() - prev_time_s_)
+                                : config_.period.value();
+
+    // Conditional integration: freeze the integral while the actuator is
+    // saturated in the direction of the error (anti-windup).
+    const double rpm = in.current_rpm.value();
+    const bool sat_high = rpm >= config_.max_rpm.value() && error > 0.0;
+    const bool sat_low = rpm <= config_.min_rpm.value() && error < 0.0;
+    if (!sat_high && !sat_low) {
+        integral_ += error * dt;
+    }
+    const double derivative = has_prev_ ? (error - prev_error_) / dt : 0.0;
+    prev_error_ = error;
+    prev_time_s_ = in.now.value();
+    has_prev_ = true;
+
+    const double target_raw = config_.min_rpm.value() + config_.kp * error +
+                              config_.ki * integral_ + config_.kd * derivative;
+    const double target =
+        std::clamp(target_raw, config_.min_rpm.value(), config_.max_rpm.value());
+    if (std::fabs(target - rpm) < config_.deadband.value()) {
+        return std::nullopt;
+    }
+    return util::rpm_t{target};
+}
+
+void pid_controller::reset() {
+    integral_ = 0.0;
+    prev_error_ = 0.0;
+    has_prev_ = false;
+    prev_time_s_ = 0.0;
+}
+
+}  // namespace ltsc::core

@@ -1,0 +1,110 @@
+#include "core/reliability.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace ltsc::core {
+
+std::vector<double> peak_valley_sequence(const util::time_series& temps, double hysteresis_c) {
+    util::ensure(temps.size() >= 2, "peak_valley_sequence: trace too short");
+    util::ensure(hysteresis_c >= 0.0, "peak_valley_sequence: negative hysteresis");
+
+    std::vector<double> seq{temps.at(0).v};
+    double candidate = temps.at(0).v;
+    int direction = 0;  // +1 rising, -1 falling, 0 undetermined
+    for (std::size_t i = 1; i < temps.size(); ++i) {
+        const double v = temps.at(i).v;
+        switch (direction) {
+            case 0:
+                if (v > candidate + hysteresis_c) {
+                    direction = 1;
+                    candidate = v;
+                } else if (v < candidate - hysteresis_c) {
+                    direction = -1;
+                    candidate = v;
+                }
+                break;
+            case 1:
+                if (v >= candidate) {
+                    candidate = v;
+                } else if (v < candidate - hysteresis_c) {
+                    seq.push_back(candidate);  // confirmed peak
+                    candidate = v;
+                    direction = -1;
+                }
+                break;
+            default:
+                if (v <= candidate) {
+                    candidate = v;
+                } else if (v > candidate + hysteresis_c) {
+                    seq.push_back(candidate);  // confirmed valley
+                    candidate = v;
+                    direction = 1;
+                }
+                break;
+        }
+    }
+    seq.push_back(candidate);
+    return seq;
+}
+
+cycling_report count_thermal_cycles(const util::time_series& temps,
+                                    const cycling_options& options) {
+    const std::vector<double> reversals = peak_valley_sequence(temps, options.hysteresis_c);
+    cycling_report report;
+
+    // ASTM E1049 rainflow: compare consecutive ranges; equal-or-larger
+    // following range closes the inner cycle.
+    std::deque<double> stack;
+    const auto emit = [&](double a, double b, double count) {
+        const double amplitude = std::fabs(a - b);
+        if (amplitude <= 0.0) {
+            return;
+        }
+        thermal_cycle c;
+        c.amplitude_c = amplitude;
+        c.mean_c = 0.5 * (a + b);
+        c.count = count;
+        report.cycles.push_back(c);
+    };
+
+    for (double r : reversals) {
+        stack.push_back(r);
+        while (stack.size() >= 3) {
+            const double x = std::fabs(stack[stack.size() - 1] - stack[stack.size() - 2]);
+            const double y = std::fabs(stack[stack.size() - 2] - stack[stack.size() - 3]);
+            if (x < y) {
+                break;
+            }
+            if (stack.size() == 3) {
+                // Range Y contains the load history start: half cycle.
+                emit(stack[0], stack[1], 0.5);
+                stack.pop_front();
+            } else {
+                // Inner full cycle Y.
+                const double a = stack[stack.size() - 2];
+                const double b = stack[stack.size() - 3];
+                emit(a, b, 1.0);
+                stack.erase(stack.end() - 3, stack.end() - 1);
+            }
+        }
+    }
+    // Remaining reversals are half cycles.
+    for (std::size_t i = 0; i + 1 < stack.size(); ++i) {
+        emit(stack[i], stack[i + 1], 0.5);
+    }
+
+    for (const thermal_cycle& c : report.cycles) {
+        report.max_amplitude_c = std::max(report.max_amplitude_c, c.amplitude_c);
+        report.damage_index +=
+            c.count * std::pow(c.amplitude_c / 10.0, options.coffin_manson_exponent);
+        if (c.amplitude_c >= options.significant_amplitude_c) {
+            ++report.significant_cycles;  // halves count: they are real swings
+        }
+    }
+    return report;
+}
+
+}  // namespace ltsc::core

@@ -1,0 +1,50 @@
+// Thermal-cycling reliability metrics.
+//
+// The paper caps operating temperature at 75 degC "for reliability
+// purposes" and warns that wide bang-bang bands "lead to ... larger
+// thermal cycles".  This module quantifies that: it extracts temperature
+// cycles from a trace (rainflow counting) and scores them with a
+// Coffin-Manson-style damage index, so controller comparisons can report
+// wear-out pressure next to energy.
+#pragma once
+
+#include <vector>
+
+#include "util/time_series.hpp"
+
+namespace ltsc::core {
+
+/// One counted thermal cycle.
+struct thermal_cycle {
+    double amplitude_c = 0.0;  ///< Peak-to-valley temperature delta.
+    double mean_c = 0.0;       ///< Cycle mean temperature.
+    double count = 1.0;        ///< 1.0 for full cycles, 0.5 for half cycles.
+};
+
+/// Result of cycle counting over a temperature trace.
+struct cycling_report {
+    std::vector<thermal_cycle> cycles;  ///< All counted (half-)cycles.
+    double max_amplitude_c = 0.0;       ///< Largest cycle amplitude.
+    double damage_index = 0.0;          ///< Sum of count * (dT/10)^exponent.
+    std::size_t significant_cycles = 0; ///< (Half-)cycles with amplitude >= threshold.
+};
+
+/// Options for cycle extraction.
+struct cycling_options {
+    double hysteresis_c = 1.0;          ///< Reversals smaller than this are noise.
+    double significant_amplitude_c = 5.0;  ///< Threshold for the cycle count.
+    double coffin_manson_exponent = 2.35;  ///< Solder-joint fatigue exponent.
+};
+
+/// Runs rainflow counting (ASTM E1049 four-point method) on a temperature
+/// trace and scores the cycles.  Throws on traces with fewer than 2
+/// samples.
+[[nodiscard]] cycling_report count_thermal_cycles(const util::time_series& temps,
+                                                  const cycling_options& options = {});
+
+/// Extracts the alternating peak/valley sequence of a trace after
+/// hysteresis filtering (exposed for tests and plotting).
+[[nodiscard]] std::vector<double> peak_valley_sequence(const util::time_series& temps,
+                                                       double hysteresis_c);
+
+}  // namespace ltsc::core

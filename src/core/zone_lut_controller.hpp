@@ -1,0 +1,50 @@
+// Per-zone LUT fan control (extension).
+//
+// The paper's server drives its 3 fan pairs from independent supplies but
+// the evaluated controller commands them in lockstep.  When the load is
+// skewed across sockets (virtualized consolidation, NUMA-pinned jobs),
+// lockstep control must spin *all* fans for the hottest socket.  This
+// extension addresses each pair separately: zone 0 serves socket 0,
+// zone 1 serves socket 1 — each looked up in the same LUT with its own
+// socket's utilization — and zone 2 (the shared/DIMM zone) follows the
+// cooler of the two.  A per-zone temperature guard and the 1-minute rate
+// limit carry over from the baseline controller.
+#pragma once
+
+#include "core/controller.hpp"
+#include "core/fan_lut.hpp"
+#include "core/lut_controller.hpp"
+
+namespace ltsc::core {
+
+/// Differential, per-fan-pair LUT controller.
+class zone_lut_controller final : public fan_controller {
+public:
+    /// Shares the single-speed controller's configuration; `table` is the
+    /// same utilization-indexed LUT (addressed per socket).
+    zone_lut_controller(fan_lut table, const lut_controller_config& config = {});
+
+    [[nodiscard]] util::seconds_t polling_period() const override;
+
+    /// Single-speed view: the mean of the per-zone decision (exists so
+    /// the controller can also run through the scalar interface).
+    [[nodiscard]] std::optional<util::rpm_t> decide(const controller_inputs& in) override;
+
+    [[nodiscard]] std::optional<std::vector<util::rpm_t>> decide_zones(
+        const controller_inputs& in) override;
+
+    [[nodiscard]] std::string name() const override { return "ZoneLUT"; }
+    void reset() override;
+
+    [[nodiscard]] const fan_lut& table() const { return table_; }
+
+private:
+    [[nodiscard]] util::rpm_t zone_target(double socket_util_pct, double socket_temp_c) const;
+
+    fan_lut table_;
+    lut_controller_config config_;
+    bool has_changed_ = false;
+    double last_change_s_ = 0.0;
+};
+
+}  // namespace ltsc::core

@@ -1,0 +1,62 @@
+#include "fit/linreg.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ltsc::fit {
+
+linreg_result least_squares(const util::matrix& design, const std::vector<double>& y) {
+    util::ensure(design.rows() == y.size(), "least_squares: row count mismatch");
+    util::ensure(design.rows() >= design.cols(), "least_squares: underdetermined system");
+    const util::matrix xt = design.transposed();
+    const util::matrix xtx = xt * design;
+    const std::vector<double> xty = xt * y;
+    linreg_result out;
+    out.coefficients = util::solve(xtx, xty);
+
+    std::vector<double> predicted(y.size(), 0.0);
+    for (std::size_t r = 0; r < design.rows(); ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < design.cols(); ++c) {
+            acc += design(r, c) * out.coefficients[c];
+        }
+        predicted[r] = acc;
+    }
+    out.rmse = util::rmse(y, predicted);
+    // R^2 is undefined for constant targets; report 1.0 when the fit is
+    // exact and 0.0 otherwise rather than throwing.
+    double ss_tot = 0.0;
+    const double m = util::mean(y);
+    for (double v : y) {
+        ss_tot += (v - m) * (v - m);
+    }
+    if (ss_tot > 0.0) {
+        out.r_squared = util::r_squared(y, predicted);
+    } else {
+        out.r_squared = out.rmse == 0.0 ? 1.0 : 0.0;
+    }
+    return out;
+}
+
+linreg_result fit_line(const std::vector<double>& x, const std::vector<double>& y) {
+    util::ensure(x.size() == y.size() && x.size() >= 2, "fit_line: need >= 2 points");
+    util::matrix design(x.size(), 2);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        design(i, 0) = x[i];
+        design(i, 1) = 1.0;
+    }
+    return least_squares(design, y);
+}
+
+linreg_result fit_proportional(const std::vector<double>& x, const std::vector<double>& y) {
+    util::ensure(x.size() == y.size() && !x.empty(), "fit_proportional: empty input");
+    util::matrix design(x.size(), 1);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        design(i, 0) = x[i];
+    }
+    return least_squares(design, y);
+}
+
+}  // namespace ltsc::fit

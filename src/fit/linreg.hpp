@@ -1,0 +1,31 @@
+// Ordinary least squares over an explicit design matrix.
+//
+// Used to fit the linear active-power model P_active = k1 * U (Eqn. 2 of
+// the paper) and as the inner solver of the Levenberg-Marquardt updates.
+#pragma once
+
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace ltsc::fit {
+
+/// Result of a least-squares fit.
+struct linreg_result {
+    std::vector<double> coefficients;  ///< One per design-matrix column.
+    double rmse = 0.0;                 ///< Root-mean-square residual.
+    double r_squared = 0.0;            ///< Coefficient of determination.
+};
+
+/// Solves min ||X beta - y||_2 via the normal equations (the design
+/// matrices in this library are tiny and well-conditioned).  Throws when
+/// dimensions are inconsistent or the normal matrix is singular.
+[[nodiscard]] linreg_result least_squares(const util::matrix& design, const std::vector<double>& y);
+
+/// Fits y = a * x + b.  Returns {a, b}.
+[[nodiscard]] linreg_result fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fits y = a * x through the origin.  Returns {a}.
+[[nodiscard]] linreg_result fit_proportional(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace ltsc::fit

@@ -1,0 +1,45 @@
+// Levenberg-Marquardt nonlinear least squares.
+//
+// The paper's leakage model P_leak = C + k2 * e^(k3 * T) is nonlinear in
+// k3; the characterization pipeline recovers (C, k2, k3) from sweep data
+// with this solver.  The residual interface is generic: the caller closes
+// over its data set and returns one residual per observation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace ltsc::fit {
+
+/// Residual function: maps a parameter vector to one residual per
+/// observation (model(params, x_i) - y_i).
+using residual_fn = std::function<std::vector<double>(const std::vector<double>&)>;
+
+/// Options controlling the Levenberg-Marquardt iteration.
+struct nlls_options {
+    int max_iterations = 200;      ///< Outer iteration cap.
+    double gradient_tol = 1e-10;   ///< Stop when ||J^T r||_inf falls below.
+    double step_tol = 1e-12;       ///< Stop when the relative step falls below.
+    double initial_lambda = 1e-3;  ///< Initial damping factor.
+    double lambda_up = 10.0;       ///< Damping multiplier on rejected steps.
+    double lambda_down = 0.5;      ///< Damping multiplier on accepted steps.
+    double jacobian_step = 1e-6;   ///< Relative finite-difference step.
+};
+
+/// Result of a nonlinear fit.
+struct nlls_result {
+    std::vector<double> parameters;  ///< Best parameters found.
+    double rmse = 0.0;               ///< Root-mean-square residual at the optimum.
+    double initial_rmse = 0.0;       ///< RMSE at the starting point.
+    int iterations = 0;              ///< Outer iterations performed.
+    bool converged = false;          ///< Whether a stopping criterion fired.
+};
+
+/// Minimizes 0.5 * ||r(p)||^2 starting from `initial`.  The Jacobian is
+/// computed by forward finite differences.  Throws when the residual
+/// vector is empty, its size changes between calls, or numerics break down.
+[[nodiscard]] nlls_result levenberg_marquardt(const residual_fn& residuals,
+                                              std::vector<double> initial,
+                                              const nlls_options& options = {});
+
+}  // namespace ltsc::fit

@@ -1,0 +1,49 @@
+#include "power/active_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltsc::power {
+
+active_model::active_model(double coeff_w_per_pct, const active_split& split,
+                           double cpu_shape_exponent)
+    : coeff_(coeff_w_per_pct), split_(split), gamma_(cpu_shape_exponent) {
+    util::ensure(coeff_w_per_pct >= 0.0, "active_model: negative coefficient");
+    util::ensure(split.cpu >= 0.0 && split.memory >= 0.0 && split.other >= 0.0,
+                 "active_model: negative split fraction");
+    util::ensure(std::fabs(split.cpu + split.memory + split.other - 1.0) < 1e-6,
+                 "active_model: split fractions must sum to 1");
+    util::ensure(cpu_shape_exponent > 0.0 && cpu_shape_exponent <= 1.0,
+                 "active_model: shape exponent out of (0, 1]");
+}
+
+util::watts_t active_model::total(double u_pct) const {
+    util::ensure(u_pct >= 0.0 && u_pct <= 100.0, "active_model: utilization out of [0, 100]");
+    return util::watts_t{coeff_ * u_pct};
+}
+
+util::watts_t active_model::cpu(double u_pct) const {
+    const double total_w = total(u_pct).value();
+    if (u_pct <= 0.0) {
+        return util::watts_t{0.0};
+    }
+    const double shaped = split_.cpu * coeff_ * 100.0 * std::pow(u_pct / 100.0, gamma_);
+    return util::watts_t{std::min(total_w, shaped)};
+}
+
+util::watts_t active_model::memory(double u_pct) const {
+    const double rest = total(u_pct).value() - cpu(u_pct).value();
+    const double denom = split_.memory + split_.other;
+    if (denom <= 0.0) {
+        return util::watts_t{0.0};
+    }
+    return util::watts_t{rest * split_.memory / denom};
+}
+
+util::watts_t active_model::other(double u_pct) const {
+    return total(u_pct) - cpu(u_pct) - memory(u_pct);
+}
+
+}  // namespace ltsc::power

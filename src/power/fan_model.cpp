@@ -1,0 +1,107 @@
+#include "power/fan_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltsc::power {
+
+fan_pair::fan_pair(const fan_spec& spec) : spec_(spec) {
+    util::ensure(spec.min_rpm.value() > 0.0, "fan_pair: non-positive minimum RPM");
+    util::ensure(spec.max_rpm >= spec.min_rpm, "fan_pair: max RPM below min RPM");
+    util::ensure(spec.ref_rpm.value() > 0.0, "fan_pair: non-positive reference RPM");
+    util::ensure(spec.ref_power.value() >= 0.0, "fan_pair: negative reference power");
+    util::ensure(spec.ref_airflow.value() >= 0.0, "fan_pair: negative reference airflow");
+}
+
+util::rpm_t fan_pair::clamp(util::rpm_t rpm) const {
+    return util::rpm_t{std::clamp(rpm.value(), spec_.min_rpm.value(), spec_.max_rpm.value())};
+}
+
+util::watts_t fan_pair::power(util::rpm_t rpm) const {
+    const double ratio = clamp(rpm).value() / spec_.ref_rpm.value();
+    return util::watts_t{spec_.ref_power.value() * ratio * ratio * ratio};
+}
+
+util::cfm_t fan_pair::airflow(util::rpm_t rpm) const {
+    const double ratio = clamp(rpm).value() / spec_.ref_rpm.value();
+    return util::cfm_t{spec_.ref_airflow.value() * ratio};
+}
+
+tabulated_fan_model::tabulated_fan_model(std::vector<fan_calibration_point> points) {
+    util::ensure(points.size() >= 2, "tabulated_fan_model: need >= 2 calibration points");
+    std::vector<double> x;
+    std::vector<double> y;
+    x.reserve(points.size());
+    y.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (i > 0) {
+            util::ensure(points[i].rpm > points[i - 1].rpm,
+                         "tabulated_fan_model: RPM points not strictly increasing");
+            util::ensure(points[i].power >= points[i - 1].power,
+                         "tabulated_fan_model: fan power must be non-decreasing in RPM");
+        }
+        x.push_back(points[i].rpm.value());
+        y.push_back(points[i].power.value());
+    }
+    interp_ = util::pchip_interpolator(std::move(x), std::move(y));
+}
+
+util::watts_t tabulated_fan_model::power(util::rpm_t rpm) const {
+    return util::watts_t{interp_(rpm.value())};
+}
+
+fan_bank::fan_bank(std::size_t pair_count, const fan_spec& spec, util::rpm_t initial)
+    : pair_(spec), speeds_(pair_count, util::rpm_t{0.0}) {
+    util::ensure(pair_count >= 1, "fan_bank: need at least one fan pair");
+    set_all(initial);
+}
+
+fan_bank::fan_bank() : fan_bank(3, fan_spec{}, util::rpm_t{3600.0}) {}
+
+void fan_bank::set_speed(std::size_t pair_index, util::rpm_t rpm) {
+    util::ensure(pair_index < speeds_.size(), "fan_bank::set_speed: pair index out of range");
+    speeds_[pair_index] = pair_.clamp(rpm);
+}
+
+void fan_bank::set_all(util::rpm_t rpm) {
+    const util::rpm_t clamped = pair_.clamp(rpm);
+    std::fill(speeds_.begin(), speeds_.end(), clamped);
+}
+
+util::rpm_t fan_bank::speed(std::size_t pair_index) const {
+    util::ensure(pair_index < speeds_.size(), "fan_bank::speed: pair index out of range");
+    return speeds_[pair_index];
+}
+
+util::rpm_t fan_bank::average_speed() const {
+    double acc = 0.0;
+    for (util::rpm_t s : speeds_) {
+        acc += s.value();
+    }
+    return util::rpm_t{acc / static_cast<double>(speeds_.size())};
+}
+
+util::watts_t fan_bank::total_power() const {
+    util::watts_t acc{0.0};
+    for (util::rpm_t s : speeds_) {
+        acc += pair_.power(s);
+    }
+    return acc;
+}
+
+util::cfm_t fan_bank::total_airflow() const {
+    util::cfm_t acc{0.0};
+    for (util::rpm_t s : speeds_) {
+        acc += pair_.airflow(s);
+    }
+    return acc;
+}
+
+std::vector<util::rpm_t> paper_rpm_settings() {
+    return {util::rpm_t{1800.0}, util::rpm_t{2400.0}, util::rpm_t{3000.0}, util::rpm_t{3600.0},
+            util::rpm_t{4200.0}};
+}
+
+}  // namespace ltsc::power

@@ -1,0 +1,113 @@
+// Fan power, airflow, and the 3-pair fan bank of the target server.
+//
+// The paper's server has 6 fans in 3 rows of 2, each pair driven by its own
+// external power supply.  Fan affinity laws give airflow proportional to
+// RPM and power proportional to RPM^3; the paper measures the power at each
+// RPM setting during characterization.  This module provides both the pure
+// fan-law model and a tabulated model built from measured points.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/interpolate.hpp"
+#include "util/units.hpp"
+
+namespace ltsc::power {
+
+/// Physical limits and reference point of one fan pair.
+struct fan_spec {
+    util::rpm_t min_rpm{1800.0};   ///< Lowest controllable speed.
+    util::rpm_t max_rpm{4200.0};   ///< Highest controllable speed.
+    util::rpm_t ref_rpm{4200.0};   ///< Reference speed of the affinity law.
+    util::watts_t ref_power{16.7}; ///< Pair power at the reference speed.
+    util::cfm_t ref_airflow{51.0}; ///< Pair airflow at the reference speed.
+};
+
+/// One pair of fans obeying the fan affinity laws:
+///   P(rpm) = ref_power * (rpm / ref_rpm)^3
+///   Q(rpm) = ref_airflow * (rpm / ref_rpm)
+class fan_pair {
+public:
+    fan_pair() = default;
+    explicit fan_pair(const fan_spec& spec);
+
+    /// Electrical power drawn at `rpm` (clamped into the legal range).
+    [[nodiscard]] util::watts_t power(util::rpm_t rpm) const;
+
+    /// Airflow delivered at `rpm` (clamped into the legal range).
+    [[nodiscard]] util::cfm_t airflow(util::rpm_t rpm) const;
+
+    /// Clamps a commanded speed into [min_rpm, max_rpm].
+    [[nodiscard]] util::rpm_t clamp(util::rpm_t rpm) const;
+
+    [[nodiscard]] const fan_spec& spec() const { return spec_; }
+
+private:
+    fan_spec spec_{};
+};
+
+/// Measured (RPM, Watts) calibration point for the tabulated model.
+struct fan_calibration_point {
+    util::rpm_t rpm{0.0};
+    util::watts_t power{0.0};
+};
+
+/// Fan power model built from measured calibration points (monotone cubic
+/// interpolation), as produced by the paper's vibration-sensor fan
+/// characterization.  Falls back to cubic extrapolation via clamping.
+class tabulated_fan_model {
+public:
+    /// Builds the model from at least two points with strictly increasing
+    /// RPM and non-decreasing power.
+    explicit tabulated_fan_model(std::vector<fan_calibration_point> points);
+
+    /// Interpolated pair power at `rpm`.
+    [[nodiscard]] util::watts_t power(util::rpm_t rpm) const;
+
+private:
+    util::pchip_interpolator interp_;
+};
+
+/// The server's bank of 3 independently controllable fan pairs.
+class fan_bank {
+public:
+    /// Builds a bank of `pair_count` identical pairs, all initially at
+    /// `initial` RPM.
+    fan_bank(std::size_t pair_count, const fan_spec& spec, util::rpm_t initial);
+
+    /// Paper configuration: 3 pairs, 1800-4200 RPM, all at 3600 RPM.
+    fan_bank();
+
+    [[nodiscard]] std::size_t pair_count() const { return speeds_.size(); }
+
+    /// Commands one pair; the speed is clamped to the legal range.
+    void set_speed(std::size_t pair_index, util::rpm_t rpm);
+
+    /// Commands all pairs to the same speed.
+    void set_all(util::rpm_t rpm);
+
+    /// Current speed of one pair.
+    [[nodiscard]] util::rpm_t speed(std::size_t pair_index) const;
+
+    /// Mean speed across pairs (the "Avg RPM" column of Table I).
+    [[nodiscard]] util::rpm_t average_speed() const;
+
+    /// Total electrical power of the bank.
+    [[nodiscard]] util::watts_t total_power() const;
+
+    /// Total airflow through the chassis.
+    [[nodiscard]] util::cfm_t total_airflow() const;
+
+    [[nodiscard]] const fan_pair& pair() const { return pair_; }
+
+private:
+    fan_pair pair_;
+    std::vector<util::rpm_t> speeds_;
+};
+
+/// The discrete RPM settings explored in the paper's characterization
+/// (Fig. 1(a)): 1800 to 4200 in 600 RPM steps.
+[[nodiscard]] std::vector<util::rpm_t> paper_rpm_settings();
+
+}  // namespace ltsc::power

@@ -1,0 +1,29 @@
+#include "power/leakage_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltsc::power {
+
+leakage_model::leakage_model(const leakage_params& params) : params_(params) {
+    util::ensure(params.k2 >= 0.0, "leakage_model: negative exponential prefactor");
+    util::ensure(std::isfinite(params.k3), "leakage_model: non-finite k3");
+    util::ensure(params.offset_w >= 0.0, "leakage_model: negative static offset");
+}
+
+util::watts_t leakage_model::at(util::celsius_t t) const {
+    return util::watts_t{params_.offset_w + params_.k2 * std::exp(params_.k3 * t.value())};
+}
+
+util::watts_t leakage_model::share_at(util::celsius_t t, int share_count) const {
+    util::ensure(share_count >= 1, "leakage_model::share_at: bad share count");
+    const double inv = 1.0 / static_cast<double>(share_count);
+    return util::watts_t{inv * (params_.offset_w + params_.k2 * std::exp(params_.k3 * t.value()))};
+}
+
+double leakage_model::slope_at(util::celsius_t t) const {
+    return params_.k2 * params_.k3 * std::exp(params_.k3 * t.value());
+}
+
+}  // namespace ltsc::power

@@ -1,0 +1,54 @@
+// Temperature-dependent leakage power model (Eqn. 2 of the paper).
+//
+//   P_leak(T) = C + k2 * e^(k3 * T)
+//
+// The paper fits k2 = 0.3231 and k3 = 0.04749 on a SPARC T3 server (2.243 W
+// RMS error, 98 % accuracy); those published constants are embedded here as
+// `leakage_params::paper_fit()` and drive the simulated plant.  The
+// characterization pipeline (core/characterization.hpp) re-derives them
+// from sweep data to close the reproduction loop.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace ltsc::power {
+
+/// Parameters of the exponential leakage model P = C + k2 * e^(k3 * T).
+struct leakage_params {
+    double offset_w = 0.0;  ///< Temperature-independent component C [W].
+    double k2 = 0.0;        ///< Exponential prefactor [W].
+    double k3 = 0.0;        ///< Exponential temperature coefficient [1/degC].
+
+    /// The constants published in the paper (Section IV).  The paper does
+    /// not report C; 8 W reproduces the magnitude of the leakage curve in
+    /// Fig. 2(a).
+    static leakage_params paper_fit() { return leakage_params{8.0, 0.3231, 0.04749}; }
+};
+
+/// Whole-server leakage power as a function of average CPU temperature.
+class leakage_model {
+public:
+    leakage_model() : leakage_model(leakage_params::paper_fit()) {}
+
+    /// Builds the model; k2 must be non-negative and k3 finite.
+    explicit leakage_model(const leakage_params& params);
+
+    /// Leakage power at average CPU temperature `t`.
+    [[nodiscard]] util::watts_t at(util::celsius_t t) const;
+
+    /// Leakage contributed by one of `share_count` identical dies at its
+    /// own temperature; the shares sum to `at(t)` when all dies run at the
+    /// same temperature.  Used by the plant to model per-socket leakage.
+    [[nodiscard]] util::watts_t share_at(util::celsius_t t, int share_count) const;
+
+    /// d P_leak / dT at temperature `t` [W per degC], used by tests and
+    /// by the extremum-seeking controller's sensitivity estimate.
+    [[nodiscard]] double slope_at(util::celsius_t t) const;
+
+    [[nodiscard]] const leakage_params& params() const { return params_; }
+
+private:
+    leakage_params params_;
+};
+
+}  // namespace ltsc::power

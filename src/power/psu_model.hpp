@@ -1,0 +1,43 @@
+// Power supply unit efficiency model.
+//
+// The target server's PSUs sit outside the airflow path, but their
+// conversion losses show up in wall power.  The default reproduction folds
+// PSU losses into the calibrated base power (the paper's sensors report
+// wall power directly); this explicit model exists for the data-center
+// rack example and for studies that separate DC load from AC draw.
+#pragma once
+
+#include "util/interpolate.hpp"
+#include "util/units.hpp"
+
+namespace ltsc::power {
+
+/// Load-dependent PSU efficiency curve.  Efficiency is tabulated against
+/// load fraction (DC output / rated output) and interpolated monotonically.
+class psu_model {
+public:
+    /// A typical 80 PLUS Gold curve for a 2000 W supply.
+    psu_model();
+
+    /// Builds a PSU with the given rated DC output and efficiency curve
+    /// tabulated at the given load fractions (ascending, within (0, 1]).
+    psu_model(util::watts_t rated_output, std::vector<double> load_fractions,
+              std::vector<double> efficiencies);
+
+    /// Efficiency at a DC load (clamped to the tabulated range).
+    [[nodiscard]] double efficiency(util::watts_t dc_load) const;
+
+    /// AC input power required to supply `dc_load`.
+    [[nodiscard]] util::watts_t ac_input(util::watts_t dc_load) const;
+
+    /// Conversion loss at `dc_load` (AC input minus DC output).
+    [[nodiscard]] util::watts_t loss(util::watts_t dc_load) const;
+
+    [[nodiscard]] util::watts_t rated_output() const { return rated_; }
+
+private:
+    util::watts_t rated_{2000.0};
+    util::linear_interpolator eff_;
+};
+
+}  // namespace ltsc::power

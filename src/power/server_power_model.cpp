@@ -1,0 +1,27 @@
+#include "power/server_power_model.hpp"
+
+#include "util/error.hpp"
+
+namespace ltsc::power {
+
+server_power_model::server_power_model(util::watts_t base, active_model active,
+                                       leakage_model leakage)
+    : base_(base), active_(active), leakage_(leakage) {
+    util::ensure(base.value() >= 0.0, "server_power_model: negative base power");
+}
+
+server_power_model::server_power_model()
+    : server_power_model(util::watts_t{calibrated_base_w}, active_model{}, leakage_model{}) {}
+
+power_breakdown server_power_model::at(double u_pct, util::celsius_t cpu_temp,
+                                       util::watts_t fan_power) const {
+    util::ensure(fan_power.value() >= 0.0, "server_power_model: negative fan power");
+    power_breakdown out;
+    out.base = base_;
+    out.active = active_.total(u_pct);
+    out.leakage = leakage_.at(cpu_temp);
+    out.fan = fan_power;
+    return out;
+}
+
+}  // namespace ltsc::power

@@ -1,0 +1,56 @@
+// Whole-server power aggregation (Eqn. 1 of the paper):
+//
+//   P_total = P_base + P_active(U) + P_leak(T) + P_fan(RPM)
+//
+// P_base collects everything the fan controller cannot influence (idle
+// logic power of CPUs/DIMMs/disks, service processor, PSU overhead); it is
+// calibrated so that the simulated server reproduces the idle power implied
+// by Table I (366 W) and the observed peak (710-720 W).
+#pragma once
+
+#include "power/active_model.hpp"
+#include "power/leakage_model.hpp"
+#include "util/units.hpp"
+
+namespace ltsc::power {
+
+/// Instantaneous power breakdown of the server.
+struct power_breakdown {
+    util::watts_t base{0.0};     ///< Utilization/temperature-independent floor.
+    util::watts_t active{0.0};   ///< Dynamic power, linear in utilization.
+    util::watts_t leakage{0.0};  ///< Temperature-dependent leakage.
+    util::watts_t fan{0.0};      ///< Fan electrical power.
+
+    /// Sum of all components (the system power sensor reading).
+    [[nodiscard]] util::watts_t total() const { return base + active + leakage + fan; }
+};
+
+/// Aggregates the component models into the paper's Eqn. 1.
+class server_power_model {
+public:
+    /// Builds the aggregate from component models and the calibrated base.
+    server_power_model(util::watts_t base, active_model active, leakage_model leakage);
+
+    /// Default model calibrated against the paper's server.
+    server_power_model();
+
+    /// Breakdown at utilization `u_pct`, average CPU temperature `cpu_temp`
+    /// and measured fan power `fan_power`.
+    [[nodiscard]] power_breakdown at(double u_pct, util::celsius_t cpu_temp,
+                                     util::watts_t fan_power) const;
+
+    [[nodiscard]] const active_model& active() const { return active_; }
+    [[nodiscard]] const leakage_model& leakage() const { return leakage_; }
+    [[nodiscard]] util::watts_t base() const { return base_; }
+
+    /// Base power calibrated from Table I: idle wall power 366 W minus the
+    /// default-policy fan power (~24 W at 3300 RPM) and idle leakage.
+    static constexpr double calibrated_base_w = 331.0;
+
+private:
+    util::watts_t base_{calibrated_base_w};
+    active_model active_;
+    leakage_model leakage_;
+};
+
+}  // namespace ltsc::power

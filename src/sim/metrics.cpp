@@ -1,0 +1,35 @@
+#include "sim/metrics.hpp"
+
+#include "util/error.hpp"
+
+namespace ltsc::sim {
+
+run_metrics compute_metrics(const server_simulator& sim, std::string test_name,
+                            std::string controller_name) {
+    const simulation_trace& tr = sim.trace();
+    util::ensure(tr.total_power.size() >= 2, "compute_metrics: trace too short");
+    run_metrics m;
+    m.test_name = std::move(test_name);
+    m.controller_name = std::move(controller_name);
+    m.duration_s = tr.total_power.duration();
+    m.energy_kwh = util::to_kwh(util::joules_t{tr.total_power.integrate()});
+    m.peak_power_w = tr.total_power.max();
+    m.max_temp_c = tr.max_sensor_temp.max();
+    m.fan_changes = sim.fan_change_count();
+    m.avg_rpm = tr.avg_fan_rpm.mean();
+    m.avg_cpu_temp_c = tr.avg_cpu_temp.mean();
+    return m;
+}
+
+double net_savings(const run_metrics& candidate, const run_metrics& baseline,
+                   util::watts_t idle_power) {
+    util::ensure(idle_power.value() >= 0.0, "net_savings: negative idle power");
+    const double idle_kwh =
+        util::to_kwh(idle_power * util::seconds_t{baseline.duration_s});
+    const double base_net = baseline.energy_kwh - idle_kwh;
+    util::ensure(base_net > 0.0, "net_savings: baseline net energy not positive");
+    const double cand_net = candidate.energy_kwh - idle_kwh;
+    return (base_net - cand_net) / base_net;
+}
+
+}  // namespace ltsc::sim

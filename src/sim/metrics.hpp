@@ -1,0 +1,45 @@
+// Table-I metrics: the quantities the paper reports per test and
+// controller.
+//
+//   Test | Control | Energy (kWh) | Net Savings | Peak Pwr (W) |
+//   Max Temp (degC) | #fan changes | Avg RPM
+//
+// "Net savings" follow the paper's definition: idle energy (idle power
+// times test duration) is subtracted from both the controller's and the
+// baseline's energy before comparing, because the idle floor cannot be
+// influenced by fan control.
+#pragma once
+
+#include <string>
+
+#include "sim/server_simulator.hpp"
+#include "util/units.hpp"
+
+namespace ltsc::sim {
+
+/// One row of Table I.
+struct run_metrics {
+    std::string test_name;        ///< "Test-1" ... "Test-4".
+    std::string controller_name;  ///< "Default", "Bang", "LUT", ...
+    double energy_kwh = 0.0;      ///< Integral of wall power over the run.
+    double peak_power_w = 0.0;    ///< Maximum instantaneous wall power.
+    double max_temp_c = 0.0;      ///< Maximum CPU sensor reading.
+    std::size_t fan_changes = 0;  ///< Fan speed changes issued.
+    double avg_rpm = 0.0;         ///< Time-average commanded RPM.
+    double avg_cpu_temp_c = 0.0;  ///< Time-average of the die mean.
+    double duration_s = 0.0;      ///< Trace span.
+};
+
+/// Extracts the metrics from a finished run's trace.
+[[nodiscard]] run_metrics compute_metrics(const server_simulator& sim, std::string test_name,
+                                          std::string controller_name);
+
+/// Net energy savings of `candidate` vs. `baseline` per the paper's
+/// definition.  `idle_power` is the steady idle wall power; the idle
+/// energy over the run duration is subtracted from both sides.  Returns a
+/// fraction (0.087 = 8.7 %).  Throws when the baseline's net energy is
+/// not positive.
+[[nodiscard]] double net_savings(const run_metrics& candidate, const run_metrics& baseline,
+                                 util::watts_t idle_power);
+
+}  // namespace ltsc::sim

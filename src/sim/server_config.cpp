@@ -1,0 +1,42 @@
+#include "sim/server_config.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltsc::sim {
+
+server_config paper_server() {
+    return server_config{};  // defaults are the paper calibration
+}
+
+server_config validated(const server_config& config) {
+    validate(config);
+    return config;
+}
+
+void validate(const server_config& config) {
+    util::ensure(config.sockets == 2, "server_config: thermal model assumes 2 sockets");
+    util::ensure(config.dimm_count >= 1, "server_config: need at least one DIMM");
+    util::ensure(config.fan_pairs >= 1, "server_config: need at least one fan pair");
+    util::ensure(config.fan_pairs == config.thermal.fan_zones,
+                 "server_config: fan_pairs must match thermal fan_zones");
+    util::ensure(config.base_power_w >= 0.0, "server_config: negative base power");
+    util::ensure(config.cpu_idle_each_w >= 0.0, "server_config: negative CPU idle power");
+    util::ensure(config.dimm_idle_total_w >= 0.0, "server_config: negative DIMM idle power");
+    util::ensure(config.base_power_w >=
+                     config.cpu_idle_each_w * static_cast<double>(config.sockets) +
+                         config.dimm_idle_total_w,
+                 "server_config: component idle power exceeds base power");
+    util::ensure(config.active_coeff_w_per_pct >= 0.0, "server_config: negative active slope");
+    util::ensure(std::fabs(config.split.cpu + config.split.memory + config.split.other - 1.0) <
+                     1e-6,
+                 "server_config: active split must sum to 1");
+    util::ensure(config.cpu_heat_shape_exponent > 0.0 && config.cpu_heat_shape_exponent <= 1.0,
+                 "server_config: cpu_heat_shape_exponent out of (0, 1]");
+    util::ensure(config.telemetry_period_s > 0.0, "server_config: bad telemetry period");
+    util::ensure(config.sensor_noise_sigma >= 0.0, "server_config: negative sensor noise");
+    util::ensure(config.sensor_quantum >= 0.0, "server_config: negative sensor quantum");
+}
+
+}  // namespace ltsc::sim

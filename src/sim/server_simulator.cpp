@@ -1,0 +1,276 @@
+#include "sim/server_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltsc::sim {
+
+server_simulator::server_simulator(const server_config& config)
+    : config_(validated(config)),
+      rng_(config.seed, 0xda3e39cb94b95bdbULL),
+      fans_(config.fan_pairs, config.fan, config.default_fan_rpm),
+      leakage_(config.leakage),
+      active_(config.active_coeff_w_per_pct, config.split, config.cpu_heat_shape_exponent),
+      thermal_(config.thermal),
+      sensors_(thermal::make_server_sensors(
+          [this](std::size_t s) { return thermal_.cpu_die_temp(s); },
+          [this] { return thermal_.dimm_temp(); }, config.dimm_count, rng_,
+          config.sensor_noise_sigma, config.sensor_quantum)),
+      telemetry_(util::seconds_t{config.telemetry_period_s}) {
+    last_cpu_sensor_reads_.assign(sensors_.cpu.size(), config.thermal.ambient_c);
+    register_telemetry();
+    apply_airflow();
+    apply_heat(0.0);
+}
+
+void server_simulator::register_telemetry() {
+    for (std::size_t i = 0; i < sensors_.cpu.size(); ++i) {
+        telemetry_.add_channel(sensors_.cpu[i].name(), "degC", [this, i] {
+            const double v = sensors_.cpu[i].read().value();
+            last_cpu_sensor_reads_[i] = v;
+            return v;
+        });
+    }
+    for (std::size_t i = 0; i < sensors_.dimm.size(); ++i) {
+        telemetry_.add_channel(sensors_.dimm[i].name(), "degC",
+                               [this, i] { return sensors_.dimm[i].read().value(); },
+                               /*ring_capacity=*/512, /*record_history=*/false);
+    }
+    // Per-socket rail telemetry (the paper collects per-core V/I; the
+    // aggregate per-socket rail carries the same information here).
+    for (std::size_t s = 0; s < thermal::server_thermal_model::socket_count(); ++s) {
+        telemetry_.add_channel("cpu" + std::to_string(s) + "_voltage", "V",
+                               [] { return 1.0; }, 16, false);
+        telemetry_.add_channel("cpu" + std::to_string(s) + "_current", "A", [this, s] {
+            const double u = workload_ ? workload_->instantaneous_utilization(now()) : 0.0;
+            const double share = s == 0 ? imbalance_ : 1.0 - imbalance_;
+            const double rail_w = config_.cpu_idle_each_w +
+                                  active_.cpu(u).value() * share +
+                                  leakage_.share_at(thermal_.cpu_die_temp(s), 2).value();
+            return rail_w / 1.0;
+        });
+    }
+    telemetry_.add_channel("system_power", "W", [this] {
+        const double u = workload_ ? workload_->instantaneous_utilization(now()) : 0.0;
+        return breakdown_at(u).total().value();
+    });
+    telemetry_.add_channel("fan_power", "W", [this] { return fans_.total_power().value(); });
+}
+
+void server_simulator::bind_workload(workload::loadgen generator) {
+    workload_ = std::move(generator);
+    now_s_ = 0.0;
+    clear_trace();
+}
+
+void server_simulator::bind_workload(const workload::utilization_profile& profile) {
+    bind_workload(workload::loadgen(profile));
+}
+
+void server_simulator::set_fan_speed(std::size_t pair_index, util::rpm_t rpm) {
+    const util::rpm_t before = fans_.speed(pair_index);
+    fans_.set_speed(pair_index, rpm);
+    if (fans_.speed(pair_index).value() != before.value()) {
+        ++fan_changes_;
+        apply_airflow();
+    }
+}
+
+void server_simulator::set_all_fans(util::rpm_t rpm) {
+    bool changed = false;
+    for (std::size_t i = 0; i < fans_.pair_count(); ++i) {
+        if (fans_.speed(i).value() != fans_.pair().clamp(rpm).value()) {
+            changed = true;
+        }
+    }
+    fans_.set_all(rpm);
+    if (changed) {
+        ++fan_changes_;
+        apply_airflow();
+    }
+}
+
+util::rpm_t server_simulator::fan_speed(std::size_t pair_index) const {
+    return fans_.speed(pair_index);
+}
+
+util::rpm_t server_simulator::average_fan_rpm() const { return fans_.average_speed(); }
+
+double server_simulator::measured_utilization(util::seconds_t window) const {
+    if (!workload_) {
+        return 0.0;
+    }
+    return workload_->measured_utilization(now(), window);
+}
+
+std::vector<double> server_simulator::cpu_sensor_temps() const { return last_cpu_sensor_reads_; }
+
+util::celsius_t server_simulator::max_cpu_sensor_temp() const {
+    util::ensure(!last_cpu_sensor_reads_.empty(), "server_simulator: no CPU sensors");
+    return util::celsius_t{*std::max_element(last_cpu_sensor_reads_.begin(),
+                                             last_cpu_sensor_reads_.end())};
+}
+
+util::watts_t server_simulator::system_power_reading() const {
+    const double u = workload_ ? workload_->instantaneous_utilization(now()) : 0.0;
+    return breakdown_at(u).total();
+}
+
+util::celsius_t server_simulator::true_cpu_temp(std::size_t socket) const {
+    return thermal_.cpu_die_temp(socket);
+}
+
+util::celsius_t server_simulator::true_avg_cpu_temp() const { return thermal_.average_cpu_temp(); }
+
+util::celsius_t server_simulator::true_dimm_temp() const { return thermal_.dimm_temp(); }
+
+power::power_breakdown server_simulator::current_power() const {
+    const double u = workload_ ? workload_->instantaneous_utilization(now()) : 0.0;
+    return breakdown_at(u);
+}
+
+power::power_breakdown server_simulator::breakdown_at(double u_inst) const {
+    power::power_breakdown out;
+    out.base = util::watts_t{config_.base_power_w};
+    out.active = active_.total(u_inst);
+    util::watts_t leak{0.0};
+    for (std::size_t s = 0; s < thermal::server_thermal_model::socket_count(); ++s) {
+        leak += leakage_.share_at(thermal_.cpu_die_temp(s), 2);
+    }
+    out.leakage = leak;
+    out.fan = fans_.total_power();
+    return out;
+}
+
+void server_simulator::apply_airflow() {
+    std::vector<util::cfm_t> per_zone;
+    per_zone.reserve(fans_.pair_count());
+    for (std::size_t i = 0; i < fans_.pair_count(); ++i) {
+        per_zone.push_back(fans_.pair().airflow(fans_.speed(i)));
+    }
+    thermal_.set_zone_airflow(per_zone);
+}
+
+void server_simulator::set_load_imbalance(double fraction_socket0) {
+    util::ensure(fraction_socket0 >= 0.0 && fraction_socket0 <= 1.0,
+                 "server_simulator::set_load_imbalance: fraction out of [0, 1]");
+    imbalance_ = fraction_socket0;
+}
+
+double server_simulator::measured_socket_utilization(std::size_t socket,
+                                                     util::seconds_t window) const {
+    util::ensure(socket < thermal::server_thermal_model::socket_count(),
+                 "server_simulator::measured_socket_utilization: bad socket");
+    const double share = socket == 0 ? imbalance_ : 1.0 - imbalance_;
+    // System utilization counts both sockets; one socket carrying `share`
+    // of it runs at 2 * share of its own capacity.
+    return std::min(100.0, measured_utilization(window) * 2.0 * share);
+}
+
+void server_simulator::apply_heat(double u_inst) {
+    const double shares[2] = {imbalance_, 1.0 - imbalance_};
+    for (std::size_t s = 0; s < thermal::server_thermal_model::socket_count(); ++s) {
+        const util::watts_t die_heat =
+            util::watts_t{config_.cpu_idle_each_w} + active_.cpu(u_inst) * shares[s] +
+            leakage_.share_at(thermal_.cpu_die_temp(s), 2);
+        thermal_.set_cpu_heat(s, die_heat);
+    }
+    thermal_.set_dimm_heat(util::watts_t{config_.dimm_idle_total_w} + active_.memory(u_inst));
+    thermal_.set_other_heat(active_.other(u_inst));
+}
+
+void server_simulator::step(util::seconds_t dt) {
+    util::ensure(dt.value() > 0.0, "server_simulator::step: non-positive dt");
+    const double u_target = workload_ ? workload_->target_utilization(now()) : 0.0;
+    const double u_inst = workload_ ? workload_->instantaneous_utilization(now()) : 0.0;
+    apply_heat(u_inst);
+    thermal_.step(dt);
+    now_s_ += dt.value();
+    record(u_target, u_inst);
+    telemetry_.poll_due(now());
+}
+
+void server_simulator::advance(util::seconds_t duration, util::seconds_t dt) {
+    util::ensure(duration.value() >= 0.0, "server_simulator::advance: negative duration");
+    double remaining = duration.value();
+    while (remaining > 1e-9) {
+        const double h = std::min(remaining, dt.value());
+        step(util::seconds_t{h});
+        remaining -= h;
+    }
+}
+
+void server_simulator::force_cold_start() {
+    fans_.set_all(config_.cold_start_fan_rpm);
+    apply_airflow();
+    // Leakage depends on temperature, which depends on leakage; iterate
+    // the outer fixed point until the idle state is self-consistent.
+    for (int i = 0; i < 12; ++i) {
+        apply_heat(0.0);
+        thermal_.settle_to_steady_state();
+    }
+    now_s_ = 0.0;
+    fan_changes_ = 0;
+    clear_trace();
+    telemetry_.reset();
+    telemetry_.poll_now(now());
+}
+
+void server_simulator::settle_at(double u_pct) {
+    for (int i = 0; i < 12; ++i) {
+        apply_heat(u_pct);
+        thermal_.settle_to_steady_state();
+    }
+}
+
+util::watts_t server_simulator::idle_power(util::rpm_t fan_rpm) const {
+    // Build a scratch plant so a const query does not disturb the live one.
+    thermal::server_thermal_model scratch(config_.thermal);
+    power::fan_bank scratch_fans(config_.fan_pairs, config_.fan, fan_rpm);
+    std::vector<util::cfm_t> per_zone;
+    for (std::size_t i = 0; i < scratch_fans.pair_count(); ++i) {
+        per_zone.push_back(scratch_fans.pair().airflow(scratch_fans.speed(i)));
+    }
+    scratch.set_zone_airflow(per_zone);
+    for (int i = 0; i < 12; ++i) {
+        for (std::size_t s = 0; s < thermal::server_thermal_model::socket_count(); ++s) {
+            scratch.set_cpu_heat(s, util::watts_t{config_.cpu_idle_each_w} +
+                                        leakage_.share_at(scratch.cpu_die_temp(s), 2));
+        }
+        scratch.set_dimm_heat(util::watts_t{config_.dimm_idle_total_w});
+        scratch.set_other_heat(util::watts_t{0.0});
+        scratch.settle_to_steady_state();
+    }
+    util::watts_t leak{0.0};
+    for (std::size_t s = 0; s < thermal::server_thermal_model::socket_count(); ++s) {
+        leak += leakage_.share_at(scratch.cpu_die_temp(s), 2);
+    }
+    return util::watts_t{config_.base_power_w} + leak + scratch_fans.total_power();
+}
+
+void server_simulator::record(double u_target, double u_inst) {
+    const power::power_breakdown p = breakdown_at(u_inst);
+    trace_.target_util.push_back(now_s_, u_target);
+    trace_.instant_util.push_back(now_s_, u_inst);
+    trace_.cpu0_temp.push_back(now_s_, thermal_.cpu_die_temp(0).value());
+    trace_.cpu1_temp.push_back(now_s_, thermal_.cpu_die_temp(1).value());
+    trace_.avg_cpu_temp.push_back(now_s_, thermal_.average_cpu_temp().value());
+    double max_sensor = last_cpu_sensor_reads_.empty() ? thermal_.average_cpu_temp().value()
+                                                       : last_cpu_sensor_reads_[0];
+    for (double v : last_cpu_sensor_reads_) {
+        max_sensor = std::max(max_sensor, v);
+    }
+    trace_.max_sensor_temp.push_back(now_s_, max_sensor);
+    trace_.dimm_temp.push_back(now_s_, thermal_.dimm_temp().value());
+    trace_.total_power.push_back(now_s_, p.total().value());
+    trace_.fan_power.push_back(now_s_, p.fan.value());
+    trace_.leakage_power.push_back(now_s_, p.leakage.value());
+    trace_.active_power.push_back(now_s_, p.active.value());
+    trace_.avg_fan_rpm.push_back(now_s_, fans_.average_speed().value());
+}
+
+void server_simulator::clear_trace() { trace_ = simulation_trace{}; }
+
+}  // namespace ltsc::sim

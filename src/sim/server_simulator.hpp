@@ -1,0 +1,164 @@
+// The coupled server plant: workload -> power -> thermal -> telemetry.
+//
+// This class stands in for the paper's physical testbed.  Its *control
+// surface* is exactly what the paper's DLC-PC had: per-pair fan speed
+// commands (the Agilent supplies) and `sar`-style utilization polling.
+// Its *observation surface* is what CSTH reported: 4 CPU temperature
+// sensors, 32 DIMM sensors, and whole-system power.  Plant internals
+// (true die temperatures, exact power breakdown) are exposed separately
+// for analysis, clearly marked as ground truth the real controllers could
+// not see.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "power/fan_model.hpp"
+#include "power/leakage_model.hpp"
+#include "power/server_power_model.hpp"
+#include "sim/server_config.hpp"
+#include "telemetry/harness.hpp"
+#include "thermal/sensors.hpp"
+#include "thermal/server_thermal_model.hpp"
+#include "util/rng.hpp"
+#include "util/time_series.hpp"
+#include "workload/loadgen.hpp"
+
+namespace ltsc::sim {
+
+/// Everything the simulator records while stepping, at the simulation
+/// cadence (1 s by default).  All series share the simulation time base.
+struct simulation_trace {
+    util::time_series target_util;      ///< Commanded utilization [%].
+    util::time_series instant_util;     ///< PWM instantaneous utilization [%].
+    util::time_series cpu0_temp;        ///< True die temperature, socket 0 [degC].
+    util::time_series cpu1_temp;        ///< True die temperature, socket 1 [degC].
+    util::time_series avg_cpu_temp;     ///< Mean of the two dies [degC].
+    util::time_series max_sensor_temp;  ///< Max of the 4 CPU sensor readings [degC].
+    util::time_series dimm_temp;        ///< DIMM bank temperature [degC].
+    util::time_series total_power;      ///< System wall power [W].
+    util::time_series fan_power;        ///< Fan bank power [W].
+    util::time_series leakage_power;    ///< Leakage component [W].
+    util::time_series active_power;     ///< Active component [W].
+    util::time_series avg_fan_rpm;      ///< Mean commanded RPM.
+};
+
+/// Simulated enterprise server.
+class server_simulator {
+public:
+    /// Builds the plant from a configuration (validated on entry).
+    explicit server_simulator(const server_config& config = paper_server());
+
+    // Telemetry sources capture `this`; the plant is pinned in memory.
+    server_simulator(const server_simulator&) = delete;
+    server_simulator& operator=(const server_simulator&) = delete;
+    server_simulator(server_simulator&&) = delete;
+    server_simulator& operator=(server_simulator&&) = delete;
+
+    // --- workload binding -------------------------------------------------
+    /// Installs the workload; resets simulation time to 0.
+    void bind_workload(workload::loadgen generator);
+    /// Convenience: binds a profile with default LoadGen settings.
+    void bind_workload(const workload::utilization_profile& profile);
+
+    /// Skews how the CPU-bound load splits across the two sockets:
+    /// socket 0 receives `fraction_socket0` of the CPU heat (0.5 =
+    /// balanced, the paper's LoadGen default).  Utilization telemetry is
+    /// skewed to match.
+    void set_load_imbalance(double fraction_socket0);
+    [[nodiscard]] double load_imbalance() const { return imbalance_; }
+
+    /// Per-socket `sar` utilization: the socket's share of the measured
+    /// load expressed against one socket's capacity (can exceed the
+    /// system-level number under imbalance).
+    [[nodiscard]] double measured_socket_utilization(std::size_t socket,
+                                                     util::seconds_t window) const;
+
+    // --- control surface (what the DLC-PC could actuate/poll) -------------
+    /// Commands one fan pair; the plant clamps to the legal RPM range.
+    void set_fan_speed(std::size_t pair_index, util::rpm_t rpm);
+    /// Commands all pairs at once (counts as a single fan-speed change).
+    void set_all_fans(util::rpm_t rpm);
+    [[nodiscard]] util::rpm_t fan_speed(std::size_t pair_index) const;
+    [[nodiscard]] util::rpm_t average_fan_rpm() const;
+    /// Cumulative number of commands that actually changed a speed.
+    [[nodiscard]] std::size_t fan_change_count() const { return fan_changes_; }
+    /// Zeroes the fan-change counter (e.g. after applying a run's initial
+    /// speed, which Table I does not count as a controller action).
+    void reset_fan_change_counter() { fan_changes_ = 0; }
+
+    /// `sar`-style utilization: mean instantaneous utilization over the
+    /// trailing `window` (the DLC-PC polls this every second).
+    [[nodiscard]] double measured_utilization(util::seconds_t window) const;
+
+    // --- observation surface (what CSTH reported) --------------------------
+    /// Latest CPU sensor readings (4 values), from the last telemetry poll.
+    [[nodiscard]] std::vector<double> cpu_sensor_temps() const;
+    /// Maximum of the CPU sensor readings at the last telemetry poll.
+    [[nodiscard]] util::celsius_t max_cpu_sensor_temp() const;
+    /// Whole-system power as the power sensor reports it.
+    [[nodiscard]] util::watts_t system_power_reading() const;
+    /// The underlying telemetry harness (channel access, CSV export).
+    [[nodiscard]] const telemetry::harness& telemetry() const { return telemetry_; }
+
+    // --- ground truth (plant internals; not visible to real controllers) ---
+    [[nodiscard]] util::celsius_t true_cpu_temp(std::size_t socket) const;
+    [[nodiscard]] util::celsius_t true_avg_cpu_temp() const;
+    [[nodiscard]] util::celsius_t true_dimm_temp() const;
+    [[nodiscard]] power::power_breakdown current_power() const;
+
+    // --- time ---------------------------------------------------------------
+    /// Advances the plant by `dt` (default cadence 1 s).
+    void step(util::seconds_t dt = util::seconds_t{1.0});
+    /// Repeatedly steps until `duration` has elapsed.
+    void advance(util::seconds_t duration, util::seconds_t dt = util::seconds_t{1.0});
+    [[nodiscard]] util::seconds_t now() const { return util::seconds_t{now_s_}; }
+
+    /// Applies the paper's cold-start protocol: temperatures settle to the
+    /// idle steady state with fans at the cold-start speed; time rewinds
+    /// to 0 and the trace clears.
+    void force_cold_start();
+
+    /// Jumps the plant to the self-consistent steady state of a constant
+    /// utilization at the current fan speeds (characterization sweeps use
+    /// this instead of integrating long transients).  Does not touch the
+    /// trace or simulation time.
+    void settle_at(double u_pct);
+
+    /// Steady-state idle wall power at the given fan speed (the quantity
+    /// the paper subtracts to compute net savings).
+    [[nodiscard]] util::watts_t idle_power(util::rpm_t fan_rpm) const;
+
+    // --- recording -----------------------------------------------------------
+    [[nodiscard]] const simulation_trace& trace() const { return trace_; }
+    void clear_trace();
+
+    [[nodiscard]] const server_config& config() const { return config_; }
+
+private:
+    void apply_airflow();
+    void apply_heat(double u_inst);
+    [[nodiscard]] power::power_breakdown breakdown_at(double u_inst) const;
+    void record(double u_target, double u_inst);
+    void register_telemetry();
+
+    server_config config_;
+    util::pcg32 rng_;
+    power::fan_bank fans_;
+    power::leakage_model leakage_;
+    power::active_model active_;
+    thermal::server_thermal_model thermal_;
+    thermal::server_sensor_suite sensors_;
+    telemetry::harness telemetry_;
+    std::optional<workload::loadgen> workload_;
+
+    double now_s_ = 0.0;
+    double imbalance_ = 0.5;
+    std::size_t fan_changes_ = 0;
+    simulation_trace trace_;
+
+    // Cached latest sensor readings (refreshed at each telemetry poll).
+    std::vector<double> last_cpu_sensor_reads_;
+};
+
+}  // namespace ltsc::sim

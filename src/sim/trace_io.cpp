@@ -1,0 +1,55 @@
+#include "sim/trace_io.hpp"
+
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace ltsc::sim {
+
+std::vector<util::named_series> to_named_series(const simulation_trace& trace) {
+    return {
+        util::named_series{"target_util", "pct", trace.target_util},
+        util::named_series{"instant_util", "pct", trace.instant_util},
+        util::named_series{"cpu0_temp", "degC", trace.cpu0_temp},
+        util::named_series{"cpu1_temp", "degC", trace.cpu1_temp},
+        util::named_series{"avg_cpu_temp", "degC", trace.avg_cpu_temp},
+        util::named_series{"max_sensor_temp", "degC", trace.max_sensor_temp},
+        util::named_series{"dimm_temp", "degC", trace.dimm_temp},
+        util::named_series{"total_power", "W", trace.total_power},
+        util::named_series{"fan_power", "W", trace.fan_power},
+        util::named_series{"leakage_power", "W", trace.leakage_power},
+        util::named_series{"active_power", "W", trace.active_power},
+        util::named_series{"avg_fan_rpm", "RPM", trace.avg_fan_rpm},
+    };
+}
+
+void write_trace_csv(std::ostream& os, const simulation_trace& trace) {
+    util::write_series_csv(os, to_named_series(trace));
+}
+
+void write_trace_csv_wide(std::ostream& os, const simulation_trace& trace,
+                          double sample_period_s) {
+    util::ensure(sample_period_s > 0.0, "write_trace_csv_wide: non-positive period");
+    util::ensure(!trace.total_power.empty(), "write_trace_csv_wide: empty trace");
+    const auto series = to_named_series(trace);
+
+    util::csv_writer w(os);
+    std::vector<std::string> header{"time_s"};
+    for (const auto& s : series) {
+        header.push_back(s.name);
+    }
+    w.write_header(header);
+
+    const double t0 = trace.total_power.front().t;
+    const double t1 = trace.total_power.back().t;
+    for (double t = t0; t <= t1 + 1e-9; t += sample_period_s) {
+        std::vector<double> row{t};
+        for (const auto& s : series) {
+            row.push_back(s.data.empty() ? 0.0 : s.data.value_at(t));
+        }
+        w.write_row(row);
+    }
+}
+
+}  // namespace ltsc::sim

@@ -1,0 +1,28 @@
+// Export of simulation traces for offline analysis and plotting.
+//
+// Every figure in the paper is a plot over a recorded run; these helpers
+// turn a `simulation_trace` into named series / CSV so any external tool
+// can regenerate the plots from the bench binaries' data.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "sim/server_simulator.hpp"
+#include "util/time_series.hpp"
+
+namespace ltsc::sim {
+
+/// Flattens a trace into named, unit-tagged series (one per channel).
+[[nodiscard]] std::vector<util::named_series> to_named_series(const simulation_trace& trace);
+
+/// Writes the trace as long-format CSV (series, time_s, value, unit).
+void write_trace_csv(std::ostream& os, const simulation_trace& trace);
+
+/// Writes the trace as wide-format CSV: one row per sample time of the
+/// power series, one column per channel (values linearly interpolated
+/// onto that time base).  Easier to load into spreadsheets.
+void write_trace_csv_wide(std::ostream& os, const simulation_trace& trace,
+                          double sample_period_s = 10.0);
+
+}  // namespace ltsc::sim

@@ -1,0 +1,115 @@
+#include "telemetry/analytics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltsc::telemetry {
+
+ewma_filter::ewma_filter(double alpha) : alpha_(alpha) {
+    util::ensure(alpha > 0.0 && alpha <= 1.0, "ewma_filter: alpha out of (0, 1]");
+}
+
+double ewma_filter::update(double v) {
+    if (!value_.has_value()) {
+        value_ = v;
+    } else {
+        value_ = alpha_ * v + (1.0 - alpha_) * *value_;
+    }
+    return *value_;
+}
+
+void ewma_filter::reset() { value_.reset(); }
+
+rolling_window::rolling_window(double window_seconds) : window_(window_seconds) {
+    util::ensure(window_seconds > 0.0, "rolling_window: non-positive window");
+}
+
+void rolling_window::push(double t, double v) {
+    if (!samples_.empty()) {
+        util::ensure(t >= samples_.back().first, "rolling_window: non-monotonic time");
+    }
+    samples_.emplace_back(t, v);
+    sum_ += v;
+    evict(t);
+}
+
+void rolling_window::evict(double now) {
+    while (!samples_.empty() && samples_.front().first < now - window_) {
+        sum_ -= samples_.front().second;
+        samples_.pop_front();
+    }
+}
+
+double rolling_window::mean() const {
+    util::ensure(!samples_.empty(), "rolling_window::mean: empty window");
+    return sum_ / static_cast<double>(samples_.size());
+}
+
+double rolling_window::min() const {
+    util::ensure(!samples_.empty(), "rolling_window::min: empty window");
+    double best = samples_.front().second;
+    for (const auto& [t, v] : samples_) {
+        best = std::min(best, v);
+    }
+    return best;
+}
+
+double rolling_window::max() const {
+    util::ensure(!samples_.empty(), "rolling_window::max: empty window");
+    double best = samples_.front().second;
+    for (const auto& [t, v] : samples_) {
+        best = std::max(best, v);
+    }
+    return best;
+}
+
+threshold_alarm::threshold_alarm(double set_point, double clear_point)
+    : set_point_(set_point), clear_point_(clear_point) {
+    util::ensure(clear_point <= set_point, "threshold_alarm: clear point above set point");
+}
+
+bool threshold_alarm::update(double v) {
+    if (!active_ && v > set_point_) {
+        active_ = true;
+        ++trips_;
+    } else if (active_ && v < clear_point_) {
+        active_ = false;
+    }
+    return active_;
+}
+
+zscore_detector::zscore_detector(double alpha, double z_threshold, std::size_t warmup)
+    : level_(alpha), deviation_(alpha), z_(z_threshold), warmup_(warmup) {
+    util::ensure(z_threshold > 0.0, "zscore_detector: non-positive threshold");
+}
+
+bool zscore_detector::update(double v) {
+    ++seen_;
+    if (!level_.value().has_value()) {
+        level_.update(v);
+        deviation_.update(0.0);
+        return false;
+    }
+    const double residual = v - *level_.value();
+    if (seen_ <= warmup_) {
+        // Still learning the scale: train, never flag.
+        level_.update(v);
+        deviation_.update(std::fabs(residual));
+        return false;
+    }
+    const double scale = std::max(1e-9, deviation_.value().value_or(0.0));
+    const bool anomalous = std::fabs(residual) > z_ * scale;
+    if (anomalous) {
+        ++anomalies_;
+        // Anomalous samples do not update the baseline; this keeps a stuck
+        // or spiking sensor from dragging the estimate with it.
+        return true;
+    }
+    level_.update(v);
+    deviation_.update(std::fabs(residual));
+    return false;
+}
+
+}  // namespace ltsc::telemetry

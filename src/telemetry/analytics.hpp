@@ -1,0 +1,99 @@
+// Online signal analytics in the spirit of CSTH's prognostics layer.
+//
+// CSTH feeds its archived signals into similarity-based anomaly detection;
+// this module provides the streaming building blocks the reproduction
+// needs: EWMA smoothing, rolling-window statistics, hysteresis threshold
+// alarms, and a z-score residual detector that flags sensor readings far
+// from their smoothed estimate (used for failure-injection tests).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+namespace ltsc::telemetry {
+
+/// Exponentially weighted moving average.
+class ewma_filter {
+public:
+    /// `alpha` in (0, 1]: weight of the newest sample.
+    explicit ewma_filter(double alpha);
+
+    /// Feeds a sample; returns the updated estimate.
+    double update(double v);
+
+    /// Current estimate (std::nullopt before the first sample).
+    [[nodiscard]] std::optional<double> value() const { return value_; }
+
+    void reset();
+
+private:
+    double alpha_;
+    std::optional<double> value_;
+};
+
+/// Rolling time-window statistics over a scalar stream.
+class rolling_window {
+public:
+    /// Keeps samples no older than `window_seconds` behind the newest.
+    explicit rolling_window(double window_seconds);
+
+    void push(double t, double v);
+
+    [[nodiscard]] std::size_t size() const { return samples_.size(); }
+    [[nodiscard]] bool empty() const { return samples_.empty(); }
+    [[nodiscard]] double mean() const;
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+
+private:
+    void evict(double now);
+
+    double window_;
+    std::deque<std::pair<double, double>> samples_;
+    double sum_ = 0.0;
+};
+
+/// Two-threshold alarm with hysteresis: asserts when the signal rises
+/// above `set_point`, clears only when it falls below `clear_point`.
+class threshold_alarm {
+public:
+    threshold_alarm(double set_point, double clear_point);
+
+    /// Feeds a sample; returns the (possibly updated) alarm state.
+    bool update(double v);
+
+    [[nodiscard]] bool active() const { return active_; }
+    /// Number of rising edges seen so far.
+    [[nodiscard]] std::size_t trip_count() const { return trips_; }
+
+private:
+    double set_point_;
+    double clear_point_;
+    bool active_ = false;
+    std::size_t trips_ = 0;
+};
+
+/// Flags samples whose deviation from an EWMA estimate exceeds `z` times
+/// the EWMA of the absolute deviation (a robust streaming z-score).  The
+/// first `warmup` samples only train the baseline — the deviation scale
+/// needs a few samples before a z-score means anything.
+class zscore_detector {
+public:
+    zscore_detector(double alpha, double z_threshold, std::size_t warmup = 10);
+
+    /// Feeds a sample; returns true when the sample is anomalous.
+    bool update(double v);
+
+    [[nodiscard]] std::size_t anomaly_count() const { return anomalies_; }
+
+private:
+    ewma_filter level_;
+    ewma_filter deviation_;
+    double z_;
+    std::size_t warmup_;
+    std::size_t seen_ = 0;
+    std::size_t anomalies_ = 0;
+};
+
+}  // namespace ltsc::telemetry

@@ -1,0 +1,74 @@
+#include "telemetry/channel.hpp"
+
+#include "util/error.hpp"
+
+namespace ltsc::telemetry {
+
+sample_ring::sample_ring(std::size_t capacity) : buffer_(capacity) {
+    util::ensure(capacity >= 1, "sample_ring: zero capacity");
+}
+
+void sample_ring::push(double t, double v) {
+    buffer_[head_] = util::sample{t, v};
+    head_ = (head_ + 1) % buffer_.size();
+    if (size_ < buffer_.size()) {
+        ++size_;
+    }
+}
+
+void sample_ring::clear() {
+    head_ = 0;
+    size_ = 0;
+}
+
+util::sample sample_ring::recent(std::size_t i) const {
+    util::ensure(i < size_, "sample_ring::recent: index out of range");
+    const std::size_t pos = (head_ + buffer_.size() - 1 - i) % buffer_.size();
+    return buffer_[pos];
+}
+
+std::vector<util::sample> sample_ring::snapshot() const {
+    std::vector<util::sample> out;
+    out.reserve(size_);
+    for (std::size_t i = size_; i-- > 0;) {
+        out.push_back(recent(i));
+    }
+    return out;
+}
+
+channel::channel(std::string name, std::string unit, std::function<double()> source,
+                 std::size_t ring_capacity, bool record_history)
+    : name_(std::move(name)),
+      unit_(std::move(unit)),
+      source_(std::move(source)),
+      ring_(ring_capacity),
+      record_history_(record_history) {
+    util::ensure(static_cast<bool>(source_), "channel: null source");
+    util::ensure(!name_.empty(), "channel: empty name");
+}
+
+void channel::poll(double t) {
+    const double v = source_();
+    ring_.push(t, v);
+    if (record_history_) {
+        history_.push_back(t, v);
+    }
+}
+
+void channel::clear() {
+    ring_.clear();
+    history_ = util::time_series{};
+}
+
+std::optional<util::sample> channel::latest() const {
+    if (ring_.empty()) {
+        return std::nullopt;
+    }
+    return ring_.recent(0);
+}
+
+util::named_series channel::to_named_series() const {
+    return util::named_series{name_, unit_, history_};
+}
+
+}  // namespace ltsc::telemetry

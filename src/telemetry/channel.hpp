@@ -1,0 +1,84 @@
+// A telemetry channel: one named, unit-tagged sensor stream.
+//
+// Channels hold a bounded ring buffer of recent samples for runtime
+// consumers (controllers, alarms) and optionally a full history for
+// offline analysis and CSV export — mirroring how the Continuous System
+// Telemetry Harness [Gross et al., MFPT'06] archives signals.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/time_series.hpp"
+
+namespace ltsc::telemetry {
+
+/// Bounded ring buffer of (time, value) samples.
+class sample_ring {
+public:
+    /// Creates a ring holding up to `capacity` samples (>= 1).
+    explicit sample_ring(std::size_t capacity);
+
+    void push(double t, double v);
+
+    /// Discards all samples.
+    void clear();
+
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] std::size_t capacity() const { return buffer_.size(); }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+
+    /// i-th most recent sample (0 = newest).  Throws when out of range.
+    [[nodiscard]] util::sample recent(std::size_t i) const;
+
+    /// Oldest-to-newest copy of the buffered samples.
+    [[nodiscard]] std::vector<util::sample> snapshot() const;
+
+private:
+    std::vector<util::sample> buffer_;
+    std::size_t head_ = 0;  ///< Next write position.
+    std::size_t size_ = 0;
+};
+
+/// One registered telemetry signal.
+class channel {
+public:
+    /// `source` is sampled at poll time.  When `record_history` is set the
+    /// channel keeps every sample (for export), otherwise only the ring.
+    channel(std::string name, std::string unit, std::function<double()> source,
+            std::size_t ring_capacity = 512, bool record_history = true);
+
+    /// Samples the source at time `t` and stores the value.
+    void poll(double t);
+
+    /// Discards all stored samples (ring and history); the channel can
+    /// then record a fresh run starting from t = 0.
+    void clear();
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] const std::string& unit() const { return unit_; }
+
+    /// Most recent sample, if any.
+    [[nodiscard]] std::optional<util::sample> latest() const;
+
+    [[nodiscard]] const sample_ring& ring() const { return ring_; }
+
+    /// Full recorded history (empty when record_history was false).
+    [[nodiscard]] const util::time_series& history() const { return history_; }
+
+    /// Exports the history as a named series.
+    [[nodiscard]] util::named_series to_named_series() const;
+
+private:
+    std::string name_;
+    std::string unit_;
+    std::function<double()> source_;
+    sample_ring ring_;
+    bool record_history_;
+    util::time_series history_;
+};
+
+}  // namespace ltsc::telemetry

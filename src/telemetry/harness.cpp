@@ -1,0 +1,80 @@
+#include "telemetry/harness.hpp"
+
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace ltsc::telemetry {
+
+harness::harness(util::seconds_t period) : period_(period) {
+    util::ensure(period.value() > 0.0, "harness: non-positive polling period");
+}
+
+std::size_t harness::add_channel(std::string name, std::string unit,
+                                 std::function<double()> source, std::size_t ring_capacity,
+                                 bool record_history) {
+    for (const auto& ch : channels_) {
+        util::ensure(ch->name() != name, "harness::add_channel: duplicate channel name " + name);
+    }
+    channels_.push_back(std::make_unique<channel>(std::move(name), std::move(unit),
+                                                  std::move(source), ring_capacity, record_history));
+    return channels_.size() - 1;
+}
+
+bool harness::poll_due(util::seconds_t now) {
+    if (polled_once_ && now.value() - last_poll_ < period_.value() - 1e-9) {
+        return false;
+    }
+    poll_now(now);
+    return true;
+}
+
+void harness::poll_now(util::seconds_t now) {
+    for (const auto& ch : channels_) {
+        ch->poll(now.value());
+    }
+    last_poll_ = now.value();
+    polled_once_ = true;
+}
+
+void harness::reset() {
+    for (const auto& ch : channels_) {
+        ch->clear();
+    }
+    last_poll_ = -1.0;
+    polled_once_ = false;
+}
+
+const channel& harness::by_name(const std::string& name) const {
+    for (const auto& ch : channels_) {
+        if (ch->name() == name) {
+            return *ch;
+        }
+    }
+    throw util::precondition_error("harness::by_name: unknown channel " + name);
+}
+
+const channel& harness::by_index(std::size_t i) const {
+    util::ensure(i < channels_.size(), "harness::by_index: index out of range");
+    return *channels_[i];
+}
+
+double harness::latest(const std::string& name) const {
+    const auto sample = by_name(name).latest();
+    util::ensure(sample.has_value(), "harness::latest: channel never polled: " + name);
+    return sample->v;
+}
+
+std::vector<util::named_series> harness::export_series() const {
+    std::vector<util::named_series> out;
+    out.reserve(channels_.size());
+    for (const auto& ch : channels_) {
+        out.push_back(ch->to_named_series());
+    }
+    return out;
+}
+
+void harness::write_csv(std::ostream& os) const { util::write_series_csv(os, export_series()); }
+
+}  // namespace ltsc::telemetry

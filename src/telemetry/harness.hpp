@@ -1,0 +1,65 @@
+// Continuous System Telemetry Harness (CSTH) substrate.
+//
+// The paper polls CPU/DIMM temperatures, per-core voltage/current and
+// whole-system power through CSTH every 10 seconds.  This harness plays
+// that role for the simulated server: channels register a source lambda,
+// `poll_due(t)` samples every channel at the configured cadence, and the
+// recorded histories export to CSV for the figure benches.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/channel.hpp"
+#include "util/units.hpp"
+
+namespace ltsc::telemetry {
+
+/// Polling telemetry harness over a set of channels.
+class harness {
+public:
+    /// `period` is the sampling cadence (the paper uses 10 s).
+    explicit harness(util::seconds_t period = util::seconds_t{10.0});
+
+    /// Registers a channel; names must be unique.  Returns its index.
+    std::size_t add_channel(std::string name, std::string unit, std::function<double()> source,
+                            std::size_t ring_capacity = 512, bool record_history = true);
+
+    /// Samples all channels if at least one period elapsed since the last
+    /// poll (or if never polled).  Returns true when a poll happened.
+    bool poll_due(util::seconds_t now);
+
+    /// Unconditionally samples all channels at time `now`.
+    void poll_now(util::seconds_t now);
+
+    /// Clears every channel's stored samples and the poll clock, so the
+    /// harness can record a fresh run starting from t = 0.
+    void reset();
+
+    [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+    [[nodiscard]] util::seconds_t period() const { return period_; }
+
+    /// Channel lookup by name; throws when absent.
+    [[nodiscard]] const channel& by_name(const std::string& name) const;
+    [[nodiscard]] const channel& by_index(std::size_t i) const;
+
+    /// Latest value of a channel; throws when the channel is absent or has
+    /// never been polled.
+    [[nodiscard]] double latest(const std::string& name) const;
+
+    /// Exports every recorded history as named series.
+    [[nodiscard]] std::vector<util::named_series> export_series() const;
+
+    /// Writes all histories as long-format CSV.
+    void write_csv(std::ostream& os) const;
+
+private:
+    util::seconds_t period_;
+    double last_poll_ = -1.0;
+    bool polled_once_ = false;
+    std::vector<std::unique_ptr<channel>> channels_;
+};
+
+}  // namespace ltsc::telemetry

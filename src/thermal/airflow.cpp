@@ -1,0 +1,21 @@
+#include "thermal/airflow.hpp"
+
+#include "util/error.hpp"
+
+namespace ltsc::thermal {
+
+namespace {
+constexpr double m3s_per_cfm = 4.719474e-4;
+constexpr double rho_cp_air = 1180.0;  // J/(m^3 K) at ~35 degC
+}  // namespace
+
+double cfm_to_m3s(util::cfm_t q) { return q.value() * m3s_per_cfm; }
+
+double stream_capacity_w_per_k(util::cfm_t q) { return cfm_to_m3s(q) * rho_cp_air; }
+
+util::celsius_t stream_temperature_rise(util::watts_t heat, util::cfm_t q) {
+    util::ensure(q.value() > 0.0, "stream_temperature_rise: non-positive airflow");
+    return util::celsius_t{heat.value() / stream_capacity_w_per_k(q)};
+}
+
+}  // namespace ltsc::thermal

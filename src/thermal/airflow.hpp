@@ -1,0 +1,25 @@
+// Airflow bookkeeping: unit conversions and the thermal capacity of the
+// air stream moving through the chassis.
+//
+// The server's airflow path is front-to-back: fans -> DIMM field -> CPU
+// heatsinks -> exhaust.  Heat picked up by the air upstream raises the
+// effective inlet temperature of downstream components ("preheat"), which
+// is how a 350 W memory/CPU load couples DIMM and CPU temperatures.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace ltsc::thermal {
+
+/// Cubic feet per minute -> cubic metres per second.
+[[nodiscard]] double cfm_to_m3s(util::cfm_t q);
+
+/// Thermal capacity rate (mass flow times specific heat) of an air stream,
+/// in W/K.  Uses rho * cp of air at ~35 degC (1180 J/(m^3 K)).
+[[nodiscard]] double stream_capacity_w_per_k(util::cfm_t q);
+
+/// Temperature rise of an air stream that absorbs `heat` at flow `q`.
+/// Throws when the flow is non-positive.
+[[nodiscard]] util::celsius_t stream_temperature_rise(util::watts_t heat, util::cfm_t q);
+
+}  // namespace ltsc::thermal

@@ -1,0 +1,147 @@
+#include "thermal/rc_network.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltsc::thermal {
+
+rc_network::rc_network(util::celsius_t ambient) : ambient_(ambient.value()) {
+    util::ensure(std::isfinite(ambient_), "rc_network: non-finite ambient");
+}
+
+node_id rc_network::add_node(std::string name, double heat_capacity_j_per_k) {
+    util::ensure(heat_capacity_j_per_k > 0.0, "rc_network::add_node: non-positive heat capacity");
+    capacities_.push_back(heat_capacity_j_per_k);
+    temps_.push_back(ambient_);
+    powers_.push_back(0.0);
+    names_.push_back(std::move(name));
+    ++revision_;
+    return node_id{capacities_.size() - 1};
+}
+
+edge_id rc_network::add_edge(node_id a, node_id b, double conductance_w_per_k) {
+    util::ensure(a.index < capacities_.size() && b.index < capacities_.size(),
+                 "rc_network::add_edge: node out of range");
+    util::ensure(a.index != b.index, "rc_network::add_edge: self edge");
+    util::ensure(conductance_w_per_k >= 0.0, "rc_network::add_edge: negative conductance");
+    edges_.push_back(edge{a.index, b.index, false, conductance_w_per_k});
+    ++revision_;
+    return edge_id{edges_.size() - 1};
+}
+
+edge_id rc_network::add_ambient_edge(node_id n, double conductance_w_per_k) {
+    util::ensure(n.index < capacities_.size(), "rc_network::add_ambient_edge: node out of range");
+    util::ensure(conductance_w_per_k >= 0.0, "rc_network::add_ambient_edge: negative conductance");
+    edges_.push_back(edge{n.index, 0, true, conductance_w_per_k});
+    ++revision_;
+    return edge_id{edges_.size() - 1};
+}
+
+void rc_network::set_conductance(edge_id e, double conductance_w_per_k) {
+    util::ensure(e.index < edges_.size(), "rc_network::set_conductance: edge out of range");
+    util::ensure(conductance_w_per_k >= 0.0, "rc_network::set_conductance: negative conductance");
+    if (edges_[e.index].conductance != conductance_w_per_k) {
+        edges_[e.index].conductance = conductance_w_per_k;
+        ++revision_;
+    }
+}
+
+void rc_network::set_power(node_id n, util::watts_t power) {
+    util::ensure(n.index < powers_.size(), "rc_network::set_power: node out of range");
+    util::ensure(std::isfinite(power.value()), "rc_network::set_power: non-finite power");
+    powers_[n.index] = power.value();
+}
+
+void rc_network::set_ambient(util::celsius_t ambient) {
+    util::ensure(std::isfinite(ambient.value()), "rc_network::set_ambient: non-finite ambient");
+    ambient_ = ambient.value();
+}
+
+void rc_network::set_temperature(node_id n, util::celsius_t t) {
+    util::ensure(n.index < temps_.size(), "rc_network::set_temperature: node out of range");
+    util::ensure(std::isfinite(t.value()), "rc_network::set_temperature: non-finite temperature");
+    temps_[n.index] = t.value();
+}
+
+void rc_network::reset_temperatures() { reset_temperatures(util::celsius_t{ambient_}); }
+
+void rc_network::reset_temperatures(util::celsius_t t) {
+    for (double& temp : temps_) {
+        temp = t.value();
+    }
+}
+
+util::celsius_t rc_network::temperature(node_id n) const {
+    util::ensure(n.index < temps_.size(), "rc_network::temperature: node out of range");
+    return util::celsius_t{temps_[n.index]};
+}
+
+util::watts_t rc_network::power(node_id n) const {
+    util::ensure(n.index < powers_.size(), "rc_network::power: node out of range");
+    return util::watts_t{powers_[n.index]};
+}
+
+const std::string& rc_network::name(node_id n) const {
+    util::ensure(n.index < names_.size(), "rc_network::name: node out of range");
+    return names_[n.index];
+}
+
+double rc_network::heat_capacity(node_id n) const {
+    util::ensure(n.index < capacities_.size(), "rc_network::heat_capacity: node out of range");
+    return capacities_[n.index];
+}
+
+void rc_network::set_temperatures(const std::vector<double>& temps) {
+    util::ensure(temps.size() == temps_.size(), "rc_network::set_temperatures: size mismatch");
+    for (double t : temps) {
+        util::ensure(std::isfinite(t), "rc_network::set_temperatures: non-finite temperature");
+    }
+    temps_ = temps;
+}
+
+std::vector<double> rc_network::derivatives(const std::vector<double>& temps) const {
+    util::ensure(temps.size() == capacities_.size(), "rc_network::derivatives: size mismatch");
+    std::vector<double> flow(capacities_.size(), 0.0);
+    for (const edge& e : edges_) {
+        if (e.to_ambient) {
+            flow[e.a] += e.conductance * (ambient_ - temps[e.a]);
+        } else {
+            const double q = e.conductance * (temps[e.b] - temps[e.a]);
+            flow[e.a] += q;
+            flow[e.b] -= q;
+        }
+    }
+    for (std::size_t i = 0; i < flow.size(); ++i) {
+        flow[i] = (flow[i] + powers_[i]) / capacities_[i];
+    }
+    return flow;
+}
+
+util::matrix rc_network::conductance_matrix() const {
+    util::ensure(!capacities_.empty(), "rc_network::conductance_matrix: empty network");
+    util::matrix l(capacities_.size(), capacities_.size());
+    for (const edge& e : edges_) {
+        if (e.to_ambient) {
+            l(e.a, e.a) += e.conductance;
+        } else {
+            l(e.a, e.a) += e.conductance;
+            l(e.b, e.b) += e.conductance;
+            l(e.a, e.b) -= e.conductance;
+            l(e.b, e.a) -= e.conductance;
+        }
+    }
+    return l;
+}
+
+std::vector<double> rc_network::source_vector() const {
+    std::vector<double> rhs = powers_;
+    for (const edge& e : edges_) {
+        if (e.to_ambient) {
+            rhs[e.a] += e.conductance * ambient_;
+        }
+    }
+    return rhs;
+}
+
+}  // namespace ltsc::thermal

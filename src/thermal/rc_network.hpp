@@ -1,0 +1,110 @@
+// Lumped RC thermal network (HotSpot-style compact model).
+//
+// Nodes carry a heat capacity and a temperature state; edges carry thermal
+// conductance between nodes or from a node to the fixed-temperature ambient.
+// Power sources inject heat at nodes.  The network evolves by
+//
+//   C_i dT_i/dt = sum_j G_ij (T_j - T_i) + G_amb_i (T_amb - T_i) + P_i
+//
+// Conductances may vary at run time (fan-speed-dependent convection), which
+// is the mechanism behind the paper's fan-speed-dependent time constants.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/matrix.hpp"
+#include "util/units.hpp"
+
+namespace ltsc::thermal {
+
+/// Opaque node handle.
+struct node_id {
+    std::size_t index = 0;
+    friend bool operator==(node_id, node_id) = default;
+};
+
+/// Opaque edge handle (also used for node-to-ambient couplings).
+struct edge_id {
+    std::size_t index = 0;
+    friend bool operator==(edge_id, edge_id) = default;
+};
+
+/// Lumped thermal network with mutable conductances and power injections.
+class rc_network {
+public:
+    /// Creates an empty network with the given ambient temperature.
+    explicit rc_network(util::celsius_t ambient);
+
+    /// Adds a node with the given heat capacity [J/K] (> 0), initialized to
+    /// ambient temperature.  Returns its handle.
+    node_id add_node(std::string name, double heat_capacity_j_per_k);
+
+    /// Adds a conductive edge between two distinct nodes [W/K] (>= 0).
+    edge_id add_edge(node_id a, node_id b, double conductance_w_per_k);
+
+    /// Adds a coupling from a node to the ambient [W/K] (>= 0).
+    edge_id add_ambient_edge(node_id n, double conductance_w_per_k);
+
+    /// Updates an edge conductance (e.g. convection at a new fan speed).
+    void set_conductance(edge_id e, double conductance_w_per_k);
+
+    /// Sets the heat injected at a node [W]; may be negative (a sink).
+    void set_power(node_id n, util::watts_t power);
+
+    /// Changes the ambient temperature.
+    void set_ambient(util::celsius_t ambient);
+
+    /// Overwrites one node's temperature state.
+    void set_temperature(node_id n, util::celsius_t t);
+
+    /// Resets every node to the given temperature (defaults to ambient).
+    void reset_temperatures();
+    void reset_temperatures(util::celsius_t t);
+
+    [[nodiscard]] std::size_t node_count() const { return capacities_.size(); }
+    [[nodiscard]] util::celsius_t ambient() const { return util::celsius_t{ambient_}; }
+    [[nodiscard]] util::celsius_t temperature(node_id n) const;
+    [[nodiscard]] util::watts_t power(node_id n) const;
+    [[nodiscard]] const std::string& name(node_id n) const;
+    [[nodiscard]] double heat_capacity(node_id n) const;
+
+    /// All node temperatures in node order [degC].
+    [[nodiscard]] const std::vector<double>& temperatures() const { return temps_; }
+
+    /// Overwrites all node temperatures (size must match node_count()).
+    void set_temperatures(const std::vector<double>& temps);
+
+    /// Time derivatives dT/dt [K/s] at the given state vector.
+    [[nodiscard]] std::vector<double> derivatives(const std::vector<double>& temps) const;
+
+    /// Conductance (Laplacian + ambient) matrix L such that the heat-flow
+    /// balance is L * T = P + G_amb * T_amb at steady state.
+    [[nodiscard]] util::matrix conductance_matrix() const;
+
+    /// Right-hand side P + G_amb * T_amb of the steady-state system.
+    [[nodiscard]] std::vector<double> source_vector() const;
+
+    /// Monotonically increasing revision counter bumped whenever topology
+    /// or a conductance changes; solvers use it to invalidate caches.
+    [[nodiscard]] std::uint64_t structure_revision() const { return revision_; }
+
+private:
+    struct edge {
+        std::size_t a = 0;
+        std::size_t b = 0;       ///< Ignored for ambient edges.
+        bool to_ambient = false;
+        double conductance = 0.0;
+    };
+
+    double ambient_;
+    std::vector<double> capacities_;
+    std::vector<double> temps_;
+    std::vector<double> powers_;
+    std::vector<std::string> names_;
+    std::vector<edge> edges_;
+    std::uint64_t revision_ = 0;
+};
+
+}  // namespace ltsc::thermal

@@ -1,0 +1,64 @@
+// Machine-room cooling model (CRAC) — the facility-level context of the
+// paper's introduction, where server heat must be removed by room air
+// conditioning whose efficiency depends on the supply temperature.
+//
+// The chiller efficiency follows the widely used HP Labs water-chilled
+// CRAC characterization (Moore et al., "Making Scheduling 'Cool'",
+// USENIX'05):
+//
+//   COP(T_supply) = 0.0068 T^2 + 0.0008 T + 0.458     (T in degC)
+//
+// Raising the supply temperature improves the CRAC's COP but raises every
+// server's ambient — and with it, leakage and fan effort.  Combining this
+// model with the server simulator exposes exactly the facility-level
+// tradeoff the paper's leakage analysis feeds into.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace ltsc::thermal {
+
+/// Quadratic COP curve, COP(T) = a T^2 + b T + c.
+struct cop_curve {
+    double a = 0.0068;
+    double b = 0.0008;
+    double c = 0.458;
+
+    /// The HP Labs water-chilled CRAC characterization.
+    static cop_curve hp_labs() { return cop_curve{}; }
+};
+
+/// Facility power accounting for one CRAC-cooled machine room.
+struct facility_power {
+    util::watts_t it{0.0};       ///< IT equipment draw (= heat to remove).
+    util::watts_t cooling{0.0};  ///< CRAC compressor power.
+    util::watts_t total{0.0};    ///< IT + cooling.
+    double pue = 1.0;            ///< total / IT (cooling-only PUE).
+};
+
+/// Steady-state CRAC model.
+class crac_model {
+public:
+    crac_model() : crac_model(cop_curve::hp_labs()) {}
+    explicit crac_model(const cop_curve& curve);
+
+    /// Coefficient of performance at the given supply temperature.  Throws
+    /// when the curve evaluates non-positive (physically meaningless).
+    [[nodiscard]] double cop(util::celsius_t supply) const;
+
+    /// Compressor power needed to remove `it_heat` at the given supply
+    /// temperature: P_cool = Q / COP(T).
+    [[nodiscard]] util::watts_t cooling_power(util::watts_t it_heat,
+                                              util::celsius_t supply) const;
+
+    /// Full accounting for a room drawing `it_power` with supply at
+    /// `supply` (all IT power becomes heat).
+    [[nodiscard]] facility_power facility(util::watts_t it_power, util::celsius_t supply) const;
+
+    [[nodiscard]] const cop_curve& curve() const { return curve_; }
+
+private:
+    cop_curve curve_;
+};
+
+}  // namespace ltsc::thermal

@@ -1,0 +1,191 @@
+#include "thermal/server_thermal_model.hpp"
+
+#include <cmath>
+
+#include "thermal/airflow.hpp"
+#include "thermal/steady_state.hpp"
+#include "util/error.hpp"
+
+namespace ltsc::thermal {
+
+server_thermal_model::server_thermal_model(const server_thermal_config& config,
+                                           integration_scheme scheme)
+    : config_(config), net_(util::celsius_t{config.ambient_c}), solver_(scheme) {
+    util::ensure(config.fan_zones >= 1, "server_thermal_model: need at least one fan zone");
+    util::ensure(config.r_junction_sink > 0.0, "server_thermal_model: bad junction resistance");
+    util::ensure(config.zone_mixing >= 0.0 && config.zone_mixing <= 1.0,
+                 "server_thermal_model: zone_mixing out of [0, 1]");
+    util::ensure(config.ref_airflow_cfm > 0.0, "server_thermal_model: bad reference airflow");
+
+    for (std::size_t s = 0; s < socket_count(); ++s) {
+        die_[s] = net_.add_node("cpu" + std::to_string(s) + "_die", config.c_die);
+        sink_[s] = net_.add_node("cpu" + std::to_string(s) + "_sink", config.c_sink);
+        die_sink_edge_[s] = net_.add_edge(die_[s], sink_[s], 1.0 / config.r_junction_sink);
+        sink_amb_edge_[s] = net_.add_ambient_edge(sink_[s], config.g_sink_ref);
+    }
+    dimm_ = net_.add_node("dimm_bank", config.c_dimm);
+    dimm_amb_edge_ = net_.add_ambient_edge(dimm_, config.g_dimm_ref);
+
+    // Until told otherwise, assume the reference airflow split evenly.
+    zone_airflow_cfm_.assign(config.fan_zones, config.ref_airflow_cfm / config.fan_zones);
+    update_conductances();
+    update_preheat();
+}
+
+double server_thermal_model::total_airflow_cfm() const {
+    double acc = 0.0;
+    for (double q : zone_airflow_cfm_) {
+        acc += q;
+    }
+    return acc;
+}
+
+double server_thermal_model::effective_airflow_cfm(std::size_t component_zone) const {
+    // A component in zone z sees mostly its own zone's flow plus a mixed
+    // share of the whole plenum.  With equal zone flows this reduces to the
+    // total airflow, which is what the calibration anchors use.
+    const double total = total_airflow_cfm();
+    const double zones = static_cast<double>(zone_airflow_cfm_.size());
+    if (component_zone >= zone_airflow_cfm_.size()) {
+        return total;
+    }
+    const double own = zone_airflow_cfm_[component_zone] * zones;
+    return (1.0 - config_.zone_mixing) * own + config_.zone_mixing * total;
+}
+
+void server_thermal_model::update_conductances() {
+    const double q_ref = config_.ref_airflow_cfm;
+    for (std::size_t s = 0; s < socket_count(); ++s) {
+        const double q = effective_airflow_cfm(s);
+        const double scale = std::pow(q / q_ref, config_.airflow_exponent);
+        net_.set_conductance(sink_amb_edge_[s], config_.g_sink_ref * scale);
+    }
+    const double q_dimm = total_airflow_cfm();
+    const double scale = std::pow(q_dimm / q_ref, config_.airflow_exponent);
+    net_.set_conductance(dimm_amb_edge_, config_.g_dimm_ref * scale);
+}
+
+void server_thermal_model::update_preheat() {
+    // Heat the air picks up from the DIMM field raises the effective inlet
+    // temperature of the CPU heatsinks.  An edge to ambient at conductance
+    // G with inlet offset dT is equivalent to the plain ambient edge plus a
+    // power injection of G * dT at the node.
+    const double q_total = total_airflow_cfm();
+    double preheat_c = 0.0;
+    if (q_total > 0.0) {
+        const double dimm_to_air =
+            net_.conductance_matrix()(dimm_.index, dimm_.index) *
+            (net_.temperature(dimm_).value() - net_.ambient().value());
+        const double picked_up = std::max(0.0, dimm_to_air);
+        preheat_c = picked_up / stream_capacity_w_per_k(util::cfm_t{q_total});
+    }
+    for (std::size_t s = 0; s < socket_count(); ++s) {
+        const double g = config_.g_sink_ref *
+                         std::pow(effective_airflow_cfm(s) / config_.ref_airflow_cfm,
+                                  config_.airflow_exponent);
+        net_.set_power(sink_[s], util::watts_t{g * preheat_c});
+        net_.set_power(die_[s], util::watts_t{cpu_heat_w_[s]});
+    }
+    net_.set_power(dimm_, util::watts_t{dimm_heat_w_});
+}
+
+void server_thermal_model::set_zone_airflow(const std::vector<util::cfm_t>& per_zone) {
+    util::ensure(per_zone.size() == zone_airflow_cfm_.size(),
+                 "server_thermal_model::set_zone_airflow: zone count mismatch");
+    for (std::size_t i = 0; i < per_zone.size(); ++i) {
+        util::ensure(per_zone[i].value() >= 0.0,
+                     "server_thermal_model::set_zone_airflow: negative airflow");
+        zone_airflow_cfm_[i] = per_zone[i].value();
+    }
+    util::ensure(total_airflow_cfm() > 0.0,
+                 "server_thermal_model::set_zone_airflow: zero total airflow");
+    update_conductances();
+}
+
+void server_thermal_model::set_cpu_heat(std::size_t s, util::watts_t w) {
+    util::ensure(s < socket_count(), "server_thermal_model::set_cpu_heat: bad socket");
+    util::ensure(w.value() >= 0.0, "server_thermal_model::set_cpu_heat: negative heat");
+    cpu_heat_w_[s] = w.value();
+}
+
+void server_thermal_model::set_dimm_heat(util::watts_t w) {
+    util::ensure(w.value() >= 0.0, "server_thermal_model::set_dimm_heat: negative heat");
+    dimm_heat_w_ = w.value();
+}
+
+void server_thermal_model::set_other_heat(util::watts_t w) {
+    util::ensure(w.value() >= 0.0, "server_thermal_model::set_other_heat: negative heat");
+    other_heat_w_ = w.value();
+}
+
+void server_thermal_model::set_ambient(util::celsius_t t) { net_.set_ambient(t); }
+
+void server_thermal_model::step(util::seconds_t dt) {
+    update_preheat();
+    solver_.step(net_, dt);
+}
+
+void server_thermal_model::settle_to_steady_state() {
+    // Preheat depends on the DIMM temperature, which the steady solve
+    // changes; iterate the (fast-converging) fixed point a few times.
+    for (int i = 0; i < 8; ++i) {
+        update_preheat();
+        settle(net_);
+    }
+}
+
+void server_thermal_model::reset() {
+    net_.reset_temperatures();
+    update_preheat();
+}
+
+util::celsius_t server_thermal_model::cpu_die_temp(std::size_t s) const {
+    util::ensure(s < socket_count(), "server_thermal_model::cpu_die_temp: bad socket");
+    return net_.temperature(die_[s]);
+}
+
+util::celsius_t server_thermal_model::cpu_sink_temp(std::size_t s) const {
+    util::ensure(s < socket_count(), "server_thermal_model::cpu_sink_temp: bad socket");
+    return net_.temperature(sink_[s]);
+}
+
+util::celsius_t server_thermal_model::dimm_temp() const { return net_.temperature(dimm_); }
+
+util::celsius_t server_thermal_model::average_cpu_temp() const {
+    return util::celsius_t{0.5 * (cpu_die_temp(0).value() + cpu_die_temp(1).value())};
+}
+
+util::celsius_t server_thermal_model::cpu_inlet_temp() const {
+    const double q_total = total_airflow_cfm();
+    if (q_total <= 0.0) {
+        return net_.ambient();
+    }
+    const double dimm_to_air = config_.g_dimm_ref *
+                               std::pow(q_total / config_.ref_airflow_cfm, config_.airflow_exponent) *
+                               std::max(0.0, dimm_temp().value() - net_.ambient().value());
+    return util::celsius_t{net_.ambient().value() +
+                           dimm_to_air / stream_capacity_w_per_k(util::cfm_t{q_total})};
+}
+
+util::celsius_t server_thermal_model::exhaust_temp() const {
+    const double q_total = total_airflow_cfm();
+    if (q_total <= 0.0) {
+        return net_.ambient();
+    }
+    // All heat convected off the monitored components plus the downstream
+    // "other" dissipation ends up in the exhaust stream.
+    double into_air = other_heat_w_;
+    into_air += config_.g_dimm_ref *
+                std::pow(q_total / config_.ref_airflow_cfm, config_.airflow_exponent) *
+                std::max(0.0, dimm_temp().value() - net_.ambient().value());
+    for (std::size_t s = 0; s < socket_count(); ++s) {
+        const double g = config_.g_sink_ref *
+                         std::pow(effective_airflow_cfm(s) / config_.ref_airflow_cfm,
+                                  config_.airflow_exponent);
+        into_air += g * std::max(0.0, cpu_sink_temp(s).value() - cpu_inlet_temp().value());
+    }
+    return util::celsius_t{net_.ambient().value() +
+                           into_air / stream_capacity_w_per_k(util::cfm_t{q_total})};
+}
+
+}  // namespace ltsc::thermal

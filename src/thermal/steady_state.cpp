@@ -1,0 +1,13 @@
+#include "thermal/steady_state.hpp"
+
+#include "util/matrix.hpp"
+
+namespace ltsc::thermal {
+
+std::vector<double> steady_state(const rc_network& net) {
+    return util::solve(net.conductance_matrix(), net.source_vector());
+}
+
+void settle(rc_network& net) { net.set_temperatures(steady_state(net)); }
+
+}  // namespace ltsc::thermal

@@ -1,0 +1,23 @@
+// Steady-state solution of an rc_network.
+//
+// Solves L * T = P + G_amb * T_amb directly; used by the characterization
+// pipeline to sweep fan speeds without integrating transients, and by tests
+// as the ground truth the transient solvers must converge to.
+#pragma once
+
+#include <vector>
+
+#include "thermal/rc_network.hpp"
+
+namespace ltsc::thermal {
+
+/// Returns the steady-state temperatures for the network's current
+/// conductances and power injections, without modifying its state.
+/// Throws numeric_error when a node is isolated from the ambient (the
+/// steady system is singular in that case).
+[[nodiscard]] std::vector<double> steady_state(const rc_network& net);
+
+/// Solves the steady state and writes it into the network's state.
+void settle(rc_network& net);
+
+}  // namespace ltsc::thermal

@@ -1,0 +1,119 @@
+#include "thermal/transient_solver.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltsc::thermal {
+
+transient_solver::transient_solver(integration_scheme scheme) : scheme_(scheme) {}
+
+double transient_solver::stable_explicit_step(const rc_network& net) {
+    const util::matrix l = net.conductance_matrix();
+    double min_ratio = 1e30;
+    for (std::size_t i = 0; i < net.node_count(); ++i) {
+        const double g = l(i, i);
+        if (g > 0.0) {
+            min_ratio = std::min(min_ratio, net.heat_capacity(node_id{i}) / g);
+        }
+    }
+    // Forward Euler on dT/dt = -T/tau is stable for dt < 2*tau; keep a
+    // 10 % safety margin.
+    return 0.9 * 2.0 * min_ratio;
+}
+
+void transient_solver::step(rc_network& net, util::seconds_t dt) {
+    util::ensure(dt.value() > 0.0, "transient_solver::step: non-positive dt");
+    switch (scheme_) {
+        case integration_scheme::explicit_euler:
+            step_explicit(net, dt.value());
+            break;
+        case integration_scheme::rk4:
+            step_rk4(net, dt.value());
+            break;
+        case integration_scheme::implicit_euler:
+            step_implicit(net, dt.value());
+            break;
+    }
+    for (double t : net.temperatures()) {
+        util::ensure_numeric(std::isfinite(t), "transient_solver::step: non-finite temperature");
+    }
+}
+
+void transient_solver::advance(rc_network& net, util::seconds_t duration, util::seconds_t max_dt) {
+    util::ensure(duration.value() >= 0.0, "transient_solver::advance: negative duration");
+    util::ensure(max_dt.value() > 0.0, "transient_solver::advance: non-positive max_dt");
+    double remaining = duration.value();
+    while (remaining > 1e-12) {
+        const double dt = std::min(remaining, max_dt.value());
+        step(net, util::seconds_t{dt});
+        remaining -= dt;
+    }
+}
+
+void transient_solver::step_explicit(rc_network& net, double dt) {
+    const double stable = stable_explicit_step(net);
+    const int substeps = std::max(1, static_cast<int>(std::ceil(dt / stable)));
+    const double h = dt / substeps;
+    std::vector<double> temps = net.temperatures();
+    for (int s = 0; s < substeps; ++s) {
+        const std::vector<double> dTdt = net.derivatives(temps);
+        for (std::size_t i = 0; i < temps.size(); ++i) {
+            temps[i] += h * dTdt[i];
+        }
+    }
+    net.set_temperatures(temps);
+}
+
+void transient_solver::step_rk4(rc_network& net, double dt) {
+    // Sub-step so the explicit scheme stays inside its stability region
+    // even for stiff networks (RK4's real-axis stability limit is ~2.78
+    // times Euler's; reusing the Euler bound is conservative).
+    const double stable = stable_explicit_step(net);
+    const int substeps = std::max(1, static_cast<int>(std::ceil(dt / stable)));
+    const double h = dt / substeps;
+    std::vector<double> t0 = net.temperatures();
+    const std::size_t n = t0.size();
+    std::vector<double> tmp(n);
+    for (int s = 0; s < substeps; ++s) {
+        const std::vector<double> k1 = net.derivatives(t0);
+        for (std::size_t i = 0; i < n; ++i) {
+            tmp[i] = t0[i] + 0.5 * h * k1[i];
+        }
+        const std::vector<double> k2 = net.derivatives(tmp);
+        for (std::size_t i = 0; i < n; ++i) {
+            tmp[i] = t0[i] + 0.5 * h * k2[i];
+        }
+        const std::vector<double> k3 = net.derivatives(tmp);
+        for (std::size_t i = 0; i < n; ++i) {
+            tmp[i] = t0[i] + h * k3[i];
+        }
+        const std::vector<double> k4 = net.derivatives(tmp);
+        for (std::size_t i = 0; i < n; ++i) {
+            t0[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+    }
+    net.set_temperatures(t0);
+}
+
+void transient_solver::step_implicit(rc_network& net, double dt) {
+    // (C/dt + L) T_new = C/dt * T_old + P + G_amb * T_amb
+    const std::size_t n = net.node_count();
+    if (!cache_.lu || cache_.revision != net.structure_revision() || cache_.dt != dt) {
+        util::matrix a = net.conductance_matrix();
+        for (std::size_t i = 0; i < n; ++i) {
+            a(i, i) += net.heat_capacity(node_id{i}) / dt;
+        }
+        cache_.lu = std::make_unique<util::lu_decomposition>(a);
+        cache_.revision = net.structure_revision();
+        cache_.dt = dt;
+    }
+    std::vector<double> rhs = net.source_vector();
+    const std::vector<double>& temps = net.temperatures();
+    for (std::size_t i = 0; i < n; ++i) {
+        rhs[i] += net.heat_capacity(node_id{i}) / dt * temps[i];
+    }
+    net.set_temperatures(cache_.lu->solve(rhs));
+}
+
+}  // namespace ltsc::thermal

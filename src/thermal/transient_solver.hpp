@@ -1,0 +1,78 @@
+// Transient integration of an rc_network.
+//
+// Three schemes are provided:
+//  - explicit Euler with automatic sub-stepping (robust default for the
+//    second-scale steps the simulator takes),
+//  - classic RK4 (higher accuracy at the same step),
+//  - backward Euler (unconditionally stable; refactors its LU only when the
+//    network structure changes, e.g. on a fan-speed update).
+//
+// The fan-speed-dependent thermal time constants in Fig. 1(a) of the paper
+// emerge from integrating the network as convective conductances change.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "thermal/rc_network.hpp"
+#include "util/matrix.hpp"
+
+namespace ltsc::thermal {
+
+/// Integration scheme selector.
+enum class integration_scheme {
+    explicit_euler,  ///< Sub-stepped forward Euler.
+    rk4,             ///< Classic 4th-order Runge-Kutta.
+    implicit_euler,  ///< Backward Euler with cached LU factorization.
+};
+
+/// Advances an rc_network in time.  The solver does not own the network.
+class transient_solver {
+public:
+    /// Creates a solver using the given scheme.
+    explicit transient_solver(integration_scheme scheme = integration_scheme::rk4);
+
+    // Copying a solver copies only the scheme; the cached factorization is
+    // rebuilt lazily (it is keyed to a specific network's revision).
+    transient_solver(const transient_solver& other) : scheme_(other.scheme_) {}
+    transient_solver& operator=(const transient_solver& other) {
+        scheme_ = other.scheme_;
+        cache_ = implicit_cache{};
+        return *this;
+    }
+    transient_solver(transient_solver&&) = default;
+    transient_solver& operator=(transient_solver&&) = default;
+    ~transient_solver() = default;
+
+    /// Advances `net` by `dt` seconds and writes the new state back into
+    /// the network.  Throws when dt <= 0 or the state becomes non-finite.
+    void step(rc_network& net, util::seconds_t dt);
+
+    /// Advances by repeated steps of at most `max_dt` until `duration`
+    /// has elapsed.
+    void advance(rc_network& net, util::seconds_t duration, util::seconds_t max_dt);
+
+    [[nodiscard]] integration_scheme scheme() const { return scheme_; }
+
+    /// Largest explicit step that keeps forward Euler stable for the
+    /// network's current conductances (0.9 * 2 * min_i C_i / L_ii).
+    [[nodiscard]] static double stable_explicit_step(const rc_network& net);
+
+private:
+    void step_explicit(rc_network& net, double dt);
+    void step_rk4(rc_network& net, double dt);
+    void step_implicit(rc_network& net, double dt);
+
+    integration_scheme scheme_;
+
+    // Cached backward-Euler factorization, invalidated when the network's
+    // structure revision or the step size changes.
+    struct implicit_cache {
+        std::uint64_t revision = 0;
+        double dt = 0.0;
+        std::unique_ptr<util::lu_decomposition> lu;
+    };
+    implicit_cache cache_;
+};
+
+}  // namespace ltsc::thermal

@@ -1,0 +1,57 @@
+// Minimal CSV reading/writing for trace export and benchmark output.
+//
+// The benchmark harnesses dump every figure's series as CSV so the plots
+// can be regenerated with any plotting tool; the reader exists mainly so
+// tests can round-trip what the writer produced.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/time_series.hpp"
+
+namespace ltsc::util {
+
+/// Streaming CSV writer.  Quotes cells containing separators/quotes per
+/// RFC 4180; numeric cells are written with enough digits to round-trip.
+class csv_writer {
+public:
+    /// Wraps an output stream; the stream must outlive the writer.
+    explicit csv_writer(std::ostream& os);
+
+    /// Writes a header row of column names.
+    void write_header(const std::vector<std::string>& columns);
+
+    /// Writes a row of string cells.
+    void write_row(const std::vector<std::string>& cells);
+
+    /// Writes a row of numeric cells.
+    void write_row(const std::vector<double>& cells);
+
+    /// Number of rows written so far (header included).
+    [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+private:
+    std::ostream& os_;
+    std::size_t rows_ = 0;
+};
+
+/// Parsed CSV document: a header plus rows of string cells.
+struct csv_document {
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text (first row treated as header).  Handles quoted cells and
+/// embedded separators; throws on unterminated quotes.
+[[nodiscard]] csv_document parse_csv(const std::string& text);
+
+/// Writes a set of named series that share no time base as long-format CSV
+/// with columns: series, time_s, value, unit.
+void write_series_csv(std::ostream& os, const std::vector<named_series>& series);
+
+/// Formats a double with round-trip precision, trimming trailing zeros.
+[[nodiscard]] std::string format_number(double v);
+
+}  // namespace ltsc::util

@@ -1,0 +1,40 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace ltsc::util {
+
+namespace {
+
+std::atomic<log_level> g_level{log_level::warn};
+std::mutex g_mutex;
+
+}  // namespace
+
+void set_log_level(log_level level) { g_level.store(level, std::memory_order_relaxed); }
+
+log_level get_log_level() { return g_level.load(std::memory_order_relaxed); }
+
+const char* to_string(log_level level) {
+    switch (level) {
+        case log_level::trace: return "trace";
+        case log_level::debug: return "debug";
+        case log_level::info: return "info";
+        case log_level::warn: return "warn";
+        case log_level::error: return "error";
+        case log_level::off: return "off";
+    }
+    return "?";
+}
+
+void log(log_level level, const std::string& message) {
+    if (level < g_level.load(std::memory_order_relaxed) || message.empty()) {
+        return;
+    }
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    std::cerr << "[ltsc:" << to_string(level) << "] " << message << '\n';
+}
+
+}  // namespace ltsc::util

@@ -1,0 +1,53 @@
+// Leveled logging with a process-global threshold.
+//
+// Benchmarks run with logging at `warn` so their stdout stays parseable;
+// examples raise it to `info` to narrate what the pipeline does.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ltsc::util {
+
+/// Log severity, ordered.
+enum class log_level { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+/// Sets the process-global logging threshold.
+void set_log_level(log_level level);
+
+/// Current process-global logging threshold.
+[[nodiscard]] log_level get_log_level();
+
+/// Human-readable name of a level ("info", "warn", ...).
+[[nodiscard]] const char* to_string(log_level level);
+
+/// Emits `message` to stderr when `level` passes the global threshold.
+void log(log_level level, const std::string& message);
+
+/// Composable log statement: log_info() << "x = " << x; emits on
+/// destruction when the level passes the threshold.
+class log_stream {
+public:
+    explicit log_stream(log_level level) : level_(level) {}
+    log_stream(const log_stream&) = delete;
+    log_stream& operator=(const log_stream&) = delete;
+    ~log_stream() { log(level_, buf_.str()); }
+
+    template <class T>
+    log_stream& operator<<(const T& v) {
+        buf_ << v;
+        return *this;
+    }
+
+private:
+    log_level level_;
+    std::ostringstream buf_;
+};
+
+inline log_stream log_trace() { return log_stream(log_level::trace); }
+inline log_stream log_debug() { return log_stream(log_level::debug); }
+inline log_stream log_info() { return log_stream(log_level::info); }
+inline log_stream log_warn() { return log_stream(log_level::warn); }
+inline log_stream log_error() { return log_stream(log_level::error); }
+
+}  // namespace ltsc::util

@@ -1,0 +1,178 @@
+#include "util/matrix.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltsc::util {
+
+matrix::matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    ensure(rows > 0 && cols > 0, "matrix: zero-sized dimension");
+}
+
+matrix matrix::identity(std::size_t n) {
+    matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m(i, i) = 1.0;
+    }
+    return m;
+}
+
+double& matrix::operator()(std::size_t r, std::size_t c) {
+    ensure(r < rows_ && c < cols_, "matrix: index out of range");
+    return data_[r * cols_ + c];
+}
+
+double matrix::operator()(std::size_t r, std::size_t c) const {
+    ensure(r < rows_ && c < cols_, "matrix: index out of range");
+    return data_[r * cols_ + c];
+}
+
+matrix matrix::operator+(const matrix& rhs) const {
+    ensure(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix+: dimension mismatch");
+    matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        out.data_[i] = data_[i] + rhs.data_[i];
+    }
+    return out;
+}
+
+matrix matrix::operator-(const matrix& rhs) const {
+    ensure(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix-: dimension mismatch");
+    matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        out.data_[i] = data_[i] - rhs.data_[i];
+    }
+    return out;
+}
+
+matrix matrix::operator*(const matrix& rhs) const {
+    ensure(cols_ == rhs.rows_, "matrix*: inner dimension mismatch");
+    matrix out(rows_, rhs.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = data_[r * cols_ + k];
+            if (a == 0.0) {
+                continue;
+            }
+            for (std::size_t c = 0; c < rhs.cols_; ++c) {
+                out.data_[r * rhs.cols_ + c] += a * rhs.data_[k * rhs.cols_ + c];
+            }
+        }
+    }
+    return out;
+}
+
+matrix matrix::operator*(double s) const {
+    matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        out.data_[i] = data_[i] * s;
+    }
+    return out;
+}
+
+std::vector<double> matrix::operator*(const std::vector<double>& v) const {
+    ensure(v.size() == cols_, "matrix*vector: dimension mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c) {
+            acc += data_[r * cols_ + c] * v[c];
+        }
+        out[r] = acc;
+    }
+    return out;
+}
+
+matrix matrix::transposed() const {
+    matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+            out(c, r) = (*this)(r, c);
+        }
+    }
+    return out;
+}
+
+double matrix::max_abs() const {
+    double best = 0.0;
+    for (double v : data_) {
+        best = std::max(best, std::fabs(v));
+    }
+    return best;
+}
+
+lu_decomposition::lu_decomposition(const matrix& a) : lu_(a), perm_(a.rows()) {
+    ensure(a.rows() == a.cols(), "lu_decomposition: matrix not square");
+    const std::size_t n = a.rows();
+    for (std::size_t i = 0; i < n; ++i) {
+        perm_[i] = i;
+    }
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting: bring the largest remaining entry to the diagonal.
+        std::size_t pivot = col;
+        double best = std::fabs(lu_(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::fabs(lu_(r, col)) > best) {
+                best = std::fabs(lu_(r, col));
+                pivot = r;
+            }
+        }
+        ensure_numeric(best > 1e-14, "lu_decomposition: singular matrix");
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c) {
+                std::swap(lu_(pivot, c), lu_(col, c));
+            }
+            std::swap(perm_[pivot], perm_[col]);
+            sign_ = -sign_;
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = lu_(r, col) / lu_(col, col);
+            lu_(r, col) = f;
+            for (std::size_t c = col + 1; c < n; ++c) {
+                lu_(r, c) -= f * lu_(col, c);
+            }
+        }
+    }
+}
+
+std::vector<double> lu_decomposition::solve(const std::vector<double>& b) const {
+    const std::size_t n = lu_.rows();
+    ensure(b.size() == n, "lu_decomposition::solve: dimension mismatch");
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = b[perm_[i]];
+    }
+    // Forward substitution (L has unit diagonal).
+    for (std::size_t i = 1; i < n; ++i) {
+        double acc = x[i];
+        for (std::size_t j = 0; j < i; ++j) {
+            acc -= lu_(i, j) * x[j];
+        }
+        x[i] = acc;
+    }
+    // Backward substitution.
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = x[ii];
+        for (std::size_t j = ii + 1; j < n; ++j) {
+            acc -= lu_(ii, j) * x[j];
+        }
+        x[ii] = acc / lu_(ii, ii);
+    }
+    return x;
+}
+
+double lu_decomposition::determinant() const {
+    double det = static_cast<double>(sign_);
+    for (std::size_t i = 0; i < lu_.rows(); ++i) {
+        det *= lu_(i, i);
+    }
+    return det;
+}
+
+std::vector<double> solve(const matrix& a, const std::vector<double>& b) {
+    return lu_decomposition(a).solve(b);
+}
+
+}  // namespace ltsc::util

@@ -1,0 +1,143 @@
+#include "util/optimize.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltsc::util {
+
+minimize_result golden_section_minimize(const std::function<double(double)>& f, double a, double b,
+                                        double tol) {
+    ensure(a < b, "golden_section_minimize: invalid interval");
+    ensure(tol > 0.0, "golden_section_minimize: non-positive tolerance");
+    constexpr double inv_phi = 0.6180339887498949;  // 1/phi
+    double x1 = b - inv_phi * (b - a);
+    double x2 = a + inv_phi * (b - a);
+    double f1 = f(x1);
+    double f2 = f(x2);
+    int evals = 2;
+    while (b - a > tol) {
+        if (f1 <= f2) {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - inv_phi * (b - a);
+            f1 = f(x1);
+        } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + inv_phi * (b - a);
+            f2 = f(x2);
+        }
+        ++evals;
+    }
+    const double xm = 0.5 * (a + b);
+    return minimize_result{xm, f(xm), evals + 1};
+}
+
+minimize_result minimize_over(const std::function<double(double)>& f,
+                              const std::vector<double>& candidates) {
+    ensure(!candidates.empty(), "minimize_over: empty candidate set");
+    minimize_result best{candidates.front(), f(candidates.front()), 1};
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+        const double v = f(candidates[i]);
+        ++best.evaluations;
+        if (v < best.value) {
+            best.x = candidates[i];
+            best.value = v;
+        }
+    }
+    return best;
+}
+
+root_result brent_root(const std::function<double(double)>& f, double a, double b, double tol,
+                       int max_iter) {
+    double fa = f(a);
+    double fb = f(b);
+    ensure(fa * fb <= 0.0, "brent_root: interval does not bracket a root");
+    if (std::fabs(fa) < std::fabs(fb)) {
+        std::swap(a, b);
+        std::swap(fa, fb);
+    }
+    double c = a;
+    double fc = fa;
+    double d = b - a;
+    bool mflag = true;
+    root_result out;
+    for (int iter = 0; iter < max_iter; ++iter) {
+        if (fb == 0.0 || std::fabs(b - a) < tol) {
+            out.x = b;
+            out.residual = fb;
+            out.iterations = iter;
+            out.converged = true;
+            return out;
+        }
+        double s = 0.0;
+        if (fa != fc && fb != fc) {
+            // Inverse quadratic interpolation.
+            s = a * fb * fc / ((fa - fb) * (fa - fc)) + b * fa * fc / ((fb - fa) * (fb - fc)) +
+                c * fa * fb / ((fc - fa) * (fc - fb));
+        } else {
+            // Secant.
+            s = b - fb * (b - a) / (fb - fa);
+        }
+        const double lo = (3.0 * a + b) / 4.0;
+        const bool out_of_range = (s < std::min(lo, b) || s > std::max(lo, b));
+        const bool slow_bisect = mflag ? std::fabs(s - b) >= std::fabs(b - c) / 2.0
+                                       : std::fabs(s - b) >= std::fabs(c - d) / 2.0;
+        if (out_of_range || slow_bisect) {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        const double fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if (fa * fs < 0.0) {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if (std::fabs(fa) < std::fabs(fb)) {
+            std::swap(a, b);
+            std::swap(fa, fb);
+        }
+    }
+    out.x = b;
+    out.residual = fb;
+    out.iterations = max_iter;
+    out.converged = false;
+    return out;
+}
+
+root_result fixed_point(const std::function<double(double)>& g, double x0, double damping,
+                        double tol, int max_iter) {
+    ensure(damping > 0.0 && damping <= 1.0, "fixed_point: damping must be in (0, 1]");
+    double x = x0;
+    root_result out;
+    for (int iter = 0; iter < max_iter; ++iter) {
+        const double gx = g(x);
+        ensure_numeric(std::isfinite(gx), "fixed_point: non-finite iterate");
+        const double next = (1.0 - damping) * x + damping * gx;
+        if (std::fabs(next - x) < tol) {
+            out.x = next;
+            out.residual = next - x;
+            out.iterations = iter + 1;
+            out.converged = true;
+            return out;
+        }
+        x = next;
+    }
+    out.x = x;
+    out.residual = g(x) - x;
+    out.iterations = max_iter;
+    out.converged = false;
+    return out;
+}
+
+}  // namespace ltsc::util

@@ -1,0 +1,52 @@
+// Scalar optimization and root finding.
+//
+// The controller characterization pipeline minimizes the convex
+// fan-power-plus-leakage curve over fan speed (Section IV of the paper);
+// golden-section search handles that robustly without derivatives.  Brent's
+// root finder supports the steady-state temperature fixed point.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace ltsc::util {
+
+/// Result of a scalar minimization.
+struct minimize_result {
+    double x = 0.0;        ///< Argument of the minimum.
+    double value = 0.0;    ///< Function value at the minimum.
+    int evaluations = 0;   ///< Number of function evaluations used.
+};
+
+/// Golden-section search for the minimum of a unimodal function on [a, b].
+/// Tolerance is on the argument.  Throws precondition_error when a >= b or
+/// tol <= 0.
+[[nodiscard]] minimize_result golden_section_minimize(const std::function<double(double)>& f,
+                                                      double a, double b, double tol = 1e-6);
+
+/// Minimizes over a discrete candidate set by exhaustive evaluation;
+/// returns the best candidate (first one in case of ties).  Throws on an
+/// empty candidate list.
+[[nodiscard]] minimize_result minimize_over(const std::function<double(double)>& f,
+                                            const std::vector<double>& candidates);
+
+/// Result of a root search.
+struct root_result {
+    double x = 0.0;        ///< Approximate root.
+    double residual = 0.0; ///< f(x) at the returned point.
+    int iterations = 0;    ///< Iterations used.
+    bool converged = false;
+};
+
+/// Brent's method for f(x) = 0 on a bracketing interval [a, b] with
+/// f(a) * f(b) <= 0.  Throws precondition_error when the bracket is invalid.
+[[nodiscard]] root_result brent_root(const std::function<double(double)>& f, double a, double b,
+                                     double tol = 1e-9, int max_iter = 200);
+
+/// Damped fixed-point iteration x <- (1-damping)*x + damping*g(x), used for
+/// the leakage/temperature self-consistency loop.  Converges when
+/// |g(x) - x| < tol.
+[[nodiscard]] root_result fixed_point(const std::function<double(double)>& g, double x0,
+                                      double damping = 1.0, double tol = 1e-9, int max_iter = 500);
+
+}  // namespace ltsc::util

@@ -1,0 +1,162 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltsc::util {
+
+void time_series::push_back(double t, double v) {
+    ensure(std::isfinite(t) && std::isfinite(v), "time_series::push_back: non-finite sample");
+    if (!samples_.empty()) {
+        ensure(t >= samples_.back().t, "time_series::push_back: non-monotonic time stamp");
+    }
+    samples_.push_back(sample{t, v});
+}
+
+const sample& time_series::at(std::size_t i) const {
+    ensure(i < samples_.size(), "time_series::at: index out of range");
+    return samples_[i];
+}
+
+const sample& time_series::front() const {
+    ensure(!samples_.empty(), "time_series::front: empty series");
+    return samples_.front();
+}
+
+const sample& time_series::back() const {
+    ensure(!samples_.empty(), "time_series::back: empty series");
+    return samples_.back();
+}
+
+double time_series::duration() const {
+    if (samples_.size() < 2) {
+        return 0.0;
+    }
+    return samples_.back().t - samples_.front().t;
+}
+
+double time_series::value_at(double t) const {
+    ensure(!samples_.empty(), "time_series::value_at: empty series");
+    if (t <= samples_.front().t) {
+        return samples_.front().v;
+    }
+    if (t >= samples_.back().t) {
+        return samples_.back().v;
+    }
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), t,
+                                     [](double lhs, const sample& s) { return lhs < s.t; });
+    const sample& hi = *it;
+    const sample& lo = *std::prev(it);
+    if (hi.t == lo.t) {
+        return hi.v;
+    }
+    const double alpha = (t - lo.t) / (hi.t - lo.t);
+    return lo.v + alpha * (hi.v - lo.v);
+}
+
+std::size_t time_series::index_at_or_before(double t) const {
+    ensure(!samples_.empty(), "time_series::index_at_or_before: empty series");
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), t,
+                                     [](double lhs, const sample& s) { return lhs < s.t; });
+    if (it == samples_.begin()) {
+        return 0;
+    }
+    return static_cast<std::size_t>(std::distance(samples_.begin(), std::prev(it)));
+}
+
+double time_series::min(double t0, double t1) const {
+    ensure(!samples_.empty(), "time_series::min: empty series");
+    ensure(t0 <= t1, "time_series::min: inverted window");
+    double best = value_at(t0);
+    best = std::min(best, value_at(t1));
+    for (const sample& s : samples_) {
+        if (s.t >= t0 && s.t <= t1) {
+            best = std::min(best, s.v);
+        }
+    }
+    return best;
+}
+
+double time_series::min() const { return min(front().t, back().t); }
+
+double time_series::max(double t0, double t1) const {
+    ensure(!samples_.empty(), "time_series::max: empty series");
+    ensure(t0 <= t1, "time_series::max: inverted window");
+    double best = value_at(t0);
+    best = std::max(best, value_at(t1));
+    for (const sample& s : samples_) {
+        if (s.t >= t0 && s.t <= t1) {
+            best = std::max(best, s.v);
+        }
+    }
+    return best;
+}
+
+double time_series::max() const { return max(front().t, back().t); }
+
+double time_series::integrate(double t0, double t1) const {
+    ensure(!samples_.empty(), "time_series::integrate: empty series");
+    ensure(t0 <= t1, "time_series::integrate: inverted window");
+    const double lo = std::max(t0, samples_.front().t);
+    const double hi = std::min(t1, samples_.back().t);
+    if (hi <= lo || samples_.size() < 2) {
+        return 0.0;
+    }
+    double acc = 0.0;
+    double prev_t = lo;
+    double prev_v = value_at(lo);
+    const std::size_t first = index_at_or_before(lo) + 1;
+    for (std::size_t i = first; i < samples_.size() && samples_[i].t <= hi; ++i) {
+        acc += 0.5 * (prev_v + samples_[i].v) * (samples_[i].t - prev_t);
+        prev_t = samples_[i].t;
+        prev_v = samples_[i].v;
+    }
+    if (prev_t < hi) {
+        const double end_v = value_at(hi);
+        acc += 0.5 * (prev_v + end_v) * (hi - prev_t);
+    }
+    return acc;
+}
+
+double time_series::integrate() const {
+    if (samples_.size() < 2) {
+        return 0.0;
+    }
+    return integrate(front().t, back().t);
+}
+
+double time_series::mean(double t0, double t1) const {
+    ensure(!samples_.empty(), "time_series::mean: empty series");
+    ensure(t0 <= t1, "time_series::mean: inverted window");
+    const double lo = std::max(t0, samples_.front().t);
+    const double hi = std::min(t1, samples_.back().t);
+    if (hi <= lo) {
+        return value_at(lo);
+    }
+    return integrate(lo, hi) / (hi - lo);
+}
+
+double time_series::mean() const {
+    if (samples_.size() < 2) {
+        return samples_.empty() ? 0.0 : samples_.front().v;
+    }
+    return mean(front().t, back().t);
+}
+
+time_series time_series::resample(double dt) const {
+    ensure(dt > 0.0, "time_series::resample: non-positive step");
+    time_series out;
+    if (samples_.empty()) {
+        return out;
+    }
+    const double t0 = samples_.front().t;
+    const double t1 = samples_.back().t;
+    for (double t = t0; t <= t1 + 1e-12; t += dt) {
+        out.push_back(t, value_at(t));
+    }
+    return out;
+}
+
+}  // namespace ltsc::util

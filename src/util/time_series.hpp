@@ -1,0 +1,92 @@
+// Time-stamped scalar series: the fundamental trace container.
+//
+// Every sensor channel, power trace and utilization profile recording in the
+// library is a `time_series`: a monotonically time-ordered sequence of
+// (seconds, value) samples with interpolation, windowed statistics and
+// trapezoidal integration (power -> energy).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ltsc::util {
+
+/// One sample of a time series.
+struct sample {
+    double t = 0.0;  ///< Time in seconds since trace start.
+    double v = 0.0;  ///< Value in the channel's unit.
+
+    friend bool operator==(const sample&, const sample&) = default;
+};
+
+/// Monotonically ordered (time, value) trace with interpolation, windowed
+/// statistics and integration.  Time stamps must be non-decreasing; values
+/// must be finite.
+class time_series {
+public:
+    time_series() = default;
+
+    /// Appends a sample.  Throws precondition_error when `t` is older than
+    /// the last sample or when either argument is non-finite.
+    void push_back(double t, double v);
+
+    /// Number of samples.
+    [[nodiscard]] std::size_t size() const { return samples_.size(); }
+    [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+    /// Sample access (bounds-checked).
+    [[nodiscard]] const sample& at(std::size_t i) const;
+    [[nodiscard]] const sample& front() const;
+    [[nodiscard]] const sample& back() const;
+
+    [[nodiscard]] const std::vector<sample>& samples() const { return samples_; }
+
+    /// Trace duration in seconds (0 when fewer than 2 samples).
+    [[nodiscard]] double duration() const;
+
+    /// Linearly interpolated value at time `t`; clamps to the first/last
+    /// sample outside the recorded range.  Throws on an empty series.
+    [[nodiscard]] double value_at(double t) const;
+
+    /// Minimum value over [t0, t1] (samples only, inclusive).  Defaults to
+    /// the whole trace.  Throws on an empty series or empty window.
+    [[nodiscard]] double min(double t0, double t1) const;
+    [[nodiscard]] double min() const;
+
+    /// Maximum value over [t0, t1]; see `min`.
+    [[nodiscard]] double max(double t0, double t1) const;
+    [[nodiscard]] double max() const;
+
+    /// Time-weighted mean over [t0, t1] using trapezoidal weighting; for a
+    /// window shorter than one inter-sample gap this degenerates to linear
+    /// interpolation.  Throws on an empty series.
+    [[nodiscard]] double mean(double t0, double t1) const;
+    [[nodiscard]] double mean() const;
+
+    /// Trapezoidal integral of the value over [t0, t1], in value-seconds
+    /// (e.g. Watts in -> Joules out).  The window is clamped to the trace.
+    [[nodiscard]] double integrate(double t0, double t1) const;
+    [[nodiscard]] double integrate() const;
+
+    /// Returns a copy resampled on a uniform grid with step `dt` starting at
+    /// the first sample time, using linear interpolation.
+    [[nodiscard]] time_series resample(double dt) const;
+
+    /// Index of the last sample with time <= t, or 0 when t precedes the
+    /// trace.  Throws on an empty series.
+    [[nodiscard]] std::size_t index_at_or_before(double t) const;
+
+private:
+    std::vector<sample> samples_;
+};
+
+/// A named time series with a unit label, as exported by the telemetry
+/// harness and the benchmark CSV dumps.
+struct named_series {
+    std::string name;   ///< Channel name, e.g. "cpu0_temp".
+    std::string unit;   ///< Unit label, e.g. "degC".
+    time_series data;   ///< The recorded samples.
+};
+
+}  // namespace ltsc::util

@@ -1,0 +1,55 @@
+#include "workload/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltsc::workload {
+
+loadgen::loadgen(utilization_profile profile, const loadgen_config& config)
+    : profile_(std::move(profile)), config_(config) {
+    util::ensure(config.pwm_period.value() > 0.0, "loadgen: non-positive PWM period");
+    util::ensure(config.stress_intensity > 0.0 && config.stress_intensity <= 1.0,
+                 "loadgen: stress intensity out of (0, 1]");
+}
+
+double loadgen::target_utilization(util::seconds_t t) const {
+    return profile_.utilization_at(t);
+}
+
+double loadgen::instantaneous_utilization(util::seconds_t t) const {
+    const double target = profile_.utilization_at(t);
+    const double peak = 100.0 * config_.stress_intensity;
+    if (target <= 0.0) {
+        return 0.0;
+    }
+    if (target >= peak) {
+        return peak;
+    }
+    const double duty = target / peak;
+    const double period = config_.pwm_period.value();
+    const double phase = std::fmod(t.value(), period) / period;
+    return phase < duty ? peak : 0.0;
+}
+
+double loadgen::measured_utilization(util::seconds_t t, util::seconds_t window) const {
+    util::ensure(window.value() > 0.0, "loadgen::measured_utilization: non-positive window");
+    // Integrate the instantaneous load over the window with a step well
+    // below the PWM period so duty edges are resolved.
+    const double t1 = t.value();
+    const double t0 = std::max(0.0, t1 - window.value());
+    if (t1 <= t0) {
+        return instantaneous_utilization(t);
+    }
+    const double step = std::min(0.25, config_.pwm_period.value() / 64.0);
+    double acc = 0.0;
+    int n = 0;
+    for (double x = t0; x < t1; x += step) {
+        acc += instantaneous_utilization(util::seconds_t{x});
+        ++n;
+    }
+    return n > 0 ? acc / n : instantaneous_utilization(t);
+}
+
+}  // namespace ltsc::workload

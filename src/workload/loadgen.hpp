@@ -1,0 +1,58 @@
+// LoadGen: dynamic load synthesis by PWM duty-cycling.
+//
+// The paper's LoadGen tool (Section III) achieves any target utilization by
+// duty-cycling the CPUs between a maximal-switching stress kernel (100 %)
+// and idle.  The PWM period is coarse enough (tens of seconds) that the
+// duty cycling is visible as thermal oscillation — the fast 5-8 degC
+// transients of Fig. 1(b) — while the *average* utilization matches the
+// target.  This class converts a target profile into the instantaneous
+// load the plant sees, and emulates the `sar`/`mpstat` utilization
+// measurement the controllers poll.
+#pragma once
+
+#include "util/time_series.hpp"
+#include "util/units.hpp"
+#include "workload/profile.hpp"
+
+namespace ltsc::workload {
+
+/// Configuration of the load synthesizer.
+struct loadgen_config {
+    /// Full PWM period of the duty cycle.  The default reproduces the
+    /// minute-scale thermal oscillations visible in Fig. 1(b): the busy
+    /// window is long enough for the heatsink (not just the die) to ride
+    /// up and down with the duty cycle.
+    util::seconds_t pwm_period{240.0};
+    double stress_intensity = 1.0;  ///< Switching intensity of the busy phase
+                                    ///< (1.0 = maximal pipe stuffing).
+};
+
+/// Synthesizes instantaneous CPU load from a target utilization profile.
+class loadgen {
+public:
+    /// Binds the generator to a profile.  The profile is copied.
+    loadgen(utilization_profile profile, const loadgen_config& config = {});
+
+    /// Instantaneous utilization in [0, 100] at time `t`: during the busy
+    /// fraction of each PWM period the CPUs run the stress kernel at
+    /// `stress_intensity`, otherwise they idle.  Targets of exactly 0 or
+    /// 100 bypass the PWM.
+    [[nodiscard]] double instantaneous_utilization(util::seconds_t t) const;
+
+    /// Target (commanded) utilization at `t` — what `sar` would report as
+    /// the average over a window much longer than the PWM period.
+    [[nodiscard]] double target_utilization(util::seconds_t t) const;
+
+    /// Utilization as measured by the monitoring utilities: the mean
+    /// instantaneous utilization over the window [t - window, t].
+    [[nodiscard]] double measured_utilization(util::seconds_t t, util::seconds_t window) const;
+
+    [[nodiscard]] const utilization_profile& profile() const { return profile_; }
+    [[nodiscard]] const loadgen_config& config() const { return config_; }
+
+private:
+    utilization_profile profile_;
+    loadgen_config config_;
+};
+
+}  // namespace ltsc::workload

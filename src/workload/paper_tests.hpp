@@ -1,0 +1,38 @@
+// The four 80-minute controller benchmarks of Section V.
+//
+//   Test-1: staircase ramp 0 % -> 100 % -> 0 % (gradual changes).
+//   Test-2: high/low alternation with 5, 10 and 15 minute periods
+//           (sudden changes).
+//   Test-3: a new utilization level every 5 minutes (sudden and frequent
+//           changes).
+//   Test-4: Poisson arrivals with exponential service times emulating a
+//           shell workload (Meisner & Wenisch style stochastic queueing).
+//
+// Every test follows the paper's experimental protocol: the machine idles
+// for the first 5 minutes (temperature stabilization after the cold start)
+// and the last 10 minutes (cool-down), leaving a 65-minute active body.
+#pragma once
+
+#include <vector>
+
+#include "workload/profile.hpp"
+
+namespace ltsc::workload {
+
+/// Identifier of a paper test.
+enum class paper_test { test1_ramp = 1, test2_periods = 2, test3_frequent = 3, test4_poisson = 4 };
+
+/// Total duration of every paper test (80 minutes).
+[[nodiscard]] util::seconds_t paper_test_duration();
+
+/// Builds the full 80-minute profile of the given test, idle head/tail
+/// included.  `seed` only affects Test-4 (the stochastic workload).
+[[nodiscard]] utilization_profile make_paper_test(paper_test test, std::uint64_t seed = 0x7331);
+
+/// All four tests in order.
+[[nodiscard]] std::vector<utilization_profile> all_paper_tests(std::uint64_t seed = 0x7331);
+
+/// Human-readable name ("Test-1", ...).
+[[nodiscard]] const char* paper_test_name(paper_test test);
+
+}  // namespace ltsc::workload

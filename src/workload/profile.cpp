@@ -1,0 +1,91 @@
+#include "workload/profile.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ltsc::workload {
+
+void utilization_profile::append(double u0, double u1, double duration_s) {
+    util::ensure(duration_s > 0.0, "utilization_profile: non-positive segment duration");
+    util::ensure(u0 >= 0.0 && u0 <= 100.0 && u1 >= 0.0 && u1 <= 100.0,
+                 "utilization_profile: utilization out of [0, 100]");
+    segments_.push_back(segment{end_, end_ + duration_s, u0, u1});
+    end_ += duration_s;
+}
+
+utilization_profile& utilization_profile::constant(double level_pct, util::seconds_t duration) {
+    append(level_pct, level_pct, duration.value());
+    return *this;
+}
+
+utilization_profile& utilization_profile::ramp(double from_pct, double to_pct,
+                                               util::seconds_t duration) {
+    append(from_pct, to_pct, duration.value());
+    return *this;
+}
+
+utilization_profile& utilization_profile::square(double high_pct, double low_pct,
+                                                 util::seconds_t half_period, int cycles) {
+    util::ensure(cycles >= 1, "utilization_profile::square: need >= 1 cycle");
+    for (int i = 0; i < cycles; ++i) {
+        constant(high_pct, half_period);
+        constant(low_pct, half_period);
+    }
+    return *this;
+}
+
+double utilization_profile::utilization_at(util::seconds_t t) const {
+    const double ts = t.value();
+    if (segments_.empty() || ts < segments_.front().t0 || ts >= end_) {
+        return 0.0;
+    }
+    // Binary search for the containing segment.
+    const auto it = std::upper_bound(segments_.begin(), segments_.end(), ts,
+                                     [](double lhs, const segment& s) { return lhs < s.t1; });
+    if (it == segments_.end()) {
+        return 0.0;
+    }
+    const segment& s = *it;
+    if (s.t1 == s.t0) {
+        return s.u1;
+    }
+    const double alpha = (ts - s.t0) / (s.t1 - s.t0);
+    return s.u0 + alpha * (s.u1 - s.u0);
+}
+
+double utilization_profile::average_utilization() const {
+    if (segments_.empty()) {
+        return 0.0;
+    }
+    double integral = 0.0;
+    for (const segment& s : segments_) {
+        integral += 0.5 * (s.u0 + s.u1) * (s.t1 - s.t0);
+    }
+    return integral / end_;
+}
+
+util::time_series utilization_profile::sampled(util::seconds_t dt) const {
+    util::ensure(dt.value() > 0.0, "utilization_profile::sampled: non-positive step");
+    util::time_series out;
+    for (double t = 0.0; t <= end_ + 1e-9; t += dt.value()) {
+        out.push_back(t, utilization_at(util::seconds_t{t}));
+    }
+    return out;
+}
+
+utilization_profile profile_from_trace(std::string name, const util::time_series& trace) {
+    util::ensure(trace.size() >= 2, "profile_from_trace: need >= 2 samples");
+    utilization_profile p(std::move(name));
+    for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+        const auto& a = trace.at(i);
+        const auto& b = trace.at(i + 1);
+        if (b.t > a.t) {
+            p.ramp(std::clamp(a.v, 0.0, 100.0), std::clamp(b.v, 0.0, 100.0),
+                   util::seconds_t{b.t - a.t});
+        }
+    }
+    return p;
+}
+
+}  // namespace ltsc::workload

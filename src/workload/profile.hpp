@@ -1,0 +1,74 @@
+// Target-utilization profiles.
+//
+// A profile is a piecewise-linear function of time mapping to a CPU
+// utilization target in [0, 100] %.  Profiles describe *what the operator
+// asks LoadGen to do*; LoadGen (loadgen.hpp) turns the target into the
+// duty-cycled instantaneous load the CPUs actually see.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/time_series.hpp"
+#include "util/units.hpp"
+
+namespace ltsc::workload {
+
+/// Piecewise-linear utilization target over time.  Outside the profile's
+/// span the utilization is 0 (idle).
+class utilization_profile {
+public:
+    utilization_profile() = default;
+    explicit utilization_profile(std::string name) : name_(std::move(name)) {}
+
+    /// Appends a constant segment at `level_pct` for `duration`.
+    utilization_profile& constant(double level_pct, util::seconds_t duration);
+
+    /// Appends a linear ramp from `from_pct` to `to_pct` over `duration`.
+    utilization_profile& ramp(double from_pct, double to_pct, util::seconds_t duration);
+
+    /// Appends a square wave alternating `high_pct` / `low_pct`, starting
+    /// high, with the given half-period, for `cycles` full cycles.
+    utilization_profile& square(double high_pct, double low_pct, util::seconds_t half_period,
+                                int cycles);
+
+    /// Appends an idle segment.
+    utilization_profile& idle(util::seconds_t duration) { return constant(0.0, duration); }
+
+    /// Target utilization at time `t` seconds from profile start.
+    [[nodiscard]] double utilization_at(util::seconds_t t) const;
+
+    /// Total profile span.
+    [[nodiscard]] util::seconds_t duration() const { return util::seconds_t{end_}; }
+
+    /// Time-average utilization over the profile span.
+    [[nodiscard]] double average_utilization() const;
+
+    /// Number of segments appended.
+    [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+    /// Samples the profile on a uniform grid (for CSV export / plotting).
+    [[nodiscard]] util::time_series sampled(util::seconds_t dt) const;
+
+private:
+    struct segment {
+        double t0 = 0.0;
+        double t1 = 0.0;
+        double u0 = 0.0;
+        double u1 = 0.0;
+    };
+
+    void append(double u0, double u1, double duration_s);
+
+    std::string name_;
+    std::vector<segment> segments_;
+    double end_ = 0.0;
+};
+
+/// A profile built from recorded utilization samples (trace replay).
+[[nodiscard]] utilization_profile profile_from_trace(std::string name,
+                                                     const util::time_series& trace);
+
+}  // namespace ltsc::workload

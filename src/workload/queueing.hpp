@@ -1,0 +1,78 @@
+// Discrete-event M/M/c queueing simulation.
+//
+// Test-4 of the paper emulates a shell workload with Poisson arrival times
+// and exponential service times, following Meisner & Wenisch's stochastic
+// queuing simulation approach.  This module implements the M/M/c system as
+// a proper discrete-event simulation: jobs arrive in a Poisson stream, wait
+// FIFO for one of `c` hardware contexts, and hold it for an exponential
+// service time.  CPU utilization at any instant is busy_contexts / c.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time_series.hpp"
+#include "util/units.hpp"
+#include "workload/profile.hpp"
+
+namespace ltsc::workload {
+
+/// Optional Markov-modulated arrival bursts (MMPP(2)): the arrival rate
+/// alternates between a calm and a burst level with exponentially
+/// distributed dwell times.  Interactive shell workloads are bursty —
+/// stretches of near-idle interrupted by flurries of command activity —
+/// and a homogeneous Poisson stream cannot reproduce the resulting
+/// temperature spikes.
+struct mmc_burst_modulation {
+    bool enabled = false;
+    double burst_arrival_rate_hz = 0.0;  ///< Lambda during bursts.
+    double mean_calm_dwell_s = 420.0;    ///< Mean time between bursts.
+    double mean_burst_dwell_s = 100.0;   ///< Mean burst length.
+};
+
+/// Parameters of the M/M/c workload generator.
+struct mmc_config {
+    double arrival_rate_hz = 1.0;       ///< Poisson arrival rate lambda [jobs/s]
+                                        ///< (the calm rate when modulation is on).
+    double service_rate_hz = 0.05;      ///< Per-server service rate mu [1/s].
+    std::uint32_t servers = 64;         ///< Number of service contexts c.
+    std::uint64_t seed = 0x7331;        ///< RNG seed (deterministic traces).
+    mmc_burst_modulation modulation{};  ///< Optional burstiness.
+
+    /// Offered utilization rho = lambda / (c * mu) in [0, 1] (calm rate).
+    [[nodiscard]] double offered_load() const {
+        return arrival_rate_hz / (static_cast<double>(servers) * service_rate_hz);
+    }
+};
+
+/// Summary statistics of a queueing run (validated against M/M/c theory in
+/// the test suite).
+struct mmc_stats {
+    double mean_utilization_pct = 0.0;  ///< Time-average busy fraction * 100.
+    double mean_queue_length = 0.0;     ///< Time-average jobs waiting (not in service).
+    double mean_response_time_s = 0.0;  ///< Mean sojourn time per completed job.
+    std::uint64_t completed_jobs = 0;   ///< Jobs finished within the horizon.
+};
+
+/// Result of a simulation: the utilization trace plus summary stats.
+struct mmc_result {
+    util::time_series utilization;  ///< Sampled busy fraction [%] at 1 s cadence.
+    mmc_stats stats;
+};
+
+/// Runs the discrete-event simulation for `horizon` seconds, sampling the
+/// utilization every `sample_dt` seconds.
+[[nodiscard]] mmc_result simulate_mmc(const mmc_config& config, util::seconds_t horizon,
+                                      util::seconds_t sample_dt = util::seconds_t{1.0});
+
+/// Analytic Erlang-C probability that an arriving job must wait, for
+/// validating the simulation (throws when rho >= 1).
+[[nodiscard]] double erlang_c(std::uint32_t servers, double offered_erlangs);
+
+/// Convenience: converts an M/M/c run into a utilization profile for the
+/// server simulator.
+[[nodiscard]] utilization_profile mmc_profile(std::string name, const mmc_config& config,
+                                              util::seconds_t horizon);
+
+}  // namespace ltsc::workload

@@ -1,0 +1,184 @@
+// Tests of the Section-IV characterization pipeline: model fitting
+// recovery of the paper's constants and LUT generation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/characterization.hpp"
+#include "sim/server_simulator.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace ltsc;
+using namespace ltsc::util::literals;
+
+class CharacterizationFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        sim_ = new sim::server_simulator();
+        result_ = new core::characterization_result(core::characterize(*sim_));
+    }
+    static void TearDownTestSuite() {
+        delete result_;
+        result_ = nullptr;
+        delete sim_;
+        sim_ = nullptr;
+    }
+
+    static sim::server_simulator* sim_;
+    static core::characterization_result* result_;
+};
+
+sim::server_simulator* CharacterizationFixture::sim_ = nullptr;
+core::characterization_result* CharacterizationFixture::result_ = nullptr;
+
+TEST_F(CharacterizationFixture, SweepCoversPaperGrid) {
+    // 9 utilization levels (paper's 8 plus idle) x 5 fan speeds.
+    EXPECT_EQ(result_->sweep.size(), 45U);
+}
+
+TEST_F(CharacterizationFixture, FitRecoversPaperLeakageConstants) {
+    // The plant embeds k2 = 0.3231, k3 = 0.04749; the pipeline must get
+    // them back from sweep data alone.
+    EXPECT_TRUE(result_->fit.converged);
+    EXPECT_NEAR(result_->fit.k2_w, 0.3231, 0.02);
+    EXPECT_NEAR(result_->fit.k3_per_c, 0.04749, 0.002);
+}
+
+TEST_F(CharacterizationFixture, FitRecoversSystemActiveSlope) {
+    EXPECT_NEAR(result_->fit.k1_w_per_pct, 3.5, 0.05);
+}
+
+TEST_F(CharacterizationFixture, FitQualityAtLeastPaperLevel) {
+    // The paper reports 2.243 W RMS error and 98 % accuracy; our sweep is
+    // noise-free so the fit must do at least that well.
+    EXPECT_LT(result_->fit.rmse_w, 2.243);
+    EXPECT_GT(result_->fit.r_squared, 0.98);
+}
+
+TEST_F(CharacterizationFixture, LutHasEntryPerUtilizationLevel) {
+    EXPECT_EQ(result_->lut.size(), 9U);
+}
+
+TEST_F(CharacterizationFixture, LutOptimumAt100PctIs2400Rpm) {
+    // Fig. 2(a): the fan+leakage minimum at full load sits at 2400 RPM
+    // (~70 degC).
+    EXPECT_DOUBLE_EQ(result_->lut.lookup(100.0).value(), 2400.0);
+    EXPECT_NEAR(result_->lut.entry_for(100.0).expected_cpu_temp_c, 71.0, 2.0);
+}
+
+TEST_F(CharacterizationFixture, LutUsesLowestSpeedAtLightLoad) {
+    EXPECT_DOUBLE_EQ(result_->lut.lookup(10.0).value(), 1800.0);
+    EXPECT_DOUBLE_EQ(result_->lut.lookup(0.0).value(), 1800.0);
+}
+
+TEST_F(CharacterizationFixture, LutMonotoneNonDecreasingInUtilization) {
+    double prev = 0.0;
+    for (const auto& e : result_->lut.entries()) {
+        EXPECT_GE(e.rpm.value(), prev) << "at u=" << e.utilization_pct;
+        prev = e.rpm.value();
+    }
+}
+
+TEST_F(CharacterizationFixture, LutRespectsTemperatureCap) {
+    for (const auto& e : result_->lut.entries()) {
+        EXPECT_LE(e.expected_cpu_temp_c, 75.0 + 1e-9) << "at u=" << e.utilization_pct;
+    }
+}
+
+TEST_F(CharacterizationFixture, OptimumNeverHotterThan70ishDegrees) {
+    // Paper: "for all the optimum points, average temperature is never
+    // higher than 70 degC" (we allow a small margin).
+    for (const auto& e : result_->lut.entries()) {
+        EXPECT_LE(e.expected_cpu_temp_c, 72.5) << "at u=" << e.utilization_pct;
+    }
+}
+
+TEST_F(CharacterizationFixture, FanOnlySavingsReach30W) {
+    // Abstract: "Power savings achieved only by setting the appropriate
+    // fan speed can reach 30 W" — max fan speed vs. the optimum at 100 %.
+    double cost_4200 = 0.0;
+    double cost_best = 1e18;
+    for (const auto& p : result_->sweep) {
+        if (p.utilization_pct != 100.0) {
+            continue;
+        }
+        const double cost = p.fan_power_w + result_->fit.leakage_at(p.avg_cpu_temp_c);
+        if (std::fabs(p.fan_rpm - 4200.0) < 1.0) {
+            cost_4200 = cost;
+        }
+        cost_best = std::min(cost_best, cost);
+    }
+    EXPECT_NEAR(cost_4200 - cost_best, 30.0, 6.0);
+}
+
+TEST_F(CharacterizationFixture, FanLeakSumConvexAt100Pct) {
+    // Fig. 2(a): the fan+leakage sum dips at an interior fan speed.
+    std::vector<double> costs;
+    for (const auto& p : result_->sweep) {
+        if (p.utilization_pct == 100.0) {
+            costs.push_back(p.fan_power_w + result_->fit.leakage_at(p.avg_cpu_temp_c));
+        }
+    }
+    ASSERT_EQ(costs.size(), 5U);  // one per RPM, ascending RPM order
+    const double interior_min = *std::min_element(costs.begin() + 1, costs.end() - 1);
+    EXPECT_LT(interior_min, costs.front());
+    EXPECT_LT(interior_min, costs.back());
+}
+
+TEST(Characterization, PredictMatchesComponents) {
+    core::power_model_fit fit;
+    fit.c0_w = 339.6;
+    fit.k1_w_per_pct = 3.5;
+    fit.k2_w = 0.3231;
+    fit.k3_per_c = 0.04749;
+    EXPECT_NEAR(fit.predict(50.0, 60.0),
+                339.6 + 175.0 + 0.3231 * std::exp(0.04749 * 60.0), 1e-9);
+    EXPECT_NEAR(fit.leakage_at(60.0), 0.3231 * std::exp(0.04749 * 60.0), 1e-12);
+}
+
+TEST(Characterization, FitRejectsDegenerateSweeps) {
+    std::vector<sim::steady_point> pts(10);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        pts[i].utilization_pct = 50.0;  // no utilization spread
+        pts[i].avg_cpu_temp_c = 40.0 + static_cast<double>(i);
+        pts[i].total_power_w = 500.0;
+    }
+    EXPECT_THROW(core::fit_power_model(pts), util::precondition_error);
+}
+
+TEST(Characterization, FitRejectsTooFewPoints) {
+    std::vector<sim::steady_point> pts(3);
+    EXPECT_THROW(core::fit_power_model(pts), util::precondition_error);
+}
+
+TEST(Characterization, BuildLutFallsBackToFastestWhenAllViolateCap) {
+    // Synthetic sweep where every candidate exceeds the cap at u=100.
+    std::vector<sim::steady_point> pts;
+    for (double rpm : {1800.0, 2400.0}) {
+        sim::steady_point p;
+        p.utilization_pct = 100.0;
+        p.fan_rpm = rpm;
+        p.avg_cpu_temp_c = 90.0;  // hotter than any cap
+        p.fan_power_w = rpm / 100.0;
+        p.total_power_w = 700.0;
+        pts.push_back(p);
+    }
+    core::power_model_fit fit;
+    fit.k2_w = 0.3231;
+    fit.k3_per_c = 0.04749;
+    core::lut_build_options opt;
+    opt.max_cpu_temp_c = 75.0;
+    opt.candidate_rpms = {util::rpm_t{1800.0}, util::rpm_t{2400.0}};
+    const auto lut = core::build_lut(pts, fit, opt);
+    EXPECT_DOUBLE_EQ(lut.lookup(100.0).value(), 2400.0);  // fastest fan wins
+}
+
+TEST(Characterization, BuildLutEmptySweepThrows) {
+    core::power_model_fit fit;
+    EXPECT_THROW(core::build_lut({}, fit), util::precondition_error);
+}
+
+}  // namespace

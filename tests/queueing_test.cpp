@@ -1,0 +1,191 @@
+// Tests of the M/M/c discrete-event simulator against queueing theory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "workload/queueing.hpp"
+
+namespace {
+
+using namespace ltsc;
+using workload::erlang_c;
+using workload::mmc_config;
+using workload::simulate_mmc;
+
+TEST(ErlangC, KnownValues) {
+    // M/M/1 with rho: wait probability = rho.
+    EXPECT_NEAR(erlang_c(1, 0.5), 0.5, 1e-12);
+    EXPECT_NEAR(erlang_c(1, 0.9), 0.9, 1e-12);
+    // Tabulated Erlang-C reference: c=2, a=1 -> 1/3.
+    EXPECT_NEAR(erlang_c(2, 1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ErlangC, UnstableSystemThrows) {
+    EXPECT_THROW(erlang_c(2, 2.0), util::precondition_error);
+    EXPECT_THROW(erlang_c(2, 2.5), util::precondition_error);
+}
+
+TEST(Mmc, UtilizationMatchesOfferedLoad) {
+    mmc_config cfg;
+    cfg.servers = 16;
+    cfg.service_rate_hz = 0.1;
+    cfg.arrival_rate_hz = 0.4 * 16 * 0.1;  // rho = 0.4
+    const auto r = simulate_mmc(cfg, util::seconds_t{200000.0});
+    EXPECT_NEAR(r.stats.mean_utilization_pct, 40.0, 2.0);
+}
+
+TEST(Mmc, MM1ResponseTimeMatchesTheory) {
+    // M/M/1: E[T] = 1 / (mu - lambda).
+    mmc_config cfg;
+    cfg.servers = 1;
+    cfg.service_rate_hz = 1.0;
+    cfg.arrival_rate_hz = 0.5;
+    const auto r = simulate_mmc(cfg, util::seconds_t{400000.0});
+    EXPECT_NEAR(r.stats.mean_response_time_s, 2.0, 0.15);
+}
+
+TEST(Mmc, MM1QueueLengthMatchesTheory) {
+    // M/M/1: E[Lq] = rho^2 / (1 - rho); rho = 0.5 -> 0.5.
+    mmc_config cfg;
+    cfg.servers = 1;
+    cfg.service_rate_hz = 1.0;
+    cfg.arrival_rate_hz = 0.5;
+    const auto r = simulate_mmc(cfg, util::seconds_t{400000.0});
+    EXPECT_NEAR(r.stats.mean_queue_length, 0.5, 0.1);
+}
+
+TEST(Mmc, MMcWaitProbabilityMatchesErlangC) {
+    // For M/M/c, the fraction of time all servers are busy tracks the
+    // Erlang-C wait probability (PASTA).  c=4, rho=0.7 -> a=2.8.
+    mmc_config cfg;
+    cfg.servers = 4;
+    cfg.service_rate_hz = 0.25;
+    cfg.arrival_rate_hz = 0.7 * 4 * 0.25;
+    const auto r = simulate_mmc(cfg, util::seconds_t{400000.0});
+    int saturated = 0;
+    for (const auto& s : r.utilization.samples()) {
+        if (s.v >= 99.9) {
+            ++saturated;
+        }
+    }
+    const double p_wait = static_cast<double>(saturated) /
+                          static_cast<double>(r.utilization.size());
+    EXPECT_NEAR(p_wait, erlang_c(4, 2.8), 0.05);
+}
+
+TEST(Mmc, DeterministicPerSeed) {
+    mmc_config cfg;
+    cfg.seed = 42;
+    const auto a = simulate_mmc(cfg, util::seconds_t{5000.0});
+    const auto b = simulate_mmc(cfg, util::seconds_t{5000.0});
+    ASSERT_EQ(a.utilization.size(), b.utilization.size());
+    for (std::size_t i = 0; i < a.utilization.size(); i += 97) {
+        EXPECT_DOUBLE_EQ(a.utilization.at(i).v, b.utilization.at(i).v);
+    }
+    EXPECT_EQ(a.stats.completed_jobs, b.stats.completed_jobs);
+}
+
+TEST(Mmc, SamplesCoverHorizonAtCadence) {
+    mmc_config cfg;
+    const auto r = simulate_mmc(cfg, util::seconds_t{100.0}, util::seconds_t{1.0});
+    EXPECT_GE(r.utilization.size(), 100U);
+    EXPECT_LE(r.utilization.back().t, 100.0);
+}
+
+TEST(Mmc, UtilizationBounded) {
+    mmc_config cfg;
+    cfg.arrival_rate_hz = 10.0;  // heavy overload
+    cfg.servers = 8;
+    cfg.service_rate_hz = 0.05;
+    const auto r = simulate_mmc(cfg, util::seconds_t{5000.0});
+    for (const auto& s : r.utilization.samples()) {
+        EXPECT_GE(s.v, 0.0);
+        EXPECT_LE(s.v, 100.0);
+    }
+    // Overloaded system saturates.
+    EXPECT_GT(r.stats.mean_utilization_pct, 95.0);
+}
+
+TEST(Mmc, CompletedJobsScaleWithThroughput) {
+    mmc_config cfg;
+    cfg.servers = 16;
+    cfg.service_rate_hz = 0.1;
+    cfg.arrival_rate_hz = 0.5;
+    const double horizon = 100000.0;
+    const auto r = simulate_mmc(cfg, util::seconds_t{horizon});
+    // In a stable system, completions ~ arrivals ~ lambda * horizon.
+    EXPECT_NEAR(static_cast<double>(r.stats.completed_jobs), 0.5 * horizon,
+                0.03 * 0.5 * horizon);
+}
+
+TEST(Mmc, BurstModulationRaisesVariance) {
+    mmc_config calm;
+    calm.servers = 64;
+    calm.service_rate_hz = 0.05;
+    calm.arrival_rate_hz = 0.3 * 64 * 0.05;
+
+    mmc_config bursty = calm;
+    bursty.arrival_rate_hz = 0.15 * 64 * 0.05;
+    bursty.modulation.enabled = true;
+    bursty.modulation.burst_arrival_rate_hz = 0.9 * 64 * 0.05;
+    bursty.modulation.mean_calm_dwell_s = 400.0;
+    bursty.modulation.mean_burst_dwell_s = 100.0;
+
+    const auto rc = simulate_mmc(calm, util::seconds_t{200000.0});
+    const auto rb = simulate_mmc(bursty, util::seconds_t{200000.0});
+
+    const auto variance_of = [](const util::time_series& ts) {
+        double mean = 0.0;
+        for (const auto& s : ts.samples()) {
+            mean += s.v;
+        }
+        mean /= static_cast<double>(ts.size());
+        double var = 0.0;
+        for (const auto& s : ts.samples()) {
+            var += (s.v - mean) * (s.v - mean);
+        }
+        return var / static_cast<double>(ts.size());
+    };
+    EXPECT_GT(variance_of(rb.utilization), 2.0 * variance_of(rc.utilization));
+}
+
+TEST(Mmc, BurstModulationMeanBetweenCalmAndBurst) {
+    mmc_config cfg;
+    cfg.servers = 64;
+    cfg.service_rate_hz = 0.05;
+    cfg.arrival_rate_hz = 0.2 * 64 * 0.05;
+    cfg.modulation.enabled = true;
+    cfg.modulation.burst_arrival_rate_hz = 0.8 * 64 * 0.05;
+    cfg.modulation.mean_calm_dwell_s = 300.0;
+    cfg.modulation.mean_burst_dwell_s = 100.0;
+    const auto r = simulate_mmc(cfg, util::seconds_t{400000.0});
+    EXPECT_GT(r.stats.mean_utilization_pct, 20.0);
+    EXPECT_LT(r.stats.mean_utilization_pct, 80.0);
+}
+
+TEST(Mmc, InvalidConfigThrows) {
+    mmc_config cfg;
+    cfg.arrival_rate_hz = 0.0;
+    EXPECT_THROW(simulate_mmc(cfg, util::seconds_t{10.0}), util::precondition_error);
+    cfg.arrival_rate_hz = 1.0;
+    cfg.servers = 0;
+    EXPECT_THROW(simulate_mmc(cfg, util::seconds_t{10.0}), util::precondition_error);
+    cfg.servers = 4;
+    cfg.modulation.enabled = true;
+    cfg.modulation.burst_arrival_rate_hz = 0.0;
+    EXPECT_THROW(simulate_mmc(cfg, util::seconds_t{10.0}), util::precondition_error);
+}
+
+TEST(Mmc, ProfileConversionSpansHorizon) {
+    mmc_config cfg;
+    const auto p = workload::mmc_profile("q", cfg, util::seconds_t{600.0});
+    EXPECT_NEAR(p.duration().value(), 600.0, 2.0);
+    for (double t = 0.0; t < 600.0; t += 25.0) {
+        const double u = p.utilization_at(util::seconds_t{t});
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 100.0);
+    }
+}
+
+}  // namespace

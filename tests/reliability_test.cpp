@@ -1,0 +1,135 @@
+// Unit tests for thermal-cycle (rainflow) counting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/reliability.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace ltsc;
+using core::count_thermal_cycles;
+using core::cycling_options;
+using core::peak_valley_sequence;
+
+util::time_series series_of(const std::vector<double>& values) {
+    util::time_series ts;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        ts.push_back(static_cast<double>(i), values[i]);
+    }
+    return ts;
+}
+
+TEST(PeakValley, ExtractsReversals) {
+    const auto seq = peak_valley_sequence(series_of({50, 60, 70, 60, 50, 65, 55}), 1.0);
+    // Start, peak 70, valley 50, peak 65, final 55.
+    ASSERT_EQ(seq.size(), 5U);
+    EXPECT_DOUBLE_EQ(seq[0], 50.0);
+    EXPECT_DOUBLE_EQ(seq[1], 70.0);
+    EXPECT_DOUBLE_EQ(seq[2], 50.0);
+    EXPECT_DOUBLE_EQ(seq[3], 65.0);
+    EXPECT_DOUBLE_EQ(seq[4], 55.0);
+}
+
+TEST(PeakValley, HysteresisSuppressesNoise) {
+    // +-0.4 jitter on a rising ramp: no spurious reversals at 1.0 degC
+    // hysteresis.
+    std::vector<double> vals;
+    for (int i = 0; i < 50; ++i) {
+        vals.push_back(50.0 + i * 0.5 + ((i % 2 == 0) ? 0.4 : -0.4));
+    }
+    const auto seq = peak_valley_sequence(series_of(vals), 1.0);
+    EXPECT_LE(seq.size(), 3U);  // start, (candidate) end
+}
+
+TEST(PeakValley, MonotoneTraceHasNoInteriorReversal) {
+    const auto seq = peak_valley_sequence(series_of({40, 50, 60, 70, 80}), 1.0);
+    ASSERT_EQ(seq.size(), 2U);
+    EXPECT_DOUBLE_EQ(seq.back(), 80.0);
+}
+
+TEST(PeakValley, TooShortThrows) {
+    util::time_series ts;
+    ts.push_back(0.0, 1.0);
+    EXPECT_THROW(peak_valley_sequence(ts, 1.0), util::precondition_error);
+}
+
+TEST(Rainflow, SingleFullSwingIsOneCycleEquivalent) {
+    const auto rep = count_thermal_cycles(series_of({50, 80, 50}), cycling_options{});
+    double total = 0.0;
+    for (const auto& c : rep.cycles) {
+        total += c.count;
+        EXPECT_DOUBLE_EQ(c.amplitude_c, 30.0);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);  // two half cycles
+    EXPECT_DOUBLE_EQ(rep.max_amplitude_c, 30.0);
+}
+
+TEST(Rainflow, NestedCycleExtracted) {
+    // Classic rainflow case: small cycle nested in a large swing.
+    const auto rep =
+        count_thermal_cycles(series_of({50, 80, 65, 75, 40}), cycling_options{});
+    // The 75->65 (amplitude 10) inner cycle must appear as a full cycle.
+    bool found_inner = false;
+    for (const auto& c : rep.cycles) {
+        if (std::fabs(c.amplitude_c - 10.0) < 1e-9 && c.count == 1.0) {
+            found_inner = true;
+        }
+    }
+    EXPECT_TRUE(found_inner);
+    EXPECT_DOUBLE_EQ(rep.max_amplitude_c, 40.0);  // 80 -> 40 half cycle
+}
+
+TEST(Rainflow, DamageGrowsWithAmplitude) {
+    const auto small = count_thermal_cycles(series_of({60, 65, 60, 65, 60}), cycling_options{});
+    const auto large = count_thermal_cycles(series_of({50, 80, 50, 80, 50}), cycling_options{});
+    EXPECT_GT(large.damage_index, small.damage_index * 10.0);
+}
+
+TEST(Rainflow, DamageIsCoffinMansonPower) {
+    cycling_options opt;
+    opt.coffin_manson_exponent = 2.0;
+    opt.hysteresis_c = 0.1;
+    const auto rep = count_thermal_cycles(series_of({50, 70, 50}), opt);
+    // One equivalent cycle of amplitude 20: damage = (20/10)^2 = 4.
+    EXPECT_NEAR(rep.damage_index, 4.0, 1e-9);
+}
+
+TEST(Rainflow, SignificantCycleThresholdFilters) {
+    cycling_options opt;
+    opt.significant_amplitude_c = 15.0;
+    opt.hysteresis_c = 0.5;
+    const auto rep =
+        count_thermal_cycles(series_of({50, 80, 50, 55, 52, 55, 52, 80, 50}), opt);
+    // Only the big swings count; the 3-degree wiggles do not.
+    for (const auto& c : rep.cycles) {
+        if (c.amplitude_c < 15.0) {
+            continue;
+        }
+    }
+    EXPECT_GE(rep.significant_cycles, 1U);
+    EXPECT_LT(rep.significant_cycles, 5U);
+}
+
+TEST(Rainflow, ConstantTraceHasNoCycles) {
+    const auto rep = count_thermal_cycles(series_of({60, 60, 60, 60}), cycling_options{});
+    EXPECT_TRUE(rep.cycles.empty());
+    EXPECT_DOUBLE_EQ(rep.damage_index, 0.0);
+}
+
+TEST(Rainflow, OscillatingControllerProducesMoreDamage) {
+    // Emulates the paper's observation: bang-bang's oscillation produces
+    // larger thermal cycles than the LUT's steady trace.
+    std::vector<double> bang;
+    std::vector<double> lut;
+    for (int i = 0; i < 100; ++i) {
+        bang.push_back(65.0 + 10.0 * ((i / 5) % 2 == 0 ? 1.0 : -1.0));
+        lut.push_back(65.0 + 1.5 * ((i / 5) % 2 == 0 ? 1.0 : -1.0));
+    }
+    const auto rb = count_thermal_cycles(series_of(bang), cycling_options{});
+    const auto rl = count_thermal_cycles(series_of(lut), cycling_options{});
+    EXPECT_GT(rb.damage_index, 5.0 * rl.damage_index);
+}
+
+}  // namespace

@@ -1,0 +1,234 @@
+// Unit tests for the CSTH-style telemetry harness and analytics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/analytics.hpp"
+#include "telemetry/channel.hpp"
+#include "telemetry/harness.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace ltsc;
+using namespace ltsc::util::literals;
+
+// --- sample ring -----------------------------------------------------------
+
+TEST(SampleRing, HoldsUpToCapacity) {
+    telemetry::sample_ring ring(3);
+    ring.push(0.0, 1.0);
+    ring.push(1.0, 2.0);
+    EXPECT_EQ(ring.size(), 2U);
+    ring.push(2.0, 3.0);
+    ring.push(3.0, 4.0);  // evicts the oldest
+    EXPECT_EQ(ring.size(), 3U);
+    EXPECT_DOUBLE_EQ(ring.recent(0).v, 4.0);
+    EXPECT_DOUBLE_EQ(ring.recent(2).v, 2.0);
+}
+
+TEST(SampleRing, SnapshotOldestToNewest) {
+    telemetry::sample_ring ring(4);
+    for (int i = 0; i < 6; ++i) {
+        ring.push(i, i * 10.0);
+    }
+    const auto snap = ring.snapshot();
+    ASSERT_EQ(snap.size(), 4U);
+    EXPECT_DOUBLE_EQ(snap.front().v, 20.0);
+    EXPECT_DOUBLE_EQ(snap.back().v, 50.0);
+}
+
+TEST(SampleRing, RecentOutOfRangeThrows) {
+    telemetry::sample_ring ring(2);
+    ring.push(0.0, 1.0);
+    EXPECT_THROW(ring.recent(1), util::precondition_error);
+}
+
+TEST(SampleRing, ClearEmpties) {
+    telemetry::sample_ring ring(2);
+    ring.push(0.0, 1.0);
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+}
+
+// --- channel -----------------------------------------------------------------
+
+TEST(Channel, PollsSourceAndRecords) {
+    double value = 42.0;
+    telemetry::channel ch("sig", "W", [&value] { return value; });
+    ch.poll(0.0);
+    value = 43.0;
+    ch.poll(10.0);
+    ASSERT_TRUE(ch.latest().has_value());
+    EXPECT_DOUBLE_EQ(ch.latest()->v, 43.0);
+    EXPECT_EQ(ch.history().size(), 2U);
+}
+
+TEST(Channel, HistoryCanBeDisabled) {
+    telemetry::channel ch("sig", "W", [] { return 1.0; }, 8, false);
+    ch.poll(0.0);
+    EXPECT_TRUE(ch.history().empty());
+    EXPECT_EQ(ch.ring().size(), 1U);
+}
+
+TEST(Channel, NamedSeriesExport) {
+    telemetry::channel ch("cpu0_temp", "degC", [] { return 55.0; });
+    ch.poll(0.0);
+    const auto ns = ch.to_named_series();
+    EXPECT_EQ(ns.name, "cpu0_temp");
+    EXPECT_EQ(ns.unit, "degC");
+    EXPECT_EQ(ns.data.size(), 1U);
+}
+
+TEST(Channel, NullSourceThrows) {
+    EXPECT_THROW(telemetry::channel("x", "W", nullptr), util::precondition_error);
+}
+
+// --- harness -------------------------------------------------------------------
+
+TEST(Harness, PollsAtConfiguredCadence) {
+    telemetry::harness h(10_s);
+    int polls = 0;
+    h.add_channel("c", "u", [&polls] { return static_cast<double>(++polls); });
+    EXPECT_TRUE(h.poll_due(0_s));
+    EXPECT_FALSE(h.poll_due(5_s));
+    EXPECT_FALSE(h.poll_due(9.5_s));
+    EXPECT_TRUE(h.poll_due(10_s));
+    EXPECT_EQ(polls, 2);
+}
+
+TEST(Harness, LatestByName) {
+    telemetry::harness h;
+    h.add_channel("power", "W", [] { return 500.0; });
+    h.poll_now(0_s);
+    EXPECT_DOUBLE_EQ(h.latest("power"), 500.0);
+    EXPECT_THROW(h.latest("missing"), util::precondition_error);
+}
+
+TEST(Harness, DuplicateNameRejected) {
+    telemetry::harness h;
+    h.add_channel("a", "u", [] { return 0.0; });
+    EXPECT_THROW(h.add_channel("a", "u", [] { return 0.0; }), util::precondition_error);
+}
+
+TEST(Harness, NeverPolledLatestThrows) {
+    telemetry::harness h;
+    h.add_channel("a", "u", [] { return 0.0; });
+    EXPECT_THROW(h.latest("a"), util::precondition_error);
+}
+
+TEST(Harness, ResetClearsEverything) {
+    telemetry::harness h(10_s);
+    h.add_channel("a", "u", [] { return 1.0; });
+    h.poll_now(0_s);
+    h.poll_now(10_s);
+    h.reset();
+    EXPECT_FALSE(h.by_name("a").latest().has_value());
+    // After reset, polling from t = 0 again is legal.
+    EXPECT_TRUE(h.poll_due(0_s));
+}
+
+TEST(Harness, CsvExportParses) {
+    telemetry::harness h;
+    h.add_channel("t1", "degC", [] { return 60.0; });
+    h.add_channel("p1", "W", [] { return 400.0; });
+    h.poll_now(0_s);
+    h.poll_now(10_s);
+    std::ostringstream os;
+    h.write_csv(os);
+    const auto doc = util::parse_csv(os.str());
+    EXPECT_EQ(doc.rows.size(), 4U);  // 2 channels x 2 polls
+}
+
+TEST(Harness, ByIndexBoundsChecked) {
+    telemetry::harness h;
+    h.add_channel("a", "u", [] { return 0.0; });
+    EXPECT_EQ(h.by_index(0).name(), "a");
+    EXPECT_THROW(h.by_index(1), util::precondition_error);
+}
+
+// --- analytics --------------------------------------------------------------------
+
+TEST(Ewma, ConvergesToConstant) {
+    telemetry::ewma_filter f(0.2);
+    for (int i = 0; i < 100; ++i) {
+        f.update(10.0);
+    }
+    EXPECT_NEAR(f.value().value(), 10.0, 1e-6);
+}
+
+TEST(Ewma, FirstSampleInitializes) {
+    telemetry::ewma_filter f(0.1);
+    EXPECT_FALSE(f.value().has_value());
+    EXPECT_DOUBLE_EQ(f.update(5.0), 5.0);
+}
+
+TEST(Ewma, SmoothsStep) {
+    telemetry::ewma_filter f(0.5);
+    f.update(0.0);
+    const double after_one = f.update(10.0);
+    EXPECT_DOUBLE_EQ(after_one, 5.0);
+}
+
+TEST(Ewma, BadAlphaThrows) {
+    EXPECT_THROW(telemetry::ewma_filter(0.0), util::precondition_error);
+    EXPECT_THROW(telemetry::ewma_filter(1.5), util::precondition_error);
+}
+
+TEST(RollingWindow, EvictsOldSamples) {
+    telemetry::rolling_window w(10.0);
+    w.push(0.0, 1.0);
+    w.push(5.0, 2.0);
+    w.push(12.0, 3.0);  // evicts t=0 (older than 12-10)
+    EXPECT_EQ(w.size(), 2U);
+    EXPECT_DOUBLE_EQ(w.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(w.min(), 2.0);
+    EXPECT_DOUBLE_EQ(w.max(), 3.0);
+}
+
+TEST(RollingWindow, NonMonotonicTimeThrows) {
+    telemetry::rolling_window w(10.0);
+    w.push(5.0, 1.0);
+    EXPECT_THROW(w.push(4.0, 1.0), util::precondition_error);
+}
+
+TEST(RollingWindow, EmptyStatsThrow) {
+    telemetry::rolling_window w(10.0);
+    EXPECT_THROW(w.mean(), util::precondition_error);
+}
+
+TEST(ThresholdAlarm, HysteresisBehaviour) {
+    telemetry::threshold_alarm alarm(75.0, 70.0);
+    EXPECT_FALSE(alarm.update(74.0));
+    EXPECT_TRUE(alarm.update(76.0));   // set
+    EXPECT_TRUE(alarm.update(72.0));   // still set (above clear)
+    EXPECT_FALSE(alarm.update(69.0));  // cleared
+    EXPECT_TRUE(alarm.update(80.0));   // set again
+    EXPECT_EQ(alarm.trip_count(), 2U);
+}
+
+TEST(ThresholdAlarm, InvertedThresholdsThrow) {
+    EXPECT_THROW(telemetry::threshold_alarm(70.0, 75.0), util::precondition_error);
+}
+
+TEST(Zscore, FlagsSpike) {
+    telemetry::zscore_detector d(0.1, 4.0);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_FALSE(d.update(50.0 + 0.5 * ((i % 2 == 0) ? 1.0 : -1.0)));
+    }
+    EXPECT_TRUE(d.update(80.0));  // a stuck-sensor style spike
+    EXPECT_EQ(d.anomaly_count(), 1U);
+}
+
+TEST(Zscore, SpikeDoesNotPoisonBaseline) {
+    telemetry::zscore_detector d(0.1, 4.0);
+    for (int i = 0; i < 200; ++i) {
+        d.update(50.0 + 0.5 * ((i % 2 == 0) ? 1.0 : -1.0));
+    }
+    d.update(80.0);
+    // Back to normal values: not anomalous, baseline unharmed.
+    EXPECT_FALSE(d.update(50.2));
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Unit tests for CSV I/O and descriptive statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace ltsc::util;
+
+TEST(CsvWriter, HeaderAndRows) {
+    std::ostringstream os;
+    csv_writer w(os);
+    w.write_header({"a", "b"});
+    w.write_row({1.0, 2.5});
+    EXPECT_EQ(os.str(), "a,b\n1,2.5\n");
+    EXPECT_EQ(w.rows_written(), 2U);
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+    std::ostringstream os;
+    csv_writer w(os);
+    w.write_row({std::string("hello, world"), std::string("say \"hi\""), std::string("plain")});
+    EXPECT_EQ(os.str(), "\"hello, world\",\"say \"\"hi\"\"\",plain\n");
+}
+
+TEST(CsvParse, RoundTripsWriterOutput) {
+    std::ostringstream os;
+    csv_writer w(os);
+    w.write_header({"x", "label"});
+    w.write_row({std::string("1.5"), std::string("a,b")});
+    w.write_row({std::string("2.5"), std::string("c\"d")});
+    const csv_document doc = parse_csv(os.str());
+    ASSERT_EQ(doc.header.size(), 2U);
+    ASSERT_EQ(doc.rows.size(), 2U);
+    EXPECT_EQ(doc.rows[0][1], "a,b");
+    EXPECT_EQ(doc.rows[1][1], "c\"d");
+}
+
+TEST(CsvParse, HandlesCrLf) {
+    const csv_document doc = parse_csv("a,b\r\n1,2\r\n");
+    ASSERT_EQ(doc.rows.size(), 1U);
+    EXPECT_EQ(doc.rows[0][0], "1");
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+    EXPECT_THROW(parse_csv("a,\"unterminated\n"), precondition_error);
+}
+
+TEST(CsvParse, MissingTrailingNewlineOk) {
+    const csv_document doc = parse_csv("h1,h2\n3,4");
+    ASSERT_EQ(doc.rows.size(), 1U);
+    EXPECT_EQ(doc.rows[0][1], "4");
+}
+
+TEST(FormatNumber, RoundTripsTypicalValues) {
+    EXPECT_EQ(format_number(0.6695), "0.6695");
+    EXPECT_EQ(format_number(3300.0), "3300");
+    EXPECT_EQ(format_number(-2.243), "-2.243");
+}
+
+TEST(FormatNumber, NonFinite) {
+    EXPECT_EQ(format_number(std::numeric_limits<double>::infinity()), "inf");
+    EXPECT_EQ(format_number(-std::numeric_limits<double>::infinity()), "-inf");
+    EXPECT_EQ(format_number(std::nan("")), "nan");
+}
+
+TEST(SeriesCsv, LongFormatExport) {
+    time_series ts;
+    ts.push_back(0.0, 1.0);
+    ts.push_back(10.0, 2.0);
+    std::ostringstream os;
+    write_series_csv(os, {named_series{"cpu0_temp", "degC", ts}});
+    const csv_document doc = parse_csv(os.str());
+    ASSERT_EQ(doc.rows.size(), 2U);
+    EXPECT_EQ(doc.rows[0][0], "cpu0_temp");
+    EXPECT_EQ(doc.rows[1][3], "degC");
+}
+
+TEST(Stats, MeanVarianceStddev) {
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_NEAR(variance(xs), 4.571428571, 1e-8);
+    EXPECT_NEAR(stddev(xs), 2.13809, 1e-4);
+}
+
+TEST(Stats, EmptyMeanThrows) { EXPECT_THROW(mean({}), precondition_error); }
+
+TEST(Stats, VarianceNeedsTwoSamples) { EXPECT_THROW(variance({1.0}), precondition_error); }
+
+TEST(Stats, RmseAndMae) {
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    const std::vector<double> p{1.0, 2.0, 6.0};
+    EXPECT_NEAR(rmse(a, p), std::sqrt(3.0), 1e-12);
+    EXPECT_NEAR(mae(a, p), 1.0, 1e-12);
+}
+
+TEST(Stats, RSquaredPerfectFit) {
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(r_squared(a, a), 1.0);
+}
+
+TEST(Stats, RSquaredMeanPredictorIsZero) {
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    const std::vector<double> p{2.0, 2.0, 2.0};
+    EXPECT_NEAR(r_squared(a, p), 0.0, 1e-12);
+}
+
+TEST(Stats, RSquaredConstantActualThrows) {
+    EXPECT_THROW(r_squared({2.0, 2.0}, {1.0, 3.0}), precondition_error);
+}
+
+TEST(Stats, Percentile) {
+    std::vector<double> xs{15.0, 20.0, 35.0, 40.0, 50.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 15.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 35.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+}
+
+TEST(Stats, PercentileOutOfRangeThrows) {
+    EXPECT_THROW(percentile({1.0}, -1.0), precondition_error);
+    EXPECT_THROW(percentile({1.0}, 101.0), precondition_error);
+}
+
+}  // namespace

@@ -1,0 +1,207 @@
+// Unit tests for dense matrix algebra and LU decomposition.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+
+namespace {
+
+using ltsc::util::lu_decomposition;
+using ltsc::util::matrix;
+using ltsc::util::numeric_error;
+using ltsc::util::precondition_error;
+using ltsc::util::solve;
+
+TEST(Matrix, ConstructionAndFill) {
+    matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2U);
+    EXPECT_EQ(m.cols(), 3U);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+}
+
+TEST(Matrix, ZeroSizedThrows) {
+    EXPECT_THROW(matrix(0, 3), precondition_error);
+    EXPECT_THROW(matrix(3, 0), precondition_error);
+}
+
+TEST(Matrix, IndexOutOfRangeThrows) {
+    matrix m(2, 2);
+    EXPECT_THROW(m(2, 0), precondition_error);
+    EXPECT_THROW(m(0, 2), precondition_error);
+}
+
+TEST(Matrix, Identity) {
+    const matrix i = matrix::identity(3);
+    EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(i(1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+}
+
+TEST(Matrix, AddSubtract) {
+    matrix a(2, 2, 1.0);
+    matrix b(2, 2, 2.0);
+    EXPECT_DOUBLE_EQ((a + b)(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ((b - a)(1, 1), 1.0);
+}
+
+TEST(Matrix, DimensionMismatchThrows) {
+    matrix a(2, 2);
+    matrix b(3, 3);
+    EXPECT_THROW(a + b, precondition_error);
+    EXPECT_THROW(a - b, precondition_error);
+    EXPECT_THROW(a * matrix(3, 2), precondition_error);
+}
+
+TEST(Matrix, Multiply) {
+    matrix a(2, 3);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(0, 2) = 3;
+    a(1, 0) = 4;
+    a(1, 1) = 5;
+    a(1, 2) = 6;
+    matrix b(3, 2);
+    b(0, 0) = 7;
+    b(0, 1) = 8;
+    b(1, 0) = 9;
+    b(1, 1) = 10;
+    b(2, 0) = 11;
+    b(2, 1) = 12;
+    const matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MultiplyByIdentityIsNoOp) {
+    matrix a(3, 3);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            a(r, c) = static_cast<double>(r * 3 + c + 1);
+        }
+    }
+    const matrix p = a * matrix::identity(3);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            EXPECT_DOUBLE_EQ(p(r, c), a(r, c));
+        }
+    }
+}
+
+TEST(Matrix, ScalarMultiply) {
+    matrix a(2, 2, 3.0);
+    EXPECT_DOUBLE_EQ((a * 2.0)(1, 0), 6.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+    matrix a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 3;
+    a(1, 1) = 4;
+    const std::vector<double> v{5.0, 6.0};
+    const std::vector<double> r = a * v;
+    EXPECT_DOUBLE_EQ(r[0], 17.0);
+    EXPECT_DOUBLE_EQ(r[1], 39.0);
+}
+
+TEST(Matrix, Transposed) {
+    matrix a(2, 3);
+    a(0, 2) = 5.0;
+    const matrix t = a.transposed();
+    EXPECT_EQ(t.rows(), 3U);
+    EXPECT_EQ(t.cols(), 2U);
+    EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+}
+
+TEST(Matrix, MaxAbs) {
+    matrix a(2, 2);
+    a(0, 1) = -7.5;
+    a(1, 0) = 3.0;
+    EXPECT_DOUBLE_EQ(a.max_abs(), 7.5);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+    matrix a(3, 3);
+    a(0, 0) = 2;
+    a(0, 1) = 1;
+    a(0, 2) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 3;
+    a(1, 2) = 2;
+    a(2, 0) = 1;
+    a(2, 1) = 0;
+    a(2, 2) = 0;
+    const std::vector<double> b{4.0, 5.0, 6.0};
+    const std::vector<double> x = solve(a, b);
+    // Verify A x = b.
+    const std::vector<double> back = a * x;
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_NEAR(back[i], b[i], 1e-10);
+    }
+}
+
+TEST(Lu, RequiresPivoting) {
+    // Zero on the initial diagonal forces a row swap.
+    matrix a(2, 2);
+    a(0, 0) = 0;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 0;
+    const std::vector<double> x = solve(a, {3.0, 4.0});
+    EXPECT_DOUBLE_EQ(x[0], 4.0);
+    EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+    matrix a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 2;
+    a(1, 1) = 4;
+    EXPECT_THROW(lu_decomposition{a}, numeric_error);
+}
+
+TEST(Lu, NonSquareThrows) {
+    matrix a(2, 3);
+    EXPECT_THROW(lu_decomposition{a}, precondition_error);
+}
+
+TEST(Lu, Determinant) {
+    matrix a(2, 2);
+    a(0, 0) = 3;
+    a(0, 1) = 1;
+    a(1, 0) = 4;
+    a(1, 1) = 2;
+    EXPECT_NEAR(lu_decomposition(a).determinant(), 2.0, 1e-12);
+}
+
+TEST(Lu, DeterminantSignWithPivot) {
+    matrix a(2, 2);
+    a(0, 0) = 0;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 0;
+    EXPECT_NEAR(lu_decomposition(a).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, ReusableForMultipleRhs) {
+    matrix a(2, 2);
+    a(0, 0) = 4;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 3;
+    const lu_decomposition lu(a);
+    const std::vector<double> x1 = lu.solve({1.0, 0.0});
+    const std::vector<double> x2 = lu.solve({0.0, 1.0});
+    EXPECT_NEAR(4 * x1[0] + x1[1], 1.0, 1e-12);
+    EXPECT_NEAR(x2[0] + 3 * x2[1], 1.0, 1e-12);
+}
+
+TEST(Lu, RhsSizeMismatchThrows) {
+    const lu_decomposition lu(matrix::identity(3));
+    EXPECT_THROW(lu.solve({1.0, 2.0}), precondition_error);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Unit tests for scalar optimization and root finding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/optimize.hpp"
+
+namespace {
+
+using ltsc::util::brent_root;
+using ltsc::util::fixed_point;
+using ltsc::util::golden_section_minimize;
+using ltsc::util::minimize_over;
+using ltsc::util::precondition_error;
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+    const auto r = golden_section_minimize([](double x) { return (x - 2.5) * (x - 2.5); }, 0.0,
+                                           10.0, 1e-8);
+    EXPECT_NEAR(r.x, 2.5, 1e-6);
+    EXPECT_NEAR(r.value, 0.0, 1e-10);
+}
+
+TEST(GoldenSection, FindsMinimumAtBoundary) {
+    const auto r = golden_section_minimize([](double x) { return x; }, 1.0, 5.0, 1e-8);
+    EXPECT_NEAR(r.x, 1.0, 1e-6);
+}
+
+TEST(GoldenSection, FanLeakageShapedCurve) {
+    // The paper's convex fan+leakage curve: cubic fan term decreasing with
+    // temperature proxy, exponential leakage increasing.
+    const auto cost = [](double t) {
+        const double fan = 50.0 * std::pow(85.0 / t, 3.0) * 0.1;
+        const double leak = 0.3231 * std::exp(0.04749 * t);
+        return fan + leak;
+    };
+    const auto r = golden_section_minimize(cost, 50.0, 85.0, 1e-8);
+    // Interior minimum with zero derivative.
+    const double h = 1e-4;
+    EXPECT_NEAR((cost(r.x + h) - cost(r.x - h)) / (2 * h), 0.0, 1e-3);
+}
+
+TEST(GoldenSection, InvalidIntervalThrows) {
+    EXPECT_THROW(golden_section_minimize([](double x) { return x; }, 5.0, 1.0), precondition_error);
+    EXPECT_THROW(golden_section_minimize([](double x) { return x; }, 1.0, 5.0, 0.0),
+                 precondition_error);
+}
+
+TEST(MinimizeOver, PicksBestCandidate) {
+    const auto r = minimize_over([](double x) { return std::fabs(x - 3.1); },
+                                 {1.0, 2.0, 3.0, 4.0, 5.0});
+    EXPECT_DOUBLE_EQ(r.x, 3.0);
+    EXPECT_EQ(r.evaluations, 5);
+}
+
+TEST(MinimizeOver, FirstWinsOnTie) {
+    const auto r = minimize_over([](double) { return 1.0; }, {7.0, 8.0, 9.0});
+    EXPECT_DOUBLE_EQ(r.x, 7.0);
+}
+
+TEST(MinimizeOver, EmptyThrows) {
+    EXPECT_THROW(minimize_over([](double x) { return x; }, {}), precondition_error);
+}
+
+TEST(BrentRoot, FindsCosRoot) {
+    const auto r = brent_root([](double x) { return std::cos(x); }, 1.0, 2.0, 1e-12);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x, 1.5707963267948966, 1e-9);
+}
+
+TEST(BrentRoot, FindsPolynomialRoot) {
+    const auto r = brent_root([](double x) { return x * x * x - 2.0 * x - 5.0; }, 2.0, 3.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x, 2.0945514815423265, 1e-7);
+}
+
+TEST(BrentRoot, RootAtBracketEnd) {
+    const auto r = brent_root([](double x) { return x; }, 0.0, 1.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x, 0.0, 1e-9);
+}
+
+TEST(BrentRoot, NonBracketingThrows) {
+    EXPECT_THROW(brent_root([](double x) { return x * x + 1.0; }, -1.0, 1.0), precondition_error);
+}
+
+TEST(FixedPoint, ConvergesForContraction) {
+    // x = cos(x) has the Dottie number as fixed point.
+    const auto r = fixed_point([](double x) { return std::cos(x); }, 0.5, 1.0, 1e-12, 1000);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x, 0.7390851332151607, 1e-8);
+}
+
+TEST(FixedPoint, DampingStabilizesOscillation) {
+    // g(x) = -x oscillates undamped; damping 0.5 sends it to 0.
+    const auto r = fixed_point([](double x) { return -x; }, 1.0, 0.5, 1e-12, 200);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x, 0.0, 1e-10);
+}
+
+TEST(FixedPoint, LeakageTemperatureSelfConsistency) {
+    // The simulator's inner loop: T = T_inlet + R * (P0 + leak(T)).
+    const auto g = [](double t) {
+        const double leak = 8.0 + 0.3231 * std::exp(0.04749 * t);
+        return 28.0 + 0.48 * (105.0 + 0.5 * leak);
+    };
+    const auto r = fixed_point(g, 40.0, 1.0, 1e-10, 500);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(g(r.x), r.x, 1e-8);
+    EXPECT_GT(r.x, 70.0);
+    EXPECT_LT(r.x, 95.0);
+}
+
+TEST(FixedPoint, BadDampingThrows) {
+    EXPECT_THROW(fixed_point([](double x) { return x; }, 0.0, 0.0), precondition_error);
+    EXPECT_THROW(fixed_point([](double x) { return x; }, 0.0, 1.5), precondition_error);
+}
+
+TEST(FixedPoint, ReportsNonConvergence) {
+    const auto r = fixed_point([](double x) { return x + 1.0; }, 0.0, 1.0, 1e-9, 10);
+    EXPECT_FALSE(r.converged);
+}
+
+}  // namespace

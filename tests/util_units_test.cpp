@@ -1,0 +1,96 @@
+// Unit tests for the strong unit types (util/units.hpp).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace {
+
+using namespace ltsc::util;
+using namespace ltsc::util::literals;
+
+TEST(Units, DefaultConstructedIsZero) {
+    watts_t w;
+    EXPECT_EQ(w.value(), 0.0);
+}
+
+TEST(Units, LiteralConstruction) {
+    EXPECT_DOUBLE_EQ((65.5_degC).value(), 65.5);
+    EXPECT_DOUBLE_EQ((240_W).value(), 240.0);
+    EXPECT_DOUBLE_EQ((1800_rpm).value(), 1800.0);
+    EXPECT_DOUBLE_EQ((90_s).value(), 90.0);
+    EXPECT_DOUBLE_EQ((5_min).value(), 300.0);
+    EXPECT_DOUBLE_EQ((1.5_min).value(), 90.0);
+}
+
+TEST(Units, AdditionAndSubtraction) {
+    const watts_t a{10.0};
+    const watts_t b{2.5};
+    EXPECT_DOUBLE_EQ((a + b).value(), 12.5);
+    EXPECT_DOUBLE_EQ((a - b).value(), 7.5);
+    EXPECT_DOUBLE_EQ((-b).value(), -2.5);
+}
+
+TEST(Units, CompoundAssignment) {
+    watts_t w{5.0};
+    w += watts_t{1.0};
+    EXPECT_DOUBLE_EQ(w.value(), 6.0);
+    w -= watts_t{2.0};
+    EXPECT_DOUBLE_EQ(w.value(), 4.0);
+    w *= 3.0;
+    EXPECT_DOUBLE_EQ(w.value(), 12.0);
+    w /= 4.0;
+    EXPECT_DOUBLE_EQ(w.value(), 3.0);
+}
+
+TEST(Units, ScalarMultiplication) {
+    const rpm_t r{1800.0};
+    EXPECT_DOUBLE_EQ((r * 2.0).value(), 3600.0);
+    EXPECT_DOUBLE_EQ((0.5 * r).value(), 900.0);
+    EXPECT_DOUBLE_EQ((r / 3.0).value(), 600.0);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDimensionless) {
+    const rpm_t a{4200.0};
+    const rpm_t b{1800.0};
+    EXPECT_NEAR(a / b, 2.3333, 1e-3);
+}
+
+TEST(Units, Comparisons) {
+    EXPECT_LT(65_degC, 75_degC);
+    EXPECT_GE(75_degC, 75_degC);
+    EXPECT_EQ(1800_rpm, 1800_rpm);
+    EXPECT_NE(1800_rpm, 2400_rpm);
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+    const joules_t e = 100_W * 60_s;
+    EXPECT_DOUBLE_EQ(e.value(), 6000.0);
+    const joules_t e2 = 60_s * 100_W;
+    EXPECT_DOUBLE_EQ(e2.value(), 6000.0);
+}
+
+TEST(Units, EnergyOverTimeIsPower) {
+    const watts_t p = joules_t{6000.0} / 60_s;
+    EXPECT_DOUBLE_EQ(p.value(), 100.0);
+}
+
+TEST(Units, KwhConversionRoundTrips) {
+    const joules_t j = from_kwh(0.6695);
+    EXPECT_NEAR(to_kwh(j), 0.6695, 1e-12);
+    EXPECT_DOUBLE_EQ(to_kwh(joules_t{3.6e6}), 1.0);
+}
+
+TEST(Units, AbsDiff) {
+    EXPECT_DOUBLE_EQ(abs_diff(70_degC, 75_degC).value(), 5.0);
+    EXPECT_DOUBLE_EQ(abs_diff(75_degC, 70_degC).value(), 5.0);
+}
+
+TEST(Units, StreamOutput) {
+    std::ostringstream os;
+    os << 42.5_W;
+    EXPECT_EQ(os.str(), "42.5");
+}
+
+}  // namespace

@@ -1,0 +1,260 @@
+// Unit tests for utilization profiles, LoadGen PWM synthesis and the
+// paper's four test profiles.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workload/loadgen.hpp"
+#include "workload/paper_tests.hpp"
+#include "workload/profile.hpp"
+
+namespace {
+
+using namespace ltsc;
+using namespace ltsc::util::literals;
+using workload::loadgen;
+using workload::loadgen_config;
+using workload::utilization_profile;
+
+TEST(Profile, EmptyIsAlwaysIdle) {
+    const utilization_profile p("empty");
+    EXPECT_DOUBLE_EQ(p.utilization_at(0_s), 0.0);
+    EXPECT_DOUBLE_EQ(p.duration().value(), 0.0);
+}
+
+TEST(Profile, ConstantSegments) {
+    utilization_profile p("steps");
+    p.constant(30.0, 10_s).constant(70.0, 10_s);
+    EXPECT_DOUBLE_EQ(p.utilization_at(5_s), 30.0);
+    EXPECT_DOUBLE_EQ(p.utilization_at(15_s), 70.0);
+    EXPECT_DOUBLE_EQ(p.duration().value(), 20.0);
+}
+
+TEST(Profile, IdleOutsideSpan) {
+    utilization_profile p("x");
+    p.constant(50.0, 10_s);
+    EXPECT_DOUBLE_EQ(p.utilization_at(util::seconds_t{-1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(p.utilization_at(10_s), 0.0);  // end-exclusive
+    EXPECT_DOUBLE_EQ(p.utilization_at(11_s), 0.0);
+}
+
+TEST(Profile, RampInterpolatesLinearly) {
+    utilization_profile p("ramp");
+    p.ramp(0.0, 100.0, 100_s);
+    EXPECT_DOUBLE_EQ(p.utilization_at(0_s), 0.0);
+    EXPECT_DOUBLE_EQ(p.utilization_at(50_s), 50.0);
+    EXPECT_DOUBLE_EQ(p.utilization_at(99_s), 99.0);
+}
+
+TEST(Profile, SquareWave) {
+    utilization_profile p("sq");
+    p.square(90.0, 10.0, 5_s, 2);
+    EXPECT_DOUBLE_EQ(p.utilization_at(2_s), 90.0);
+    EXPECT_DOUBLE_EQ(p.utilization_at(7_s), 10.0);
+    EXPECT_DOUBLE_EQ(p.utilization_at(12_s), 90.0);
+    EXPECT_DOUBLE_EQ(p.duration().value(), 20.0);
+    EXPECT_EQ(p.segment_count(), 4U);
+}
+
+TEST(Profile, AverageUtilization) {
+    utilization_profile p("avg");
+    p.constant(100.0, 10_s).constant(0.0, 10_s).ramp(0.0, 100.0, 20_s);
+    EXPECT_NEAR(p.average_utilization(), (1000.0 + 0.0 + 1000.0) / 40.0, 1e-9);
+}
+
+TEST(Profile, RejectsOutOfRangeUtilization) {
+    utilization_profile p("bad");
+    EXPECT_THROW(p.constant(120.0, 10_s), util::precondition_error);
+    EXPECT_THROW(p.constant(-5.0, 10_s), util::precondition_error);
+    EXPECT_THROW(p.constant(50.0, 0_s), util::precondition_error);
+}
+
+TEST(Profile, SampledGridMatchesProfile) {
+    utilization_profile p("s");
+    p.ramp(0.0, 100.0, 10_s);
+    const auto ts = p.sampled(1_s);
+    EXPECT_EQ(ts.size(), 11U);
+    EXPECT_DOUBLE_EQ(ts.at(5).v, 50.0);
+}
+
+TEST(Profile, FromTraceRoundTrips) {
+    util::time_series trace;
+    trace.push_back(0.0, 20.0);
+    trace.push_back(10.0, 80.0);
+    trace.push_back(20.0, 40.0);
+    const auto p = workload::profile_from_trace("replay", trace);
+    EXPECT_NEAR(p.utilization_at(5_s), 50.0, 1e-9);
+    EXPECT_NEAR(p.utilization_at(15_s), 60.0, 1e-9);
+}
+
+// --- LoadGen -------------------------------------------------------------
+
+TEST(LoadGen, FullLoadBypassesPwm) {
+    utilization_profile p("full");
+    p.constant(100.0, 1000_s);
+    const loadgen lg(p);
+    for (double t = 0.0; t < 1000.0; t += 37.0) {
+        EXPECT_DOUBLE_EQ(lg.instantaneous_utilization(util::seconds_t{t}), 100.0);
+    }
+}
+
+TEST(LoadGen, IdleBypassesPwm) {
+    utilization_profile p("idle");
+    p.idle(1000_s);
+    const loadgen lg(p);
+    EXPECT_DOUBLE_EQ(lg.instantaneous_utilization(100_s), 0.0);
+}
+
+TEST(LoadGen, PwmDutyCycleMatchesTarget) {
+    utilization_profile p("duty");
+    p.constant(40.0, 10000_s);
+    loadgen_config cfg;
+    cfg.pwm_period = 100_s;
+    const loadgen lg(p, cfg);
+    // First 40 s of each period busy, rest idle.
+    EXPECT_DOUBLE_EQ(lg.instantaneous_utilization(10_s), 100.0);
+    EXPECT_DOUBLE_EQ(lg.instantaneous_utilization(39_s), 100.0);
+    EXPECT_DOUBLE_EQ(lg.instantaneous_utilization(41_s), 0.0);
+    EXPECT_DOUBLE_EQ(lg.instantaneous_utilization(139_s), 100.0);
+}
+
+TEST(LoadGen, TimeAverageEqualsTarget) {
+    utilization_profile p("avg");
+    p.constant(37.0, 100000_s);
+    loadgen_config cfg;
+    cfg.pwm_period = 100_s;
+    const loadgen lg(p, cfg);
+    double acc = 0.0;
+    int n = 0;
+    for (double t = 0.0; t < 10000.0; t += 0.5) {
+        acc += lg.instantaneous_utilization(util::seconds_t{t});
+        ++n;
+    }
+    EXPECT_NEAR(acc / n, 37.0, 1.0);
+}
+
+TEST(LoadGen, MeasuredUtilizationOverFullPeriodIsTarget) {
+    utilization_profile p("m");
+    p.constant(60.0, 100000_s);
+    loadgen_config cfg;
+    cfg.pwm_period = 240_s;
+    const loadgen lg(p, cfg);
+    EXPECT_NEAR(lg.measured_utilization(util::seconds_t{2400.0}, 240_s), 60.0, 2.0);
+}
+
+TEST(LoadGen, MeasuredUtilizationShortWindowSeesPwmPhase) {
+    utilization_profile p("m2");
+    p.constant(50.0, 100000_s);
+    loadgen_config cfg;
+    cfg.pwm_period = 240_s;
+    const loadgen lg(p, cfg);
+    // 10 s window inside the busy half of a period reads ~100.
+    EXPECT_NEAR(lg.measured_utilization(util::seconds_t{240.0 + 60.0}, 10_s), 100.0, 1e-9);
+    // 10 s window inside the idle half reads ~0.
+    EXPECT_NEAR(lg.measured_utilization(util::seconds_t{240.0 + 200.0}, 10_s), 0.0, 1e-9);
+}
+
+TEST(LoadGen, StressIntensityCapsPeak) {
+    utilization_profile p("cap");
+    p.constant(90.0, 1000_s);
+    loadgen_config cfg;
+    cfg.stress_intensity = 0.8;
+    const loadgen lg(p, cfg);
+    for (double t = 0.0; t < 1000.0; t += 13.0) {
+        EXPECT_LE(lg.instantaneous_utilization(util::seconds_t{t}), 80.0 + 1e-12);
+    }
+}
+
+TEST(LoadGen, TargetUtilizationTracksProfile) {
+    utilization_profile p("t");
+    p.ramp(0.0, 100.0, 100_s);
+    const loadgen lg(p);
+    EXPECT_DOUBLE_EQ(lg.target_utilization(50_s), 50.0);
+}
+
+TEST(LoadGen, BadConfigThrows) {
+    utilization_profile p("b");
+    p.constant(10.0, 10_s);
+    loadgen_config cfg;
+    cfg.pwm_period = 0_s;
+    EXPECT_THROW(loadgen(p, cfg), util::precondition_error);
+    cfg.pwm_period = 60_s;
+    cfg.stress_intensity = 0.0;
+    EXPECT_THROW(loadgen(p, cfg), util::precondition_error);
+}
+
+// --- paper tests -----------------------------------------------------------
+
+TEST(PaperTests, AllAre80Minutes) {
+    for (const auto& p : workload::all_paper_tests()) {
+        EXPECT_NEAR(p.duration().value(), 80.0 * 60.0, 6.0) << p.name();
+    }
+}
+
+TEST(PaperTests, HeadAndTailAreIdle) {
+    for (const auto& p : workload::all_paper_tests()) {
+        EXPECT_DOUBLE_EQ(p.utilization_at(2.0_min), 0.0) << p.name();
+        EXPECT_DOUBLE_EQ(p.utilization_at(75.0_min), 0.0) << p.name();
+    }
+}
+
+TEST(PaperTests, Test1RampReaches100AndReturns) {
+    const auto p = workload::make_paper_test(workload::paper_test::test1_ramp);
+    double peak = 0.0;
+    for (double t = 0.0; t < p.duration().value(); t += 10.0) {
+        peak = std::max(peak, p.utilization_at(util::seconds_t{t}));
+    }
+    EXPECT_DOUBLE_EQ(peak, 100.0);
+    // Symmetric staircase about the 100 % apex (t = 37.5 min): mirrored
+    // instants see the same level.
+    const double apex_s = 37.5 * 60.0;
+    const double probe_s = 20.0 * 60.0;
+    EXPECT_NEAR(p.utilization_at(util::seconds_t{probe_s}),
+                p.utilization_at(util::seconds_t{2.0 * apex_s - probe_s}), 1.0);
+}
+
+TEST(PaperTests, Test2AlternatesHighLow) {
+    const auto p = workload::make_paper_test(workload::paper_test::test2_periods);
+    EXPECT_DOUBLE_EQ(p.utilization_at(7.0_min), 100.0);   // first 5-min high
+    EXPECT_DOUBLE_EQ(p.utilization_at(12.0_min), 10.0);   // first 5-min low
+    EXPECT_DOUBLE_EQ(p.utilization_at(20.0_min), 100.0);  // 10-min high
+}
+
+TEST(PaperTests, Test3ChangesEvery5Minutes) {
+    const auto p = workload::make_paper_test(workload::paper_test::test3_frequent);
+    // Within segments constant, across 5-min boundaries changing.
+    const double a = p.utilization_at(6.0_min);
+    const double b = p.utilization_at(9.0_min);
+    const double c = p.utilization_at(11.0_min);
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(PaperTests, Test4IsDeterministicPerSeed) {
+    const auto a = workload::make_paper_test(workload::paper_test::test4_poisson, 123);
+    const auto b = workload::make_paper_test(workload::paper_test::test4_poisson, 123);
+    const auto c = workload::make_paper_test(workload::paper_test::test4_poisson, 456);
+    double max_diff_ab = 0.0;
+    double max_diff_ac = 0.0;
+    for (double t = 0.0; t < a.duration().value(); t += 30.0) {
+        const util::seconds_t ts{t};
+        max_diff_ab = std::max(max_diff_ab, std::fabs(a.utilization_at(ts) - b.utilization_at(ts)));
+        max_diff_ac = std::max(max_diff_ac, std::fabs(a.utilization_at(ts) - c.utilization_at(ts)));
+    }
+    EXPECT_DOUBLE_EQ(max_diff_ab, 0.0);
+    EXPECT_GT(max_diff_ac, 5.0);
+}
+
+TEST(PaperTests, AverageUtilizationInPlausibleBand) {
+    // The averages implied by Table I's energies: roughly 25-45 %.
+    for (const auto& p : workload::all_paper_tests()) {
+        EXPECT_GT(p.average_utilization(), 20.0) << p.name();
+        EXPECT_LT(p.average_utilization(), 50.0) << p.name();
+    }
+}
+
+TEST(PaperTests, NamesAreStable) {
+    EXPECT_STREQ(workload::paper_test_name(workload::paper_test::test1_ramp), "Test-1");
+    EXPECT_STREQ(workload::paper_test_name(workload::paper_test::test4_poisson), "Test-4");
+}
+
+}  // namespace
