@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# One-shot tier-1 verify: configure + build + test.
+#
+#   scripts/check.sh            # Release (default)
+#   scripts/check.sh Debug      # any CMake build type
+#   BUILD_DIR=out scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_TYPE="${1:-Release}"
+BUILD_DIR="${BUILD_DIR:-build}"
+
+GENERATOR_ARGS=()
+if command -v ninja >/dev/null 2>&1; then
+    GENERATOR_ARGS=(-G Ninja)
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE" "${GENERATOR_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j

@@ -22,13 +22,15 @@ namespace ltsc::thermal {
 /// Opaque node handle.
 struct node_id {
     std::size_t index = 0;
-    friend bool operator==(node_id, node_id) = default;
+    friend bool operator==(node_id a, node_id b) { return a.index == b.index; }
+    friend bool operator!=(node_id a, node_id b) { return !(a == b); }
 };
 
 /// Opaque edge handle (also used for node-to-ambient couplings).
 struct edge_id {
     std::size_t index = 0;
-    friend bool operator==(edge_id, edge_id) = default;
+    friend bool operator==(edge_id a, edge_id b) { return a.index == b.index; }
+    friend bool operator!=(edge_id a, edge_id b) { return !(a == b); }
 };
 
 /// Lumped thermal network with mutable conductances and power injections.

@@ -129,6 +129,25 @@ csv_document parse_csv(const std::string& text) {
     return doc;
 }
 
+void ensure_rectangular(const csv_document& doc) {
+    for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+        if (doc.rows[i].size() != doc.header.size()) {
+            throw parse_error("csv: row " + std::to_string(i + 1) + " has " +
+                              std::to_string(doc.rows[i].size()) + " cells, header has " +
+                              std::to_string(doc.header.size()));
+        }
+    }
+}
+
+std::size_t column_index(const csv_document& doc, const std::string& name) {
+    for (std::size_t i = 0; i < doc.header.size(); ++i) {
+        if (doc.header[i] == name) {
+            return i;
+        }
+    }
+    throw parse_error("csv: missing column '" + name + "'");
+}
+
 void write_series_csv(std::ostream& os, const std::vector<named_series>& series) {
     csv_writer w(os);
     w.write_header({"series", "time_s", "value", "unit"});

@@ -47,6 +47,14 @@ struct csv_document {
 /// embedded separators; throws on unterminated quotes.
 [[nodiscard]] csv_document parse_csv(const std::string& text);
 
+/// Throws parse_error when any row has a different cell count than the
+/// header (a malformed / ragged row).
+void ensure_rectangular(const csv_document& doc);
+
+/// Index of `name` in the document's header; throws parse_error when the
+/// column is absent.
+[[nodiscard]] std::size_t column_index(const csv_document& doc, const std::string& name);
+
 /// Writes a set of named series that share no time base as long-format CSV
 /// with columns: series, time_s, value, unit.
 void write_series_csv(std::ostream& os, const std::vector<named_series>& series);

@@ -17,7 +17,8 @@ struct sample {
     double t = 0.0;  ///< Time in seconds since trace start.
     double v = 0.0;  ///< Value in the channel's unit.
 
-    friend bool operator==(const sample&, const sample&) = default;
+    friend bool operator==(const sample& a, const sample& b) { return a.t == b.t && a.v == b.v; }
+    friend bool operator!=(const sample& a, const sample& b) { return !(a == b); }
 };
 
 /// Monotonically ordered (time, value) trace with interpolation, windowed

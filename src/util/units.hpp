@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cmath>
-#include <compare>
 #include <ostream>
 
 namespace ltsc::util {
@@ -51,7 +50,12 @@ public:
     /// Ratio of two like quantities is a dimensionless double.
     friend constexpr double operator/(quantity a, quantity b) { return a.value_ / b.value_; }
 
-    friend constexpr auto operator<=>(quantity a, quantity b) = default;
+    friend constexpr bool operator==(quantity a, quantity b) { return a.value_ == b.value_; }
+    friend constexpr bool operator!=(quantity a, quantity b) { return a.value_ != b.value_; }
+    friend constexpr bool operator<(quantity a, quantity b) { return a.value_ < b.value_; }
+    friend constexpr bool operator<=(quantity a, quantity b) { return a.value_ <= b.value_; }
+    friend constexpr bool operator>(quantity a, quantity b) { return a.value_ > b.value_; }
+    friend constexpr bool operator>=(quantity a, quantity b) { return a.value_ >= b.value_; }
 
     friend std::ostream& operator<<(std::ostream& os, quantity q) { return os << q.value_; }
 

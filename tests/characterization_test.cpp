@@ -146,12 +146,12 @@ TEST(Characterization, FitRejectsDegenerateSweeps) {
         pts[i].avg_cpu_temp_c = 40.0 + static_cast<double>(i);
         pts[i].total_power_w = 500.0;
     }
-    EXPECT_THROW(core::fit_power_model(pts), util::precondition_error);
+    EXPECT_THROW(static_cast<void>(core::fit_power_model(pts)), util::precondition_error);
 }
 
 TEST(Characterization, FitRejectsTooFewPoints) {
     std::vector<sim::steady_point> pts(3);
-    EXPECT_THROW(core::fit_power_model(pts), util::precondition_error);
+    EXPECT_THROW(static_cast<void>(core::fit_power_model(pts)), util::precondition_error);
 }
 
 TEST(Characterization, BuildLutFallsBackToFastestWhenAllViolateCap) {

@@ -1,0 +1,111 @@
+// Golden regression guard for the paper-figure scenarios.
+//
+// Runs the Fig. 1(a) protocol experiment and the Fig. 3 Test-3
+// controller comparison headlessly with the default (fixed) RNG seed and
+// pins the summary metrics to checked-in golden values.  Tolerance bands
+// absorb legitimate cross-platform floating-point variance; a change
+// outside the band means the simulated physics or a controller moved and
+// the paper figures need re-validation.
+#include <gtest/gtest.h>
+
+#include "core/bang_bang_controller.hpp"
+#include "core/characterization.hpp"
+#include "core/controller_runtime.hpp"
+#include "core/default_controller.hpp"
+#include "core/lut_controller.hpp"
+#include "sim/experiment.hpp"
+#include "sim/metrics.hpp"
+#include "sim/server_simulator.hpp"
+#include "workload/paper_tests.hpp"
+
+namespace {
+
+using namespace ltsc;
+using namespace ltsc::util::literals;
+
+// Golden values recorded from the seed implementation (default seed
+// 0x5eed).  Relative bands: 0.5 % on energies/powers, absolute bands on
+// temperatures (sensors quantize to 0.25 degC steps).
+constexpr double kEnergyRelTol = 0.005;
+constexpr double kTempAbsTol = 0.5;
+
+TEST(GoldenFig1a, Slow1800RpmRunsHot) {
+    sim::server_simulator s;
+    sim::run_protocol_experiment(s, 1800_rpm, 100.0);
+    const auto m = sim::compute_metrics(s, "fig1a", "fixed-1800");
+
+    EXPECT_NEAR(s.trace().avg_cpu_temp.value_at(34.5 * 60.0), 85.2988, kTempAbsTol);
+    EXPECT_NEAR(m.energy_kwh, 0.4415149, 0.4415149 * kEnergyRelTol);
+    EXPECT_NEAR(m.peak_power_w, 712.1099, 712.1099 * kEnergyRelTol);
+    EXPECT_NEAR(m.max_temp_c, 86.50, kTempAbsTol);
+}
+
+TEST(GoldenFig1a, Fast4200RpmRunsColdButCostsFanPower) {
+    sim::server_simulator s;
+    sim::run_protocol_experiment(s, 4200_rpm, 100.0);
+    const auto m = sim::compute_metrics(s, "fig1a", "fixed-4200");
+
+    EXPECT_NEAR(s.trace().avg_cpu_temp.value_at(34.5 * 60.0), 57.2584, kTempAbsTol);
+    EXPECT_NEAR(m.energy_kwh, 0.4700890, 0.4700890 * kEnergyRelTol);
+    EXPECT_NEAR(m.peak_power_w, 744.6008, 744.6008 * kEnergyRelTol);
+    EXPECT_NEAR(m.max_temp_c, 58.50, kTempAbsTol);
+}
+
+// Each run gets a fresh plant so the goldens are independent of test
+// order, process layout, and RNG stream position (ctest runs each TEST
+// in its own process; a shared fixture would record different noise).
+sim::run_metrics run_test3(core::fan_controller& c) {
+    sim::server_simulator server;
+    const auto profile = workload::make_paper_test(workload::paper_test::test3_frequent);
+    return core::run_controlled(server, c, profile);
+}
+
+core::fan_lut characterized_lut() {
+    sim::server_simulator rig;
+    return core::characterize(rig).lut;
+}
+
+TEST(GoldenFig3, DefaultControllerPins3300Rpm) {
+    core::default_controller dflt;
+    const auto m = run_test3(dflt);
+    EXPECT_NEAR(m.energy_kwh, 0.6505767, 0.6505767 * kEnergyRelTol);
+    EXPECT_NEAR(m.max_temp_c, 63.25, kTempAbsTol);
+    EXPECT_DOUBLE_EQ(m.avg_rpm, 3300.0);
+    EXPECT_EQ(m.fan_changes, 0U);
+}
+
+TEST(GoldenFig3, BangBangOscillatesAndRunsHot) {
+    core::bang_bang_controller bang;
+    const auto m = run_test3(bang);
+    EXPECT_NEAR(m.energy_kwh, 0.6281197, 0.6281197 * kEnergyRelTol);
+    EXPECT_NEAR(m.max_temp_c, 75.75, kTempAbsTol);
+    EXPECT_NEAR(m.avg_rpm, 1908.77, 25.0);
+    EXPECT_EQ(m.fan_changes, 8U);
+}
+
+TEST(GoldenFig3, LutTracksUtilizationWithFewSwitches) {
+    core::lut_controller lut(characterized_lut());
+    const auto m = run_test3(lut);
+    EXPECT_NEAR(m.energy_kwh, 0.6278870, 0.6278870 * kEnergyRelTol);
+    EXPECT_NEAR(m.max_temp_c, 72.50, kTempAbsTol);
+    EXPECT_NEAR(m.avg_rpm, 1934.78, 25.0);
+    EXPECT_EQ(m.fan_changes, 5U);
+}
+
+TEST(GoldenFig3, PaperOrderingHolds) {
+    // The paper's qualitative claims, independent of the exact goldens:
+    // the leakage-aware LUT uses the least energy, the default controller
+    // the most, and the default stays coldest because it over-cools.
+    core::default_controller dflt;
+    core::bang_bang_controller bang;
+    core::lut_controller lut(characterized_lut());
+    const auto md = run_test3(dflt);
+    const auto mb = run_test3(bang);
+    const auto ml = run_test3(lut);
+    EXPECT_LT(ml.energy_kwh, md.energy_kwh);
+    EXPECT_LT(mb.energy_kwh, md.energy_kwh);
+    EXPECT_LE(ml.energy_kwh, mb.energy_kwh);
+    EXPECT_LT(md.max_temp_c, mb.max_temp_c);
+}
+
+}  // namespace

@@ -217,10 +217,10 @@ TEST(FailureInjection, TelemetryChannelsPresent) {
     sim::server_simulator s;
     const auto& t = s.telemetry();
     EXPECT_EQ(t.channel_count(), 4U + 32U + 4U + 1U + 1U);
-    EXPECT_NO_THROW(t.by_name("cpu0_temp_a"));
-    EXPECT_NO_THROW(t.by_name("dimm31_temp"));
-    EXPECT_NO_THROW(t.by_name("system_power"));
-    EXPECT_THROW(t.by_name("nonexistent"), util::precondition_error);
+    EXPECT_NO_THROW(static_cast<void>(t.by_name("cpu0_temp_a")));
+    EXPECT_NO_THROW(static_cast<void>(t.by_name("dimm31_temp")));
+    EXPECT_NO_THROW(static_cast<void>(t.by_name("system_power")));
+    EXPECT_THROW(static_cast<void>(t.by_name("nonexistent")), util::precondition_error);
 }
 
 }  // namespace

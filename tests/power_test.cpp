@@ -112,8 +112,8 @@ TEST(Active, ShapedCpuHeatExceedsProportionalAtMidUtil) {
 
 TEST(Active, UtilizationOutOfRangeThrows) {
     const power::active_model m;
-    EXPECT_THROW(m.total(-1.0), util::precondition_error);
-    EXPECT_THROW(m.total(101.0), util::precondition_error);
+    EXPECT_THROW(static_cast<void>(m.total(-1.0)), util::precondition_error);
+    EXPECT_THROW(static_cast<void>(m.total(101.0)), util::precondition_error);
 }
 
 TEST(Active, BadSplitThrows) {
@@ -251,7 +251,7 @@ TEST(ServerPower, Eqn1Decomposition) {
 
 TEST(ServerPower, NegativeFanPowerThrows) {
     const power::server_power_model m;
-    EXPECT_THROW(m.at(10.0, 50_degC, util::watts_t{-1.0}), util::precondition_error);
+    EXPECT_THROW(static_cast<void>(m.at(10.0, 50_degC, util::watts_t{-1.0})), util::precondition_error);
 }
 
 }  // namespace

@@ -22,8 +22,8 @@ TEST(ErlangC, KnownValues) {
 }
 
 TEST(ErlangC, UnstableSystemThrows) {
-    EXPECT_THROW(erlang_c(2, 2.0), util::precondition_error);
-    EXPECT_THROW(erlang_c(2, 2.5), util::precondition_error);
+    EXPECT_THROW(static_cast<void>(erlang_c(2, 2.0)), util::precondition_error);
+    EXPECT_THROW(static_cast<void>(erlang_c(2, 2.5)), util::precondition_error);
 }
 
 TEST(Mmc, UtilizationMatchesOfferedLoad) {

@@ -247,7 +247,7 @@ TEST(Metrics, NetSavingsRequiresPositiveBaselineNet) {
     base.energy_kwh = 0.4;
     base.duration_s = 80.0 * 60.0;
     sim::run_metrics cand = base;
-    EXPECT_THROW(sim::net_savings(cand, base, 366_W), util::precondition_error);
+    EXPECT_THROW(static_cast<void>(sim::net_savings(cand, base, 366_W)), util::precondition_error);
 }
 
 TEST(Metrics, TraceTooShortThrows) {

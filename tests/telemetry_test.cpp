@@ -42,7 +42,7 @@ TEST(SampleRing, SnapshotOldestToNewest) {
 TEST(SampleRing, RecentOutOfRangeThrows) {
     telemetry::sample_ring ring(2);
     ring.push(0.0, 1.0);
-    EXPECT_THROW(ring.recent(1), util::precondition_error);
+    EXPECT_THROW(static_cast<void>(ring.recent(1)), util::precondition_error);
 }
 
 TEST(SampleRing, ClearEmpties) {
@@ -103,7 +103,7 @@ TEST(Harness, LatestByName) {
     h.add_channel("power", "W", [] { return 500.0; });
     h.poll_now(0_s);
     EXPECT_DOUBLE_EQ(h.latest("power"), 500.0);
-    EXPECT_THROW(h.latest("missing"), util::precondition_error);
+    EXPECT_THROW(static_cast<void>(h.latest("missing")), util::precondition_error);
 }
 
 TEST(Harness, DuplicateNameRejected) {
@@ -115,7 +115,7 @@ TEST(Harness, DuplicateNameRejected) {
 TEST(Harness, NeverPolledLatestThrows) {
     telemetry::harness h;
     h.add_channel("a", "u", [] { return 0.0; });
-    EXPECT_THROW(h.latest("a"), util::precondition_error);
+    EXPECT_THROW(static_cast<void>(h.latest("a")), util::precondition_error);
 }
 
 TEST(Harness, ResetClearsEverything) {
@@ -145,7 +145,7 @@ TEST(Harness, ByIndexBoundsChecked) {
     telemetry::harness h;
     h.add_channel("a", "u", [] { return 0.0; });
     EXPECT_EQ(h.by_index(0).name(), "a");
-    EXPECT_THROW(h.by_index(1), util::precondition_error);
+    EXPECT_THROW(static_cast<void>(h.by_index(1)), util::precondition_error);
 }
 
 // --- analytics --------------------------------------------------------------------
@@ -195,7 +195,7 @@ TEST(RollingWindow, NonMonotonicTimeThrows) {
 
 TEST(RollingWindow, EmptyStatsThrow) {
     telemetry::rolling_window w(10.0);
-    EXPECT_THROW(w.mean(), util::precondition_error);
+    EXPECT_THROW(static_cast<void>(w.mean()), util::precondition_error);
 }
 
 TEST(ThresholdAlarm, HysteresisBehaviour) {

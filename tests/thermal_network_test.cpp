@@ -231,7 +231,7 @@ TEST(Airflow, TemperatureRiseInverseInFlow) {
 }
 
 TEST(Airflow, ZeroFlowThrows) {
-    EXPECT_THROW(thermal::stream_temperature_rise(100_W, util::cfm_t{0.0}),
+    EXPECT_THROW(static_cast<void>(thermal::stream_temperature_rise(100_W, util::cfm_t{0.0})),
                  util::precondition_error);
 }
 

@@ -89,9 +89,9 @@ TEST(Stats, MeanVarianceStddev) {
     EXPECT_NEAR(stddev(xs), 2.13809, 1e-4);
 }
 
-TEST(Stats, EmptyMeanThrows) { EXPECT_THROW(mean({}), precondition_error); }
+TEST(Stats, EmptyMeanThrows) { EXPECT_THROW(static_cast<void>(mean({})), precondition_error); }
 
-TEST(Stats, VarianceNeedsTwoSamples) { EXPECT_THROW(variance({1.0}), precondition_error); }
+TEST(Stats, VarianceNeedsTwoSamples) { EXPECT_THROW(static_cast<void>(variance({1.0})), precondition_error); }
 
 TEST(Stats, RmseAndMae) {
     const std::vector<double> a{1.0, 2.0, 3.0};
@@ -112,7 +112,7 @@ TEST(Stats, RSquaredMeanPredictorIsZero) {
 }
 
 TEST(Stats, RSquaredConstantActualThrows) {
-    EXPECT_THROW(r_squared({2.0, 2.0}, {1.0, 3.0}), precondition_error);
+    EXPECT_THROW(static_cast<void>(r_squared({2.0, 2.0}, {1.0, 3.0})), precondition_error);
 }
 
 TEST(Stats, Percentile) {
@@ -124,8 +124,66 @@ TEST(Stats, Percentile) {
 }
 
 TEST(Stats, PercentileOutOfRangeThrows) {
-    EXPECT_THROW(percentile({1.0}, -1.0), precondition_error);
-    EXPECT_THROW(percentile({1.0}, 101.0), precondition_error);
+    EXPECT_THROW(static_cast<void>(percentile({1.0}, -1.0)), precondition_error);
+    EXPECT_THROW(static_cast<void>(percentile({1.0}, 101.0)), precondition_error);
+}
+
+// --- error paths: malformed documents and the exception hierarchy ---------
+
+TEST(CsvValidate, RectangularDocumentPasses) {
+    const auto doc = parse_csv("a,b\n1,2\n3,4\n");
+    EXPECT_NO_THROW(ensure_rectangular(doc));
+}
+
+TEST(CsvValidate, MalformedShortRowThrows) {
+    const auto doc = parse_csv("a,b,c\n1,2,3\n4,5\n");
+    EXPECT_THROW(ensure_rectangular(doc), parse_error);
+}
+
+TEST(CsvValidate, MalformedLongRowThrows) {
+    const auto doc = parse_csv("a,b\n1,2\n3,4,5\n");
+    EXPECT_THROW(ensure_rectangular(doc), parse_error);
+}
+
+TEST(CsvValidate, ColumnLookupFindsHeader) {
+    const auto doc = parse_csv("series,time_s,value,unit\nx,0,1,W\n");
+    EXPECT_EQ(column_index(doc, "series"), 0U);
+    EXPECT_EQ(column_index(doc, "unit"), 3U);
+}
+
+TEST(CsvValidate, MissingColumnThrows) {
+    const auto doc = parse_csv("series,time_s,value,unit\nx,0,1,W\n");
+    EXPECT_THROW(static_cast<void>(column_index(doc, "temperature")), parse_error);
+}
+
+TEST(CsvValidate, MissingColumnMessageNamesTheColumn) {
+    const auto doc = parse_csv("a,b\n1,2\n");
+    try {
+        static_cast<void>(column_index(doc, "watts"));
+        FAIL() << "expected parse_error";
+    } catch (const parse_error& e) {
+        EXPECT_NE(std::string(e.what()).find("watts"), std::string::npos);
+    }
+}
+
+TEST(ErrorHierarchy, AllErrorsDeriveFromLtscError) {
+    EXPECT_THROW(throw precondition_error("p"), ltsc_error);
+    EXPECT_THROW(throw numeric_error("n"), ltsc_error);
+    EXPECT_THROW(throw parse_error("x"), ltsc_error);
+    // And all of ltsc is catchable as std::runtime_error at an API boundary.
+    EXPECT_THROW(throw parse_error("x"), std::runtime_error);
+}
+
+TEST(ErrorHierarchy, EnsureHelpers) {
+    EXPECT_NO_THROW(ensure(true, "unused"));
+    EXPECT_NO_THROW(ensure_numeric(true, "unused"));
+    EXPECT_THROW(ensure(false, "bad precondition"), precondition_error);
+    EXPECT_THROW(ensure_numeric(false, "diverged"), numeric_error);
+    try {
+        ensure(false, "bad precondition");
+    } catch (const precondition_error& e) {
+        EXPECT_STREQ(e.what(), "bad precondition");
+    }
 }
 
 }  // namespace

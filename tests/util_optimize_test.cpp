@@ -41,8 +41,8 @@ TEST(GoldenSection, FanLeakageShapedCurve) {
 }
 
 TEST(GoldenSection, InvalidIntervalThrows) {
-    EXPECT_THROW(golden_section_minimize([](double x) { return x; }, 5.0, 1.0), precondition_error);
-    EXPECT_THROW(golden_section_minimize([](double x) { return x; }, 1.0, 5.0, 0.0),
+    EXPECT_THROW(static_cast<void>(golden_section_minimize([](double x) { return x; }, 5.0, 1.0)), precondition_error);
+    EXPECT_THROW(static_cast<void>(golden_section_minimize([](double x) { return x; }, 1.0, 5.0, 0.0)),
                  precondition_error);
 }
 
@@ -59,7 +59,7 @@ TEST(MinimizeOver, FirstWinsOnTie) {
 }
 
 TEST(MinimizeOver, EmptyThrows) {
-    EXPECT_THROW(minimize_over([](double x) { return x; }, {}), precondition_error);
+    EXPECT_THROW(static_cast<void>(minimize_over([](double x) { return x; }, {})), precondition_error);
 }
 
 TEST(BrentRoot, FindsCosRoot) {
@@ -81,7 +81,7 @@ TEST(BrentRoot, RootAtBracketEnd) {
 }
 
 TEST(BrentRoot, NonBracketingThrows) {
-    EXPECT_THROW(brent_root([](double x) { return x * x + 1.0; }, -1.0, 1.0), precondition_error);
+    EXPECT_THROW(static_cast<void>(brent_root([](double x) { return x * x + 1.0; }, -1.0, 1.0)), precondition_error);
 }
 
 TEST(FixedPoint, ConvergesForContraction) {
@@ -112,8 +112,8 @@ TEST(FixedPoint, LeakageTemperatureSelfConsistency) {
 }
 
 TEST(FixedPoint, BadDampingThrows) {
-    EXPECT_THROW(fixed_point([](double x) { return x; }, 0.0, 0.0), precondition_error);
-    EXPECT_THROW(fixed_point([](double x) { return x; }, 0.0, 1.5), precondition_error);
+    EXPECT_THROW(static_cast<void>(fixed_point([](double x) { return x; }, 0.0, 0.0)), precondition_error);
+    EXPECT_THROW(static_cast<void>(fixed_point([](double x) { return x; }, 0.0, 1.5)), precondition_error);
 }
 
 TEST(FixedPoint, ReportsNonConvergence) {

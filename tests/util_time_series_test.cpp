@@ -48,7 +48,7 @@ TEST(TimeSeries, PushBackRejectsNonFinite) {
 TEST(TimeSeries, AtBoundsChecked) {
     const time_series ts = make_ramp();
     EXPECT_DOUBLE_EQ(ts.at(3).v, 6.0);
-    EXPECT_THROW(ts.at(11), precondition_error);
+    EXPECT_THROW(static_cast<void>(ts.at(11)), precondition_error);
 }
 
 TEST(TimeSeries, ValueAtInterpolatesLinearly) {
@@ -65,7 +65,7 @@ TEST(TimeSeries, ValueAtClampsOutsideRange) {
 
 TEST(TimeSeries, ValueAtThrowsOnEmpty) {
     time_series ts;
-    EXPECT_THROW(ts.value_at(0.0), precondition_error);
+    EXPECT_THROW(static_cast<void>(ts.value_at(0.0)), precondition_error);
 }
 
 TEST(TimeSeries, MinMaxOverWholeTrace) {
@@ -90,9 +90,9 @@ TEST(TimeSeries, WindowBoundariesInterpolate) {
 
 TEST(TimeSeries, InvertedWindowThrows) {
     const time_series ts = make_ramp();
-    EXPECT_THROW(ts.min(5.0, 3.0), precondition_error);
-    EXPECT_THROW(ts.max(5.0, 3.0), precondition_error);
-    EXPECT_THROW(ts.integrate(5.0, 3.0), precondition_error);
+    EXPECT_THROW(static_cast<void>(ts.min(5.0, 3.0)), precondition_error);
+    EXPECT_THROW(static_cast<void>(ts.max(5.0, 3.0)), precondition_error);
+    EXPECT_THROW(static_cast<void>(ts.integrate(5.0, 3.0)), precondition_error);
 }
 
 TEST(TimeSeries, IntegrateLinearRamp) {

@@ -204,7 +204,7 @@ TEST(Crac, ZeroItLoad) {
 
 TEST(Crac, NegativeLoadThrows) {
     const thermal::crac_model crac;
-    EXPECT_THROW(crac.cooling_power(util::watts_t{-1.0}, 20_degC), util::precondition_error);
+    EXPECT_THROW(static_cast<void>(crac.cooling_power(util::watts_t{-1.0}, 20_degC)), util::precondition_error);
 }
 
 TEST(Crac, DegenerateCurveThrows) {
@@ -213,7 +213,7 @@ TEST(Crac, DegenerateCurveThrows) {
     curve.b = 0.0;
     curve.c = -1.0;
     const thermal::crac_model crac(curve);
-    EXPECT_THROW(crac.cop(20_degC), util::numeric_error);
+    EXPECT_THROW(static_cast<void>(crac.cop(20_degC)), util::numeric_error);
 }
 
 TEST(Crac, ServerPlusRoomTradeoff) {
