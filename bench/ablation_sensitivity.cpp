@@ -5,6 +5,11 @@
 // saves energy, optimum near 2400 RPM, temperature under the cap) survive
 // if the real machine's parameters are off?  This bench perturbs the key
 // calibration constants by +-20-30 % and re-runs the Test-2 comparison.
+//
+// Every variant is a self-contained pipeline (characterize + two runs),
+// so the whole sweep fans out over sim::parallel_runner::map; rows print
+// in declaration order regardless of thread count (LTSC_THREADS=1 forces
+// a serial sweep).
 #include <cstdio>
 #include <vector>
 
@@ -14,6 +19,7 @@
 #include "core/default_controller.hpp"
 #include "core/lut_controller.hpp"
 #include "sim/metrics.hpp"
+#include "sim/parallel_runner.hpp"
 #include "sim/server_simulator.hpp"
 #include "workload/paper_tests.hpp"
 
@@ -27,7 +33,14 @@ struct variant {
     sim::server_config config;
 };
 
-void run_variant(const variant& v) {
+struct variant_row {
+    double net_savings = 0.0;
+    double lut_at_100_rpm = 0.0;
+    double max_temp_c = 0.0;
+    double avg_rpm = 0.0;
+};
+
+variant_row run_variant(const variant& v) {
     sim::server_simulator server(v.config);
     const core::fan_lut lut_table = core::characterize(server).lut;
     const util::watts_t idle = server.idle_power(3300_rpm);
@@ -38,9 +51,12 @@ void run_variant(const variant& v) {
     const sim::run_metrics base = core::run_controlled(server, dflt, profile);
     const sim::run_metrics m = core::run_controlled(server, lut, profile);
 
-    std::printf("%-28s %11.1f%% %12.0f %12.1f %14.0f\n", v.label,
-                100.0 * sim::net_savings(m, base, idle), lut_table.lookup(100.0).value(),
-                m.max_temp_c, m.avg_rpm);
+    variant_row row;
+    row.net_savings = sim::net_savings(m, base, idle);
+    row.lut_at_100_rpm = lut_table.lookup(100.0).value();
+    row.max_temp_c = m.max_temp_c;
+    row.avg_rpm = m.avg_rpm;
+    return row;
 }
 
 }  // namespace
@@ -89,8 +105,13 @@ int main() {
         variants.push_back({"30 degC ambient", c});
     }
 
-    for (const auto& v : variants) {
-        run_variant(v);
+    sim::parallel_runner runner(sim::parallel_runner::threads_from_env());
+    const std::vector<variant_row> rows = runner.map<variant_row>(
+        variants.size(), [&](std::size_t i) { return run_variant(variants[i]); });
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        std::printf("%-28s %11.1f%% %12.0f %12.1f %14.0f\n", variants[i].label,
+                    100.0 * rows[i].net_savings, rows[i].lut_at_100_rpm, rows[i].max_temp_c,
+                    rows[i].avg_rpm);
     }
 
     std::printf("\nexpected: savings stay positive across every variant; hotter plants\n"

@@ -4,46 +4,82 @@
 // speeds.  Re-running the characterization and Test-3 at data-center
 // ambients shows the LUT adapting: optima shift toward faster fans and
 // the controller uses more of its table.
+//
+// Each ambient is an independent pipeline (characterize, baseline run,
+// LUT run), so the five ambients execute concurrently through
+// sim::parallel_runner::map; rows print in sweep order regardless of
+// thread count (LTSC_THREADS=1 forces a serial sweep).
 #include <cstdio>
 #include <set>
+#include <vector>
 
 #include "core/characterization.hpp"
 #include "core/controller_runtime.hpp"
 #include "core/default_controller.hpp"
 #include "core/lut_controller.hpp"
 #include "sim/metrics.hpp"
+#include "sim/parallel_runner.hpp"
 #include "sim/server_simulator.hpp"
 #include "workload/paper_tests.hpp"
+
+namespace {
+
+struct ambient_row {
+    double ambient_c = 0.0;
+    double lut_at_100_rpm = 0.0;
+    double energy_kwh = 0.0;
+    double net_savings = 0.0;
+    double max_temp_c = 0.0;
+    std::size_t distinct_speeds = 0;
+    double avg_rpm = 0.0;
+};
+
+}  // namespace
 
 int main() {
     using namespace ltsc;
     using namespace ltsc::util::literals;
 
-    std::printf("== Ambient sweep: lab (24 degC) vs data-center aisles ==\n\n");
+    const std::vector<double> ambients{18.0, 24.0, 28.0, 32.0, 36.0};
+    const auto profile = workload::make_paper_test(workload::paper_test::test3_frequent);
+
+    sim::parallel_runner runner(sim::parallel_runner::threads_from_env());
+    const std::vector<ambient_row> rows =
+        runner.map<ambient_row>(ambients.size(), [&](std::size_t i) {
+            auto cfg = sim::paper_server();
+            cfg.thermal.ambient_c = ambients[i];
+            sim::server_simulator server(cfg);
+            const auto ch = core::characterize(server);
+            const util::watts_t idle = server.idle_power(3300_rpm);
+
+            core::default_controller dflt;
+            core::lut_controller lut(ch.lut);
+            const sim::run_metrics base = core::run_controlled(server, dflt, profile);
+            const sim::run_metrics m = core::run_controlled(server, lut, profile);
+
+            std::set<double> speeds;
+            for (const auto& s : server.trace().avg_fan_rpm.samples()) {
+                speeds.insert(s.v);
+            }
+            ambient_row row;
+            row.ambient_c = ambients[i];
+            row.lut_at_100_rpm = ch.lut.lookup(100.0).value();
+            row.energy_kwh = m.energy_kwh;
+            row.net_savings = sim::net_savings(m, base, idle);
+            row.max_temp_c = m.max_temp_c;
+            row.distinct_speeds = speeds.size();
+            row.avg_rpm = m.avg_rpm;
+            return row;
+        });
+
+    std::printf("== Ambient sweep: lab (24 degC) vs data-center aisles (%zu threads) ==\n\n",
+                runner.thread_count());
     std::printf("%14s %14s %13s %9s %12s %15s %10s\n", "ambient[degC]", "LUT@100%[rpm]",
                 "energy[kWh]", "net sav", "maxT[degC]", "distinct speeds", "avg RPM");
-
-    const auto profile = workload::make_paper_test(workload::paper_test::test3_frequent);
-    for (double ambient : {18.0, 24.0, 28.0, 32.0, 36.0}) {
-        auto cfg = sim::paper_server();
-        cfg.thermal.ambient_c = ambient;
-        sim::server_simulator server(cfg);
-        const auto ch = core::characterize(server);
-        const util::watts_t idle = server.idle_power(3300_rpm);
-
-        core::default_controller dflt;
-        core::lut_controller lut(ch.lut);
-        const sim::run_metrics base = core::run_controlled(server, dflt, profile);
-        const sim::run_metrics m = core::run_controlled(server, lut, profile);
-
-        std::set<double> speeds;
-        for (const auto& s : server.trace().avg_fan_rpm.samples()) {
-            speeds.insert(s.v);
-        }
-        std::printf("%14.0f %14.0f %13.4f %8.1f%% %12.1f %15zu %10.0f\n", ambient,
-                    ch.lut.lookup(100.0).value(), m.energy_kwh,
-                    100.0 * sim::net_savings(m, base, idle), m.max_temp_c, speeds.size(),
-                    m.avg_rpm);
+    for (const ambient_row& row : rows) {
+        std::printf("%14.0f %14.0f %13.4f %8.1f%% %12.1f %15zu %10.0f\n", row.ambient_c,
+                    row.lut_at_100_rpm, row.energy_kwh, 100.0 * row.net_savings, row.max_temp_c,
+                    row.distinct_speeds, row.avg_rpm);
     }
 
     std::printf("\npaper claim reproduced: at the paper's cool lab ambient the LUT\n"

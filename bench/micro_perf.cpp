@@ -33,6 +33,20 @@ void BM_ThermalStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ThermalStep);
 
+void BM_ThermalStepImplicit(benchmark::State& state) {
+    thermal::server_thermal_model m(thermal::server_thermal_config{},
+                                    thermal::integration_scheme::implicit_euler);
+    m.set_cpu_heat(0, 115_W);
+    m.set_cpu_heat(1, 115_W);
+    m.set_dimm_heat(145_W);
+    for (auto _ : state) {
+        m.step(1_s);
+        benchmark::DoNotOptimize(m.average_cpu_temp());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThermalStepImplicit);
+
 void BM_ThermalSteadyStateSolve(benchmark::State& state) {
     thermal::server_thermal_model m;
     m.set_cpu_heat(0, 115_W);

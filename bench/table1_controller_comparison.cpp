@@ -4,20 +4,28 @@
 //   Test | Control scheme | Energy (kWh) | Net Savings | Peak Pwr (W) |
 //   Max Temp (degC) | #fan changes | Avg RPM
 //
+// The twelve (test, controller) cells are independent closed-loop runs,
+// so they execute concurrently on a sim::parallel_runner; each cell gets
+// a fresh plant (the same methodology the golden-trace suite uses, so
+// cells are independent of run order and RNG stream position).  Results
+// are printed in table order regardless of thread count; set
+// LTSC_THREADS=1 to force a serial sweep.
+//
 // Paper shape to verify: the default policy never changes speed and
 // overcools (max temp ~60 degC); both controllers save energy; the LUT
 // controller saves the most on every test, keeps temperature under ~75
 // degC and reduces peak power by ~5-15 W.
 #include <cstdio>
+#include <iterator>
 #include <memory>
 #include <vector>
 
 #include "core/bang_bang_controller.hpp"
 #include "core/characterization.hpp"
-#include "core/controller_runtime.hpp"
 #include "core/default_controller.hpp"
 #include "core/lut_controller.hpp"
 #include "sim/metrics.hpp"
+#include "sim/parallel_runner.hpp"
 #include "sim/server_simulator.hpp"
 #include "workload/paper_tests.hpp"
 
@@ -25,15 +33,9 @@ int main() {
     using namespace ltsc;
     using namespace ltsc::util::literals;
 
-    sim::server_simulator server;
-    const core::fan_lut lut_table = core::characterize(server).lut;
-    const util::watts_t idle_power = server.idle_power(3300_rpm);
-
-    std::printf("== Table I: summary of controller properties ==\n");
-    std::printf("(idle power for net-savings accounting: %.1f W; paper-implied: 366 W)\n\n",
-                idle_power.value());
-    std::printf("%-7s %-8s %13s %12s %10s %10s %13s %9s\n", "Test", "Control", "Energy[kWh]",
-                "NetSavings", "PeakPwr[W]", "MaxT[degC]", "#fan changes", "Avg RPM");
+    sim::server_simulator rig;
+    const core::fan_lut lut_table = core::characterize(rig).lut;
+    const util::watts_t idle_power = rig.idle_power(3300_rpm);
 
     const workload::paper_test tests[] = {
         workload::paper_test::test1_ramp,
@@ -42,17 +44,39 @@ int main() {
         workload::paper_test::test4_poisson,
     };
 
+    std::vector<sim::scenario> scenarios;
     for (const auto test : tests) {
         const auto profile = workload::make_paper_test(test);
+        sim::scenario dflt;
+        dflt.profile = profile;
+        dflt.make_controller = [] { return std::make_unique<core::default_controller>(); };
+        scenarios.push_back(dflt);
 
-        core::default_controller dflt;
-        core::bang_bang_controller bang;
-        core::lut_controller lut(lut_table);
+        sim::scenario bang;
+        bang.profile = profile;
+        bang.make_controller = [] { return std::make_unique<core::bang_bang_controller>(); };
+        scenarios.push_back(bang);
 
-        const sim::run_metrics m_d = core::run_controlled(server, dflt, profile);
-        const sim::run_metrics m_b = core::run_controlled(server, bang, profile);
-        const sim::run_metrics m_l = core::run_controlled(server, lut, profile);
+        sim::scenario lut;
+        lut.profile = profile;
+        lut.make_controller = [&lut_table] {
+            return std::make_unique<core::lut_controller>(lut_table);
+        };
+        scenarios.push_back(lut);
+    }
 
+    sim::parallel_runner runner(sim::parallel_runner::threads_from_env());
+    const std::vector<sim::run_metrics> results = runner.run(scenarios);
+
+    std::printf("== Table I: summary of controller properties ==\n");
+    std::printf("(idle power for net-savings accounting: %.1f W; paper-implied: 366 W; "
+                "%zu runs on %zu threads)\n\n",
+                idle_power.value(), results.size(), runner.thread_count());
+    std::printf("%-7s %-8s %13s %12s %10s %10s %13s %9s\n", "Test", "Control", "Energy[kWh]",
+                "NetSavings", "PeakPwr[W]", "MaxT[degC]", "#fan changes", "Avg RPM");
+
+    for (std::size_t t = 0; t < std::size(tests); ++t) {
+        const sim::run_metrics& m_d = results[3 * t];
         const auto print_row = [&](const sim::run_metrics& m, bool baseline) {
             char savings[16];
             if (baseline) {
@@ -66,8 +90,8 @@ int main() {
                         m.peak_power_w, m.max_temp_c, m.fan_changes, m.avg_rpm);
         };
         print_row(m_d, true);
-        print_row(m_b, false);
-        print_row(m_l, false);
+        print_row(results[3 * t + 1], false);
+        print_row(results[3 * t + 2], false);
     }
 
     std::printf("\npaper reference (Table I):\n");

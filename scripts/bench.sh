@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs the micro-benchmarks and records the results at the repo root.
+#
+#   scripts/bench.sh                   # Release build dir ./build, 0.1 s/bench
+#   BUILD_DIR=out scripts/bench.sh     # different build tree
+#   MIN_TIME=0.5 scripts/bench.sh      # longer sampling for stabler numbers
+#   FILTER='BM_Thermal' scripts/bench.sh  # subset of benchmarks
+#
+# Writes BENCH_micro.json (Google Benchmark JSON) at the repo root — the
+# perf trajectory the README's Performance section quotes — while still
+# printing the human-readable console table.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+MIN_TIME="${MIN_TIME:-0.1}"
+FILTER="${FILTER:-.}"
+
+if [ ! -x "$BUILD_DIR/bench/micro_perf" ]; then
+    GENERATOR_ARGS=()
+    if command -v ninja >/dev/null 2>&1; then
+        GENERATOR_ARGS=(-G Ninja)
+    fi
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release "${GENERATOR_ARGS[@]}"
+    cmake --build "$BUILD_DIR" -j --target micro_perf
+fi
+
+# BENCH_micro.json is the checked-in perf trajectory; refuse to record
+# it from anything but a Release build (ALLOW_NON_RELEASE=1 overrides,
+# e.g. for local profiling experiments).
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)
+if [ "$BUILD_TYPE" != "Release" ] && [ "${ALLOW_NON_RELEASE:-0}" != "1" ]; then
+    echo "error: $BUILD_DIR is a '$BUILD_TYPE' build; BENCH_micro.json must be recorded" >&2
+    echo "from Release (set ALLOW_NON_RELEASE=1 to override, or point BUILD_DIR at a" >&2
+    echo "Release tree)." >&2
+    exit 1
+fi
+
+"$BUILD_DIR/bench/micro_perf" \
+    --benchmark_filter="$FILTER" \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_out=BENCH_micro.json \
+    --benchmark_out_format=json
+
+echo
+echo "wrote $(pwd)/BENCH_micro.json"

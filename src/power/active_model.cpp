@@ -29,7 +29,11 @@ util::watts_t active_model::cpu(double u_pct) const {
     if (u_pct <= 0.0) {
         return util::watts_t{0.0};
     }
-    const double shaped = split_.cpu * coeff_ * 100.0 * std::pow(u_pct / 100.0, gamma_);
+    // gamma == 1 (the default, proportional shaping) bypasses pow();
+    // IEEE 754 guarantees pow(x, 1.0) == x, so the result is identical.
+    const double frac = u_pct / 100.0;
+    const double shape = gamma_ == 1.0 ? frac : std::pow(frac, gamma_);
+    const double shaped = split_.cpu * coeff_ * 100.0 * shape;
     return util::watts_t{std::min(total_w, shaped)};
 }
 

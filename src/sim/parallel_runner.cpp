@@ -1,0 +1,43 @@
+#include "sim/parallel_runner.hpp"
+
+#include <cstdlib>
+
+#include "sim/server_simulator.hpp"
+#include "util/error.hpp"
+
+namespace ltsc::sim {
+
+parallel_runner::parallel_runner(std::size_t threads) : pool_(threads) {}
+
+std::size_t parallel_runner::thread_count() const { return pool_.thread_count(); }
+
+std::size_t parallel_runner::threads_from_env() {
+    const char* env = std::getenv("LTSC_THREADS");
+    if (env == nullptr) {
+        return 0;
+    }
+    const long parsed = std::strtol(env, nullptr, 10);
+    return parsed > 0 ? static_cast<std::size_t>(parsed) : 0;
+}
+
+std::vector<run_metrics> parallel_runner::run(const std::vector<scenario>& scenarios) {
+    for (const scenario& s : scenarios) {
+        util::ensure(s.make_controller != nullptr,
+                     "parallel_runner::run: scenario without controller factory");
+    }
+    std::vector<run_metrics> out(scenarios.size());
+    pool_.run_indexed(scenarios.size(), [&](std::size_t i) {
+        const scenario& s = scenarios[i];
+        server_simulator sim(s.config);
+        const std::unique_ptr<core::fan_controller> controller = s.make_controller();
+        util::ensure(controller != nullptr,
+                     "parallel_runner::run: controller factory returned null");
+        out[i] = core::run_controlled(sim, *controller, s.profile, s.runtime);
+        if (!s.name.empty()) {
+            out[i].test_name = s.name;
+        }
+    });
+    return out;
+}
+
+}  // namespace ltsc::sim

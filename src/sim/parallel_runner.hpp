@@ -1,0 +1,72 @@
+// Concurrent execution of independent simulation scenarios.
+//
+// Every figure/table harness boils down to a list of independent
+// (config, workload, controller) runs whose results are read in a fixed
+// order.  parallel_runner fans those runs out over a util::thread_pool:
+// each scenario constructs its own server_simulator (and its own
+// controller via the factory), so runs share no mutable state, and the
+// result vector is indexed by scenario position — the output is
+// bitwise-deterministic regardless of thread count or scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/controller_runtime.hpp"
+#include "sim/metrics.hpp"
+#include "sim/server_config.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/profile.hpp"
+
+namespace ltsc::sim {
+
+/// One independent closed-loop experiment.  The controller is supplied as
+/// a factory so each run owns a fresh instance (controllers carry state).
+struct scenario {
+    std::string name;                       ///< Row label for reports.
+    server_config config = paper_server();  ///< Plant configuration.
+    workload::utilization_profile profile;  ///< Workload to drive.
+    std::function<std::unique_ptr<core::fan_controller>()> make_controller;
+    core::runtime_config runtime{};         ///< Controller cadence etc.
+};
+
+/// Runs scenario lists and generic index-addressed jobs concurrently with
+/// deterministic result ordering.
+class parallel_runner {
+public:
+    /// `threads` = 0 uses one thread per hardware thread; 1 runs serially
+    /// on the calling thread.
+    explicit parallel_runner(std::size_t threads = 0);
+
+    [[nodiscard]] std::size_t thread_count() const;
+
+    /// Thread count requested via the LTSC_THREADS environment variable;
+    /// 0 (also when unset/invalid) means one per hardware thread.  The
+    /// bench harnesses pass this to the constructor so sweeps can be
+    /// pinned serial (LTSC_THREADS=1) for timing or debugging.
+    [[nodiscard]] static std::size_t threads_from_env();
+
+    /// Runs every scenario on a fresh simulator and returns the Table-I
+    /// metrics in scenario order.  Scenarios must have a controller
+    /// factory; exceptions from any run propagate to the caller.
+    [[nodiscard]] std::vector<run_metrics> run(const std::vector<scenario>& scenarios);
+
+    /// Generic deterministic fan-out: returns {fn(0), ..., fn(count-1)}
+    /// with fn invocations distributed across the pool.  Result must be
+    /// default-constructible; fn must be safe to call concurrently.
+    template <typename Result>
+    [[nodiscard]] std::vector<Result> map(std::size_t count,
+                                          const std::function<Result(std::size_t)>& fn) {
+        std::vector<Result> out(count);
+        pool_.run_indexed(count, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+private:
+    util::thread_pool pool_;
+};
+
+}  // namespace ltsc::sim

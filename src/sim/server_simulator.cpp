@@ -79,17 +79,20 @@ void server_simulator::set_fan_speed(std::size_t pair_index, util::rpm_t rpm) {
 }
 
 void server_simulator::set_all_fans(util::rpm_t rpm) {
+    // Clamp once, detect a change in the same pass, and skip the airflow
+    // (and conductance) update entirely when every pair already runs at
+    // the commanded speed.
+    const double target = fans_.pair().clamp(rpm).value();
     bool changed = false;
-    for (std::size_t i = 0; i < fans_.pair_count(); ++i) {
-        if (fans_.speed(i).value() != fans_.pair().clamp(rpm).value()) {
-            changed = true;
-        }
+    for (std::size_t i = 0; i < fans_.pair_count() && !changed; ++i) {
+        changed = fans_.speed(i).value() != target;
+    }
+    if (!changed) {
+        return;
     }
     fans_.set_all(rpm);
-    if (changed) {
-        ++fan_changes_;
-        apply_airflow();
-    }
+    ++fan_changes_;
+    apply_airflow();
 }
 
 util::rpm_t server_simulator::fan_speed(std::size_t pair_index) const {

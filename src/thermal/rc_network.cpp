@@ -10,6 +10,29 @@ rc_network::rc_network(util::celsius_t ambient) : ambient_(ambient.value()) {
     util::ensure(std::isfinite(ambient_), "rc_network: non-finite ambient");
 }
 
+rc_network::rc_network(const rc_network& other)
+    : ambient_(other.ambient_),
+      capacities_(other.capacities_),
+      temps_(other.temps_),
+      powers_(other.powers_),
+      names_(other.names_),
+      edges_(other.edges_),
+      revision_(other.revision_) {}
+
+rc_network& rc_network::operator=(const rc_network& other) {
+    if (this != &other) {
+        ambient_ = other.ambient_;
+        capacities_ = other.capacities_;
+        temps_ = other.temps_;
+        powers_ = other.powers_;
+        names_ = other.names_;
+        edges_ = other.edges_;
+        revision_ = other.revision_;
+        cache_ = assembly{};
+    }
+    return *this;
+}
+
 node_id rc_network::add_node(std::string name, double heat_capacity_j_per_k) {
     util::ensure(heat_capacity_j_per_k > 0.0, "rc_network::add_node: non-positive heat capacity");
     capacities_.push_back(heat_capacity_j_per_k);
@@ -47,12 +70,6 @@ void rc_network::set_conductance(edge_id e, double conductance_w_per_k) {
     }
 }
 
-void rc_network::set_power(node_id n, util::watts_t power) {
-    util::ensure(n.index < powers_.size(), "rc_network::set_power: node out of range");
-    util::ensure(std::isfinite(power.value()), "rc_network::set_power: non-finite power");
-    powers_[n.index] = power.value();
-}
-
 void rc_network::set_ambient(util::celsius_t ambient) {
     util::ensure(std::isfinite(ambient.value()), "rc_network::set_ambient: non-finite ambient");
     ambient_ = ambient.value();
@@ -72,24 +89,9 @@ void rc_network::reset_temperatures(util::celsius_t t) {
     }
 }
 
-util::celsius_t rc_network::temperature(node_id n) const {
-    util::ensure(n.index < temps_.size(), "rc_network::temperature: node out of range");
-    return util::celsius_t{temps_[n.index]};
-}
-
-util::watts_t rc_network::power(node_id n) const {
-    util::ensure(n.index < powers_.size(), "rc_network::power: node out of range");
-    return util::watts_t{powers_[n.index]};
-}
-
 const std::string& rc_network::name(node_id n) const {
     util::ensure(n.index < names_.size(), "rc_network::name: node out of range");
     return names_[n.index];
-}
-
-double rc_network::heat_capacity(node_id n) const {
-    util::ensure(n.index < capacities_.size(), "rc_network::heat_capacity: node out of range");
-    return capacities_[n.index];
 }
 
 void rc_network::set_temperatures(const std::vector<double>& temps) {
@@ -100,48 +102,109 @@ void rc_network::set_temperatures(const std::vector<double>& temps) {
     temps_ = temps;
 }
 
-std::vector<double> rc_network::derivatives(const std::vector<double>& temps) const {
-    util::ensure(temps.size() == capacities_.size(), "rc_network::derivatives: size mismatch");
-    std::vector<double> flow(capacities_.size(), 0.0);
+void rc_network::adopt_temperatures(std::vector<double>& temps) {
+    util::ensure(temps.size() == temps_.size(), "rc_network::adopt_temperatures: size mismatch");
+    temps_.swap(temps);
+}
+
+const rc_network::assembly& rc_network::assembled() const {
+    util::ensure(!capacities_.empty(), "rc_network: empty network");
+    if (cache_.valid && cache_.revision == revision_) {
+        return cache_;
+    }
+    const std::size_t n = capacities_.size();
+    cache_.valid = false;
+    cache_.lu.reset();
+    cache_.internal.clear();
+    cache_.ambient.clear();
+    cache_.cond = util::matrix(n, n);
     for (const edge& e : edges_) {
         if (e.to_ambient) {
-            flow[e.a] += e.conductance * (ambient_ - temps[e.a]);
+            cache_.ambient.push_back(flat_ambient_edge{e.a, e.conductance});
+            cache_.cond(e.a, e.a) += e.conductance;
         } else {
-            const double q = e.conductance * (temps[e.b] - temps[e.a]);
-            flow[e.a] += q;
-            flow[e.b] -= q;
+            cache_.internal.push_back(flat_internal_edge{e.a, e.b, e.conductance});
+            cache_.cond(e.a, e.a) += e.conductance;
+            cache_.cond(e.b, e.b) += e.conductance;
+            cache_.cond(e.a, e.b) -= e.conductance;
+            cache_.cond(e.b, e.a) -= e.conductance;
         }
     }
-    for (std::size_t i = 0; i < flow.size(); ++i) {
-        flow[i] = (flow[i] + powers_[i]) / capacities_[i];
+    // Forward Euler on dT/dt = -T/tau is stable for dt < 2*tau; keep a
+    // 10 % safety margin (tau_i = C_i / L_ii).
+    double min_ratio = 1e30;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double g = cache_.cond(i, i);
+        if (g > 0.0) {
+            min_ratio = std::min(min_ratio, capacities_[i] / g);
+        }
     }
+    cache_.stable_dt = 0.9 * 2.0 * min_ratio;
+    cache_.revision = revision_;
+    cache_.valid = true;
+    return cache_;
+}
+
+std::vector<double> rc_network::derivatives(const std::vector<double>& temps) const {
+    std::vector<double> flow;
+    derivatives_into(temps, flow);
     return flow;
 }
 
-util::matrix rc_network::conductance_matrix() const {
-    util::ensure(!capacities_.empty(), "rc_network::conductance_matrix: empty network");
-    util::matrix l(capacities_.size(), capacities_.size());
-    for (const edge& e : edges_) {
-        if (e.to_ambient) {
-            l(e.a, e.a) += e.conductance;
-        } else {
-            l(e.a, e.a) += e.conductance;
-            l(e.b, e.b) += e.conductance;
-            l(e.a, e.b) -= e.conductance;
-            l(e.b, e.a) -= e.conductance;
-        }
+void rc_network::derivatives_into(const std::vector<double>& temps,
+                                  std::vector<double>& out) const {
+    util::ensure(temps.size() == capacities_.size(), "rc_network::derivatives: size mismatch");
+    util::ensure(&temps != &out, "rc_network::derivatives_into: aliased vectors");
+    if (capacities_.empty()) {
+        out.clear();
+        return;
     }
-    return l;
+    const assembly& a = assembled();
+    const std::size_t n = capacities_.size();
+    out.assign(n, 0.0);
+    for (const flat_internal_edge& e : a.internal) {
+        const double q = e.g * (temps[e.b] - temps[e.a]);
+        out[e.a] += q;
+        out[e.b] -= q;
+    }
+    for (const flat_ambient_edge& e : a.ambient) {
+        out[e.n] += e.g * (ambient_ - temps[e.n]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = (out[i] + powers_[i]) / capacities_[i];
+    }
+}
+
+util::matrix rc_network::conductance_matrix() const { return assembled().cond; }
+
+const util::matrix& rc_network::cached_conductance_matrix() const { return assembled().cond; }
+
+double rc_network::stable_explicit_dt() const { return assembled().stable_dt; }
+
+const util::lu_decomposition& rc_network::steady_factorization() const {
+    const assembly& a = assembled();
+    if (!a.lu) {
+        cache_.lu = std::make_unique<util::lu_decomposition>(a.cond);
+    }
+    return *cache_.lu;
 }
 
 std::vector<double> rc_network::source_vector() const {
-    std::vector<double> rhs = powers_;
-    for (const edge& e : edges_) {
-        if (e.to_ambient) {
-            rhs[e.a] += e.conductance * ambient_;
-        }
-    }
+    std::vector<double> rhs;
+    source_vector_into(rhs);
     return rhs;
+}
+
+void rc_network::source_vector_into(std::vector<double>& out) const {
+    if (capacities_.empty()) {
+        out.clear();
+        return;
+    }
+    const assembly& a = assembled();
+    out = powers_;
+    for (const flat_ambient_edge& e : a.ambient) {
+        out[e.n] += e.g * ambient_;
+    }
 }
 
 }  // namespace ltsc::thermal

@@ -10,10 +10,14 @@
 // is the mechanism behind the paper's fan-speed-dependent time constants.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "util/error.hpp"
 #include "util/matrix.hpp"
 #include "util/units.hpp"
 
@@ -39,6 +43,14 @@ public:
     /// Creates an empty network with the given ambient temperature.
     explicit rc_network(util::celsius_t ambient);
 
+    // Copies carry the physical state but not the assembly cache (it is
+    // rebuilt lazily on first use).
+    rc_network(const rc_network& other);
+    rc_network& operator=(const rc_network& other);
+    rc_network(rc_network&&) = default;
+    rc_network& operator=(rc_network&&) = default;
+    ~rc_network() = default;
+
     /// Adds a node with the given heat capacity [J/K] (> 0), initialized to
     /// ambient temperature.  Returns its handle.
     node_id add_node(std::string name, double heat_capacity_j_per_k);
@@ -53,7 +65,12 @@ public:
     void set_conductance(edge_id e, double conductance_w_per_k);
 
     /// Sets the heat injected at a node [W]; may be negative (a sink).
-    void set_power(node_id n, util::watts_t power);
+    /// Inline: called for every heat source every simulation step.
+    void set_power(node_id n, util::watts_t power) {
+        util::ensure(n.index < powers_.size(), "rc_network::set_power: node out of range");
+        util::ensure(std::isfinite(power.value()), "rc_network::set_power: non-finite power");
+        powers_[n.index] = power.value();
+    }
 
     /// Changes the ambient temperature.
     void set_ambient(util::celsius_t ambient);
@@ -67,10 +84,22 @@ public:
 
     [[nodiscard]] std::size_t node_count() const { return capacities_.size(); }
     [[nodiscard]] util::celsius_t ambient() const { return util::celsius_t{ambient_}; }
-    [[nodiscard]] util::celsius_t temperature(node_id n) const;
-    [[nodiscard]] util::watts_t power(node_id n) const;
     [[nodiscard]] const std::string& name(node_id n) const;
-    [[nodiscard]] double heat_capacity(node_id n) const;
+
+    // Hot accessors, inline: the simulator and telemetry layers read node
+    // temperatures a dozen-plus times per step.
+    [[nodiscard]] util::celsius_t temperature(node_id n) const {
+        util::ensure(n.index < temps_.size(), "rc_network::temperature: node out of range");
+        return util::celsius_t{temps_[n.index]};
+    }
+    [[nodiscard]] util::watts_t power(node_id n) const {
+        util::ensure(n.index < powers_.size(), "rc_network::power: node out of range");
+        return util::watts_t{powers_[n.index]};
+    }
+    [[nodiscard]] double heat_capacity(node_id n) const {
+        util::ensure(n.index < capacities_.size(), "rc_network::heat_capacity: node out of range");
+        return capacities_[n.index];
+    }
 
     /// All node temperatures in node order [degC].
     [[nodiscard]] const std::vector<double>& temperatures() const { return temps_; }
@@ -78,15 +107,52 @@ public:
     /// Overwrites all node temperatures (size must match node_count()).
     void set_temperatures(const std::vector<double>& temps);
 
+    /// Swaps `temps` into the network state without per-element validation
+    /// (sizes must match).  Fast path for the transient solvers, which own
+    /// the buffer and validate via their own step check; `temps` receives
+    /// the previous state vector.
+    void adopt_temperatures(std::vector<double>& temps);
+
     /// Time derivatives dT/dt [K/s] at the given state vector.
     [[nodiscard]] std::vector<double> derivatives(const std::vector<double>& temps) const;
+
+    /// In-place variant of derivatives(): writes dT/dt into `out` (resized
+    /// to node_count()) without allocating once `out` has capacity.
+    /// `temps` and `out` must be distinct vectors.
+    ///
+    /// Summation order: internal edges accumulate before ambient edges
+    /// (each group in insertion order).  This matches the seed's
+    /// declaration-order walk bitwise whenever every node's internal
+    /// edges were added before its ambient edges — true for all builders
+    /// in this repo and enforced for the paper server by the equivalence
+    /// suite.  A topology that adds an ambient edge before an internal
+    /// edge on the same node may differ from the seed at ULP level.
+    void derivatives_into(const std::vector<double>& temps, std::vector<double>& out) const;
 
     /// Conductance (Laplacian + ambient) matrix L such that the heat-flow
     /// balance is L * T = P + G_amb * T_amb at steady state.
     [[nodiscard]] util::matrix conductance_matrix() const;
 
+    /// Reference to the cached assembled conductance matrix; rebuilt only
+    /// when the structure revision changes.  Invalidated by any topology
+    /// or conductance mutation (not by power/temperature/ambient updates).
+    [[nodiscard]] const util::matrix& cached_conductance_matrix() const;
+
+    /// Largest forward-Euler step that stays stable for the current
+    /// conductances: 0.9 * 2 * min_i(C_i / L_ii).  Cached with the matrix.
+    [[nodiscard]] double stable_explicit_dt() const;
+
+    /// Cached LU factorization of the conductance matrix, shared by the
+    /// steady-state solver and characterization sweeps; built lazily and
+    /// invalidated with the structure revision.  Throws numeric_error for
+    /// singular systems (a node isolated from ambient).
+    [[nodiscard]] const util::lu_decomposition& steady_factorization() const;
+
     /// Right-hand side P + G_amb * T_amb of the steady-state system.
     [[nodiscard]] std::vector<double> source_vector() const;
+
+    /// In-place variant of source_vector().
+    void source_vector_into(std::vector<double>& out) const;
 
     /// Monotonically increasing revision counter bumped whenever topology
     /// or a conductance changes; solvers use it to invalidate caches.
@@ -100,6 +166,30 @@ private:
         double conductance = 0.0;
     };
 
+    // Flattened, pre-resolved edge layout plus the derived quantities that
+    // depend only on topology/conductances.  Rebuilt lazily whenever
+    // `revision_` moves; power, temperature, and ambient updates leave it
+    // untouched, so the per-substep hot path never re-assembles anything.
+    struct flat_internal_edge {
+        std::size_t a = 0;
+        std::size_t b = 0;
+        double g = 0.0;
+    };
+    struct flat_ambient_edge {
+        std::size_t n = 0;
+        double g = 0.0;
+    };
+    struct assembly {
+        std::uint64_t revision = 0;
+        bool valid = false;
+        std::vector<flat_internal_edge> internal;
+        std::vector<flat_ambient_edge> ambient;
+        util::matrix cond;
+        double stable_dt = 0.0;
+        std::unique_ptr<util::lu_decomposition> lu;  ///< Lazy; may stay null.
+    };
+    const assembly& assembled() const;
+
     double ambient_;
     std::vector<double> capacities_;
     std::vector<double> temps_;
@@ -107,6 +197,7 @@ private:
     std::vector<std::string> names_;
     std::vector<edge> edges_;
     std::uint64_t revision_ = 0;
+    mutable assembly cache_;
 };
 
 }  // namespace ltsc::thermal

@@ -58,32 +58,34 @@ void server_thermal_model::update_conductances() {
     for (std::size_t s = 0; s < socket_count(); ++s) {
         const double q = effective_airflow_cfm(s);
         const double scale = std::pow(q / q_ref, config_.airflow_exponent);
-        net_.set_conductance(sink_amb_edge_[s], config_.g_sink_ref * scale);
+        sink_g_w_per_k_[s] = config_.g_sink_ref * scale;
+        net_.set_conductance(sink_amb_edge_[s], sink_g_w_per_k_[s]);
     }
     const double q_dimm = total_airflow_cfm();
     const double scale = std::pow(q_dimm / q_ref, config_.airflow_exponent);
     net_.set_conductance(dimm_amb_edge_, config_.g_dimm_ref * scale);
+    stream_capacity_w_per_k_ =
+        q_dimm > 0.0 ? stream_capacity_w_per_k(util::cfm_t{q_dimm}) : 0.0;
 }
 
 void server_thermal_model::update_preheat() {
     // Heat the air picks up from the DIMM field raises the effective inlet
     // temperature of the CPU heatsinks.  An edge to ambient at conductance
     // G with inlet offset dT is equivalent to the plain ambient edge plus a
-    // power injection of G * dT at the node.
+    // power injection of G * dT at the node.  The sink conductances and the
+    // airstream capacity only change with the airflow, so this per-step
+    // update reads the values cached by update_conductances().
     const double q_total = total_airflow_cfm();
     double preheat_c = 0.0;
     if (q_total > 0.0) {
         const double dimm_to_air =
-            net_.conductance_matrix()(dimm_.index, dimm_.index) *
+            net_.cached_conductance_matrix()(dimm_.index, dimm_.index) *
             (net_.temperature(dimm_).value() - net_.ambient().value());
         const double picked_up = std::max(0.0, dimm_to_air);
-        preheat_c = picked_up / stream_capacity_w_per_k(util::cfm_t{q_total});
+        preheat_c = picked_up / stream_capacity_w_per_k_;
     }
     for (std::size_t s = 0; s < socket_count(); ++s) {
-        const double g = config_.g_sink_ref *
-                         std::pow(effective_airflow_cfm(s) / config_.ref_airflow_cfm,
-                                  config_.airflow_exponent);
-        net_.set_power(sink_[s], util::watts_t{g * preheat_c});
+        net_.set_power(sink_[s], util::watts_t{sink_g_w_per_k_[s] * preheat_c});
         net_.set_power(die_[s], util::watts_t{cpu_heat_w_[s]});
     }
     net_.set_power(dimm_, util::watts_t{dimm_heat_w_});
@@ -137,22 +139,6 @@ void server_thermal_model::settle_to_steady_state() {
 void server_thermal_model::reset() {
     net_.reset_temperatures();
     update_preheat();
-}
-
-util::celsius_t server_thermal_model::cpu_die_temp(std::size_t s) const {
-    util::ensure(s < socket_count(), "server_thermal_model::cpu_die_temp: bad socket");
-    return net_.temperature(die_[s]);
-}
-
-util::celsius_t server_thermal_model::cpu_sink_temp(std::size_t s) const {
-    util::ensure(s < socket_count(), "server_thermal_model::cpu_sink_temp: bad socket");
-    return net_.temperature(sink_[s]);
-}
-
-util::celsius_t server_thermal_model::dimm_temp() const { return net_.temperature(dimm_); }
-
-util::celsius_t server_thermal_model::average_cpu_temp() const {
-    return util::celsius_t{0.5 * (cpu_die_temp(0).value() + cpu_die_temp(1).value())};
 }
 
 util::celsius_t server_thermal_model::cpu_inlet_temp() const {

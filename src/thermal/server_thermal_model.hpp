@@ -80,12 +80,22 @@ public:
     /// Resets all node temperatures to ambient (cold start).
     void reset();
 
-    [[nodiscard]] util::celsius_t cpu_die_temp(std::size_t s) const;
-    [[nodiscard]] util::celsius_t cpu_sink_temp(std::size_t s) const;
-    [[nodiscard]] util::celsius_t dimm_temp() const;
+    // Inline: the telemetry channels, leakage model, and trace recorder
+    // read these every simulation step.
+    [[nodiscard]] util::celsius_t cpu_die_temp(std::size_t s) const {
+        util::ensure(s < socket_count(), "server_thermal_model::cpu_die_temp: bad socket");
+        return net_.temperature(die_[s]);
+    }
+    [[nodiscard]] util::celsius_t cpu_sink_temp(std::size_t s) const {
+        util::ensure(s < socket_count(), "server_thermal_model::cpu_sink_temp: bad socket");
+        return net_.temperature(sink_[s]);
+    }
+    [[nodiscard]] util::celsius_t dimm_temp() const { return net_.temperature(dimm_); }
     /// Average of the two die temperatures (the quantity the paper's
     /// leakage model is expressed in).
-    [[nodiscard]] util::celsius_t average_cpu_temp() const;
+    [[nodiscard]] util::celsius_t average_cpu_temp() const {
+        return util::celsius_t{0.5 * (cpu_die_temp(0).value() + cpu_die_temp(1).value())};
+    }
     /// Effective air temperature at the CPU heatsink inlet (ambient plus
     /// DIMM preheat).
     [[nodiscard]] util::celsius_t cpu_inlet_temp() const;
@@ -119,6 +129,12 @@ private:
     double cpu_heat_w_[2] = {0.0, 0.0};
     double dimm_heat_w_ = 0.0;
     double other_heat_w_ = 0.0;
+
+    // Airflow-derived quantities cached by update_conductances() so the
+    // per-step preheat update does not re-evaluate pow() or the airstream
+    // capacity; they only change when the zone airflow changes.
+    double sink_g_w_per_k_[2] = {0.0, 0.0};
+    double stream_capacity_w_per_k_ = 0.0;
 };
 
 }  // namespace ltsc::thermal

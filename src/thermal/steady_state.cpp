@@ -5,7 +5,11 @@
 namespace ltsc::thermal {
 
 std::vector<double> steady_state(const rc_network& net) {
-    return util::solve(net.conductance_matrix(), net.source_vector());
+    // The factorization is cached inside the network and keyed to its
+    // structure revision, so repeated solves (settle fixed points,
+    // characterization sweeps) only factor once per conductance change.
+    const util::lu_decomposition& lu = net.steady_factorization();
+    return lu.solve(net.source_vector());
 }
 
 void settle(rc_network& net) { net.set_temperatures(steady_state(net)); }

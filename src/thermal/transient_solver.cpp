@@ -9,17 +9,7 @@ namespace ltsc::thermal {
 transient_solver::transient_solver(integration_scheme scheme) : scheme_(scheme) {}
 
 double transient_solver::stable_explicit_step(const rc_network& net) {
-    const util::matrix l = net.conductance_matrix();
-    double min_ratio = 1e30;
-    for (std::size_t i = 0; i < net.node_count(); ++i) {
-        const double g = l(i, i);
-        if (g > 0.0) {
-            min_ratio = std::min(min_ratio, net.heat_capacity(node_id{i}) / g);
-        }
-    }
-    // Forward Euler on dT/dt = -T/tau is stable for dt < 2*tau; keep a
-    // 10 % safety margin.
-    return 0.9 * 2.0 * min_ratio;
+    return net.stable_explicit_dt();
 }
 
 void transient_solver::step(rc_network& net, util::seconds_t dt) {
@@ -35,8 +25,11 @@ void transient_solver::step(rc_network& net, util::seconds_t dt) {
             step_implicit(net, dt.value());
             break;
     }
-    for (double t : net.temperatures()) {
-        util::ensure_numeric(std::isfinite(t), "transient_solver::step: non-finite temperature");
+    if (validate_) {
+        for (double t : net.temperatures()) {
+            util::ensure_numeric(std::isfinite(t),
+                                 "transient_solver::step: non-finite temperature");
+        }
     }
 }
 
@@ -52,55 +45,63 @@ void transient_solver::advance(rc_network& net, util::seconds_t duration, util::
 }
 
 void transient_solver::step_explicit(rc_network& net, double dt) {
-    const double stable = stable_explicit_step(net);
+    const double stable = net.stable_explicit_dt();
     const int substeps = std::max(1, static_cast<int>(std::ceil(dt / stable)));
     const double h = dt / substeps;
-    std::vector<double> temps = net.temperatures();
+    std::vector<double>& temps = scratch_.t;
+    temps = net.temperatures();
+    std::vector<double>& dTdt = scratch_.k1;
     for (int s = 0; s < substeps; ++s) {
-        const std::vector<double> dTdt = net.derivatives(temps);
+        net.derivatives_into(temps, dTdt);
         for (std::size_t i = 0; i < temps.size(); ++i) {
             temps[i] += h * dTdt[i];
         }
     }
-    net.set_temperatures(temps);
+    net.adopt_temperatures(temps);
 }
 
 void transient_solver::step_rk4(rc_network& net, double dt) {
     // Sub-step so the explicit scheme stays inside its stability region
     // even for stiff networks (RK4's real-axis stability limit is ~2.78
     // times Euler's; reusing the Euler bound is conservative).
-    const double stable = stable_explicit_step(net);
+    const double stable = net.stable_explicit_dt();
     const int substeps = std::max(1, static_cast<int>(std::ceil(dt / stable)));
     const double h = dt / substeps;
-    std::vector<double> t0 = net.temperatures();
+    std::vector<double>& t0 = scratch_.t;
+    t0 = net.temperatures();
     const std::size_t n = t0.size();
-    std::vector<double> tmp(n);
+    std::vector<double>& tmp = scratch_.tmp;
+    std::vector<double>& k1 = scratch_.k1;
+    std::vector<double>& k2 = scratch_.k2;
+    std::vector<double>& k3 = scratch_.k3;
+    std::vector<double>& k4 = scratch_.k4;
+    tmp.resize(n);
     for (int s = 0; s < substeps; ++s) {
-        const std::vector<double> k1 = net.derivatives(t0);
+        net.derivatives_into(t0, k1);
         for (std::size_t i = 0; i < n; ++i) {
             tmp[i] = t0[i] + 0.5 * h * k1[i];
         }
-        const std::vector<double> k2 = net.derivatives(tmp);
+        net.derivatives_into(tmp, k2);
         for (std::size_t i = 0; i < n; ++i) {
             tmp[i] = t0[i] + 0.5 * h * k2[i];
         }
-        const std::vector<double> k3 = net.derivatives(tmp);
+        net.derivatives_into(tmp, k3);
         for (std::size_t i = 0; i < n; ++i) {
             tmp[i] = t0[i] + h * k3[i];
         }
-        const std::vector<double> k4 = net.derivatives(tmp);
+        net.derivatives_into(tmp, k4);
         for (std::size_t i = 0; i < n; ++i) {
             t0[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
         }
     }
-    net.set_temperatures(t0);
+    net.adopt_temperatures(t0);
 }
 
 void transient_solver::step_implicit(rc_network& net, double dt) {
     // (C/dt + L) T_new = C/dt * T_old + P + G_amb * T_amb
     const std::size_t n = net.node_count();
     if (!cache_.lu || cache_.revision != net.structure_revision() || cache_.dt != dt) {
-        util::matrix a = net.conductance_matrix();
+        util::matrix a = net.cached_conductance_matrix();
         for (std::size_t i = 0; i < n; ++i) {
             a(i, i) += net.heat_capacity(node_id{i}) / dt;
         }
@@ -108,12 +109,14 @@ void transient_solver::step_implicit(rc_network& net, double dt) {
         cache_.revision = net.structure_revision();
         cache_.dt = dt;
     }
-    std::vector<double> rhs = net.source_vector();
+    std::vector<double>& rhs = scratch_.rhs;
+    net.source_vector_into(rhs);
     const std::vector<double>& temps = net.temperatures();
     for (std::size_t i = 0; i < n; ++i) {
         rhs[i] += net.heat_capacity(node_id{i}) / dt * temps[i];
     }
-    net.set_temperatures(cache_.lu->solve(rhs));
+    cache_.lu->solve_into(rhs, scratch_.t);
+    net.adopt_temperatures(scratch_.t);
 }
 
 }  // namespace ltsc::thermal

@@ -7,6 +7,11 @@
 //  - backward Euler (unconditionally stable; refactors its LU only when the
 //    network structure changes, e.g. on a fan-speed update).
 //
+// All schemes step without heap allocation: the solver keeps persistent
+// scratch buffers, the network hands out its cached assembly (flattened
+// edges, conductance matrix, stable substep), and the new state is swapped
+// in rather than copied.
+//
 // The fan-speed-dependent thermal time constants in Fig. 1(a) of the paper
 // emerge from integrating the network as convective conductances change.
 #pragma once
@@ -32,11 +37,14 @@ public:
     /// Creates a solver using the given scheme.
     explicit transient_solver(integration_scheme scheme = integration_scheme::rk4);
 
-    // Copying a solver copies only the scheme; the cached factorization is
-    // rebuilt lazily (it is keyed to a specific network's revision).
-    transient_solver(const transient_solver& other) : scheme_(other.scheme_) {}
+    // Copying a solver copies only the scheme and validation flag; the
+    // cached factorization and scratch buffers are rebuilt lazily (they
+    // are keyed to a specific network).
+    transient_solver(const transient_solver& other)
+        : scheme_(other.scheme_), validate_(other.validate_) {}
     transient_solver& operator=(const transient_solver& other) {
         scheme_ = other.scheme_;
+        validate_ = other.validate_;
         cache_ = implicit_cache{};
         return *this;
     }
@@ -45,7 +53,8 @@ public:
     ~transient_solver() = default;
 
     /// Advances `net` by `dt` seconds and writes the new state back into
-    /// the network.  Throws when dt <= 0 or the state becomes non-finite.
+    /// the network.  Throws when dt <= 0, or (with validation enabled)
+    /// when the state becomes non-finite.
     void step(rc_network& net, util::seconds_t dt);
 
     /// Advances by repeated steps of at most `max_dt` until `duration`
@@ -54,16 +63,32 @@ public:
 
     [[nodiscard]] integration_scheme scheme() const { return scheme_; }
 
+    /// Enables/disables the per-step finite-temperature scan.  On by
+    /// default in Debug builds and off in Release (it visits every node
+    /// every step); tests that integrate hostile inputs turn it on
+    /// explicitly.
+    void set_validate_steps(bool on) { validate_ = on; }
+    [[nodiscard]] bool validate_steps() const { return validate_; }
+
     /// Largest explicit step that keeps forward Euler stable for the
     /// network's current conductances (0.9 * 2 * min_i C_i / L_ii).
     [[nodiscard]] static double stable_explicit_step(const rc_network& net);
 
 private:
+    static constexpr bool default_validate() {
+#ifdef NDEBUG
+        return false;
+#else
+        return true;
+#endif
+    }
+
     void step_explicit(rc_network& net, double dt);
     void step_rk4(rc_network& net, double dt);
     void step_implicit(rc_network& net, double dt);
 
     integration_scheme scheme_;
+    bool validate_ = default_validate();
 
     // Cached backward-Euler factorization, invalidated when the network's
     // structure revision or the step size changes.
@@ -73,6 +98,19 @@ private:
         std::unique_ptr<util::lu_decomposition> lu;
     };
     implicit_cache cache_;
+
+    // Persistent scratch buffers so stepping never allocates after the
+    // first call (sizes track the stepped network's node count).
+    struct scratch_buffers {
+        std::vector<double> t;    ///< Working state vector.
+        std::vector<double> tmp;  ///< RK4 stage evaluation point.
+        std::vector<double> k1;
+        std::vector<double> k2;
+        std::vector<double> k3;
+        std::vector<double> k4;
+        std::vector<double> rhs;  ///< Backward-Euler right-hand side.
+    };
+    scratch_buffers scratch_;
 };
 
 }  // namespace ltsc::thermal

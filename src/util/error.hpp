@@ -38,6 +38,18 @@ public:
 };
 
 /// Throws precondition_error with `msg` when `condition` is false.
+///
+/// The message is taken as a C string so the (overwhelmingly common)
+/// passing case never materializes a std::string: guards sit on hot
+/// per-substep paths, and a by-value std::string parameter would heap
+/// allocate on every call.
+inline void ensure(bool condition, const char* msg) {
+    if (!condition) {
+        throw precondition_error(msg);
+    }
+}
+
+/// Overload for call sites that assemble a dynamic message.
 inline void ensure(bool condition, const std::string& msg) {
     if (!condition) {
         throw precondition_error(msg);
@@ -45,6 +57,13 @@ inline void ensure(bool condition, const std::string& msg) {
 }
 
 /// Throws numeric_error with `msg` when `condition` is false.
+inline void ensure_numeric(bool condition, const char* msg) {
+    if (!condition) {
+        throw numeric_error(msg);
+    }
+}
+
+/// Overload for call sites that assemble a dynamic message.
 inline void ensure_numeric(bool condition, const std::string& msg) {
     if (!condition) {
         throw numeric_error(msg);

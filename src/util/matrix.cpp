@@ -138,9 +138,16 @@ lu_decomposition::lu_decomposition(const matrix& a) : lu_(a), perm_(a.rows()) {
 }
 
 std::vector<double> lu_decomposition::solve(const std::vector<double>& b) const {
+    std::vector<double> x;
+    solve_into(b, x);
+    return x;
+}
+
+void lu_decomposition::solve_into(const std::vector<double>& b, std::vector<double>& x) const {
     const std::size_t n = lu_.rows();
     ensure(b.size() == n, "lu_decomposition::solve: dimension mismatch");
-    std::vector<double> x(n);
+    ensure(&b != &x, "lu_decomposition::solve_into: aliased vectors");
+    x.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
         x[i] = b[perm_[i]];
     }
@@ -160,7 +167,6 @@ std::vector<double> lu_decomposition::solve(const std::vector<double>& b) const 
         }
         x[ii] = acc / lu_(ii, ii);
     }
-    return x;
 }
 
 double lu_decomposition::determinant() const {

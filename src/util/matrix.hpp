@@ -65,6 +65,10 @@ public:
     /// Solves A x = b for one right-hand side.
     [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
 
+    /// Allocation-free variant: solves A x = b into `x` (resized to fit).
+    /// `b` and `x` must be distinct vectors.
+    void solve_into(const std::vector<double>& b, std::vector<double>& x) const;
+
     /// Determinant of the factored matrix.
     [[nodiscard]] double determinant() const;
 

@@ -7,14 +7,6 @@
 
 namespace ltsc::util {
 
-void time_series::push_back(double t, double v) {
-    ensure(std::isfinite(t) && std::isfinite(v), "time_series::push_back: non-finite sample");
-    if (!samples_.empty()) {
-        ensure(t >= samples_.back().t, "time_series::push_back: non-monotonic time stamp");
-    }
-    samples_.push_back(sample{t, v});
-}
-
 const sample& time_series::at(std::size_t i) const {
     ensure(i < samples_.size(), "time_series::at: index out of range");
     return samples_[i];

@@ -6,9 +6,12 @@
 // trapezoidal integration (power -> energy).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <string>
 #include <vector>
+
+#include "util/error.hpp"
 
 namespace ltsc::util {
 
@@ -29,8 +32,15 @@ public:
     time_series() = default;
 
     /// Appends a sample.  Throws precondition_error when `t` is older than
-    /// the last sample or when either argument is non-finite.
-    void push_back(double t, double v);
+    /// the last sample or when either argument is non-finite.  Inline: the
+    /// simulator appends to a dozen series every step.
+    void push_back(double t, double v) {
+        ensure(std::isfinite(t) && std::isfinite(v), "time_series::push_back: non-finite sample");
+        if (!samples_.empty()) {
+            ensure(t >= samples_.back().t, "time_series::push_back: non-monotonic time stamp");
+        }
+        samples_.push_back(sample{t, v});
+    }
 
     /// Number of samples.
     [[nodiscard]] std::size_t size() const { return samples_.size(); }

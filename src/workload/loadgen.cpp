@@ -35,6 +35,10 @@ double loadgen::instantaneous_utilization(util::seconds_t t) const {
 
 double loadgen::measured_utilization(util::seconds_t t, util::seconds_t window) const {
     util::ensure(window.value() > 0.0, "loadgen::measured_utilization: non-positive window");
+    if (measured_cache_valid_ && measured_cache_t_ == t.value() &&
+        measured_cache_window_ == window.value()) {
+        return measured_cache_value_;
+    }
     // Integrate the instantaneous load over the window with a step well
     // below the PWM period so duty edges are resolved.
     const double t1 = t.value();
@@ -49,7 +53,12 @@ double loadgen::measured_utilization(util::seconds_t t, util::seconds_t window) 
         acc += instantaneous_utilization(util::seconds_t{x});
         ++n;
     }
-    return n > 0 ? acc / n : instantaneous_utilization(t);
+    const double value = n > 0 ? acc / n : instantaneous_utilization(t);
+    measured_cache_t_ = t.value();
+    measured_cache_window_ = window.value();
+    measured_cache_value_ = value;
+    measured_cache_valid_ = true;
+    return value;
 }
 
 }  // namespace ltsc::workload

@@ -45,6 +45,10 @@ public:
 
     /// Utilization as measured by the monitoring utilities: the mean
     /// instantaneous utilization over the window [t - window, t].
+    /// Deterministic in (t, window); the last result is memoized because
+    /// the controller runtime asks for the same instant several times per
+    /// decision (system plus per-socket views) and each evaluation
+    /// integrates hundreds of PWM samples.
     [[nodiscard]] double measured_utilization(util::seconds_t t, util::seconds_t window) const;
 
     [[nodiscard]] const utilization_profile& profile() const { return profile_; }
@@ -53,6 +57,12 @@ public:
 private:
     utilization_profile profile_;
     loadgen_config config_;
+
+    // One-entry memo for measured_utilization (see above).
+    mutable bool measured_cache_valid_ = false;
+    mutable double measured_cache_t_ = 0.0;
+    mutable double measured_cache_window_ = 0.0;
+    mutable double measured_cache_value_ = 0.0;
 };
 
 }  // namespace ltsc::workload

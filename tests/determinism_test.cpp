@@ -4,13 +4,16 @@
 // RNG, time(), static mutable data) crept into the plant.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 #include <vector>
 
 #include "core/bang_bang_controller.hpp"
 #include "core/controller_runtime.hpp"
+#include "core/default_controller.hpp"
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
+#include "sim/parallel_runner.hpp"
 #include "sim/server_simulator.hpp"
 #include "sim/trace_io.hpp"
 #include "workload/paper_tests.hpp"
@@ -75,6 +78,60 @@ TEST(Determinism, CsvExportIsByteIdentical) {
     sim::write_trace_csv(o1, s1.trace());
     sim::write_trace_csv(o2, s2.trace());
     EXPECT_EQ(o1.str(), o2.str());
+}
+
+// The parallel experiment runner must be a pure reordering of work: the
+// same scenario list produces bitwise-identical metric rows whether it
+// runs serially or fanned out across threads.
+TEST(Determinism, ParallelRunnerIsThreadCountInvariant) {
+    const auto scenarios = [] {
+        std::vector<sim::scenario> out;
+        for (const auto test :
+             {workload::paper_test::test1_ramp, workload::paper_test::test3_frequent}) {
+            sim::scenario dflt;
+            dflt.profile = workload::make_paper_test(test);
+            dflt.make_controller = [] { return std::make_unique<core::default_controller>(); };
+            out.push_back(dflt);
+
+            sim::scenario bang;
+            bang.profile = workload::make_paper_test(test);
+            bang.make_controller = [] { return std::make_unique<core::bang_bang_controller>(); };
+            // A non-default seed must flow through to the parallel plant.
+            bang.config.seed = 0xfeedU;
+            out.push_back(bang);
+        }
+        return out;
+    }();
+
+    sim::parallel_runner serial(1);
+    sim::parallel_runner wide(4);
+    ASSERT_EQ(serial.thread_count(), 1U);
+    ASSERT_EQ(wide.thread_count(), 4U);
+
+    const auto a = serial.run(scenarios);
+    const auto b = wide.run(scenarios);
+    ASSERT_EQ(a.size(), scenarios.size());
+    ASSERT_EQ(b.size(), scenarios.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("scenario " + std::to_string(i));
+        EXPECT_EQ(a[i].test_name, b[i].test_name);
+        EXPECT_EQ(a[i].controller_name, b[i].controller_name);
+        EXPECT_EQ(a[i].energy_kwh, b[i].energy_kwh);
+        EXPECT_EQ(a[i].peak_power_w, b[i].peak_power_w);
+        EXPECT_EQ(a[i].max_temp_c, b[i].max_temp_c);
+        EXPECT_EQ(a[i].fan_changes, b[i].fan_changes);
+        EXPECT_EQ(a[i].avg_rpm, b[i].avg_rpm);
+        EXPECT_EQ(a[i].avg_cpu_temp_c, b[i].avg_cpu_temp_c);
+        EXPECT_EQ(a[i].duration_s, b[i].duration_s);
+    }
+
+    // And a rerun at the same width reproduces the same rows (no hidden
+    // cross-run state in the pool or the scenarios).
+    const auto c = wide.run(scenarios);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].energy_kwh, c[i].energy_kwh);
+        EXPECT_EQ(a[i].fan_changes, c[i].fan_changes);
+    }
 }
 
 TEST(Determinism, DifferentSeedsDiverge) {

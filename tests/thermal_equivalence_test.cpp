@@ -1,0 +1,404 @@
+// Equivalence suite for the optimized thermal hot path.
+//
+// The PR that introduced the rc_network assembly cache (flattened edge
+// arrays, cached conductance matrix / stable substep / LU factorization)
+// and the zero-allocation solver stepping promised *bitwise identical*
+// numerics on the paper server network.  This suite holds it to that: a
+// `reference` model carries verbatim copies of the seed algorithms
+// (interleaved edge walk, per-step matrix assembly, per-step LU) and a
+// `twin` applies every mutation to both the optimized rc_network and the
+// reference.  Any divergence — including a stale cache after a mid-run
+// conductance or ambient change — shows up as an exact-comparison
+// failure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "thermal/rc_network.hpp"
+#include "thermal/steady_state.hpp"
+#include "thermal/transient_solver.hpp"
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+
+namespace {
+
+using namespace ltsc;
+using thermal::integration_scheme;
+using thermal::rc_network;
+using thermal::transient_solver;
+
+namespace reference {
+
+// Seed data layout: one interleaved edge list, walked in insertion order.
+struct edge {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    bool to_ambient = false;
+    double conductance = 0.0;
+};
+
+// Verbatim port of the seed rc_network + transient_solver numerics.
+struct model {
+    double ambient = 0.0;
+    std::vector<double> capacities;
+    std::vector<double> temps;
+    std::vector<double> powers;
+    std::vector<edge> edges;
+
+    [[nodiscard]] std::vector<double> derivatives(const std::vector<double>& t) const {
+        std::vector<double> flow(capacities.size(), 0.0);
+        for (const edge& e : edges) {
+            if (e.to_ambient) {
+                flow[e.a] += e.conductance * (ambient - t[e.a]);
+            } else {
+                const double q = e.conductance * (t[e.b] - t[e.a]);
+                flow[e.a] += q;
+                flow[e.b] -= q;
+            }
+        }
+        for (std::size_t i = 0; i < flow.size(); ++i) {
+            flow[i] = (flow[i] + powers[i]) / capacities[i];
+        }
+        return flow;
+    }
+
+    [[nodiscard]] util::matrix conductance_matrix() const {
+        util::matrix l(capacities.size(), capacities.size());
+        for (const edge& e : edges) {
+            if (e.to_ambient) {
+                l(e.a, e.a) += e.conductance;
+            } else {
+                l(e.a, e.a) += e.conductance;
+                l(e.b, e.b) += e.conductance;
+                l(e.a, e.b) -= e.conductance;
+                l(e.b, e.a) -= e.conductance;
+            }
+        }
+        return l;
+    }
+
+    [[nodiscard]] std::vector<double> source_vector() const {
+        std::vector<double> rhs = powers;
+        for (const edge& e : edges) {
+            if (e.to_ambient) {
+                rhs[e.a] += e.conductance * ambient;
+            }
+        }
+        return rhs;
+    }
+
+    [[nodiscard]] double stable_explicit_step() const {
+        const util::matrix l = conductance_matrix();
+        double min_ratio = 1e30;
+        for (std::size_t i = 0; i < capacities.size(); ++i) {
+            const double g = l(i, i);
+            if (g > 0.0) {
+                min_ratio = std::min(min_ratio, capacities[i] / g);
+            }
+        }
+        return 0.9 * 2.0 * min_ratio;
+    }
+
+    void step_explicit(double dt) {
+        const double stable = stable_explicit_step();
+        const int substeps = std::max(1, static_cast<int>(std::ceil(dt / stable)));
+        const double h = dt / substeps;
+        std::vector<double> t = temps;
+        for (int s = 0; s < substeps; ++s) {
+            const std::vector<double> dTdt = derivatives(t);
+            for (std::size_t i = 0; i < t.size(); ++i) {
+                t[i] += h * dTdt[i];
+            }
+        }
+        temps = t;
+    }
+
+    void step_rk4(double dt) {
+        const double stable = stable_explicit_step();
+        const int substeps = std::max(1, static_cast<int>(std::ceil(dt / stable)));
+        const double h = dt / substeps;
+        std::vector<double> t0 = temps;
+        const std::size_t n = t0.size();
+        std::vector<double> tmp(n);
+        for (int s = 0; s < substeps; ++s) {
+            const std::vector<double> k1 = derivatives(t0);
+            for (std::size_t i = 0; i < n; ++i) {
+                tmp[i] = t0[i] + 0.5 * h * k1[i];
+            }
+            const std::vector<double> k2 = derivatives(tmp);
+            for (std::size_t i = 0; i < n; ++i) {
+                tmp[i] = t0[i] + 0.5 * h * k2[i];
+            }
+            const std::vector<double> k3 = derivatives(tmp);
+            for (std::size_t i = 0; i < n; ++i) {
+                tmp[i] = t0[i] + h * k3[i];
+            }
+            const std::vector<double> k4 = derivatives(tmp);
+            for (std::size_t i = 0; i < n; ++i) {
+                t0[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+            }
+        }
+        temps = t0;
+    }
+
+    void step_implicit(double dt) {
+        // The seed cached the LU keyed on (revision, dt); factoring the
+        // identical matrix anew every step is bitwise equivalent.
+        const std::size_t n = capacities.size();
+        util::matrix a = conductance_matrix();
+        for (std::size_t i = 0; i < n; ++i) {
+            a(i, i) += capacities[i] / dt;
+        }
+        const util::lu_decomposition lu(a);
+        std::vector<double> rhs = source_vector();
+        for (std::size_t i = 0; i < n; ++i) {
+            rhs[i] += capacities[i] / dt * temps[i];
+        }
+        temps = lu.solve(rhs);
+    }
+
+    [[nodiscard]] std::vector<double> steady_state() const {
+        return util::solve(conductance_matrix(), source_vector());
+    }
+};
+
+}  // namespace reference
+
+/// Applies every mutation to both the optimized network and the seed
+/// reference so trajectories can be compared exactly.
+struct twin {
+    rc_network net;
+    reference::model ref;
+    std::vector<thermal::node_id> nodes;
+    std::vector<thermal::edge_id> edges;
+
+    explicit twin(double ambient_c) : net(util::celsius_t{ambient_c}) {
+        ref.ambient = ambient_c;
+    }
+
+    std::size_t add_node(const std::string& name, double c) {
+        nodes.push_back(net.add_node(name, c));
+        ref.capacities.push_back(c);
+        ref.temps.push_back(ref.ambient);
+        ref.powers.push_back(0.0);
+        return nodes.size() - 1;
+    }
+
+    std::size_t add_edge(std::size_t a, std::size_t b, double g) {
+        edges.push_back(net.add_edge(nodes[a], nodes[b], g));
+        ref.edges.push_back(reference::edge{a, b, false, g});
+        return edges.size() - 1;
+    }
+
+    std::size_t add_ambient_edge(std::size_t n, double g) {
+        edges.push_back(net.add_ambient_edge(nodes[n], g));
+        ref.edges.push_back(reference::edge{n, 0, true, g});
+        return edges.size() - 1;
+    }
+
+    void set_conductance(std::size_t e, double g) {
+        net.set_conductance(edges[e], g);
+        ref.edges[e].conductance = g;
+    }
+
+    void set_power(std::size_t n, double w) {
+        net.set_power(nodes[n], util::watts_t{w});
+        ref.powers[n] = w;
+    }
+
+    void set_ambient(double c) {
+        net.set_ambient(util::celsius_t{c});
+        ref.ambient = c;
+    }
+};
+
+/// The paper server network (mirrors server_thermal_model's topology and
+/// calibration constants): 2 dies, 2 sinks, 1 DIMM bank.  Internal edges
+/// precede each node's ambient edge exactly as in the production builder.
+twin make_paper_server_twin() {
+    twin t(24.0);
+    for (int s = 0; s < 2; ++s) {
+        const std::size_t die = t.add_node("cpu" + std::to_string(s) + "_die", 60.0);
+        const std::size_t sink = t.add_node("cpu" + std::to_string(s) + "_sink", 600.0);
+        t.add_edge(die, sink, 1.0 / 0.13);
+        t.add_ambient_edge(sink, 2.857);
+    }
+    const std::size_t dimm = t.add_node("dimm_bank", 800.0);
+    t.add_ambient_edge(dimm, 5.26);
+    return t;
+}
+
+void expect_states_identical(const twin& t, const std::string& where) {
+    const std::vector<double>& actual = t.net.temperatures();
+    ASSERT_EQ(actual.size(), t.ref.temps.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        ASSERT_EQ(actual[i], t.ref.temps[i]) << where << ", node " << i;
+    }
+}
+
+/// Drives both models through a hostile schedule: time-varying powers,
+/// fan-speed-like conductance changes, and ambient drift, all mid-run so
+/// every cache invalidation path is exercised.
+void run_equivalence_schedule(integration_scheme scheme, double dt) {
+    twin t = make_paper_server_twin();
+    transient_solver optimized(scheme);
+    optimized.set_validate_steps(true);
+
+    for (int k = 0; k < 240; ++k) {
+        // Power waveform (deterministic, same doubles on both sides).
+        t.set_power(0, 80.0 + 40.0 * std::sin(0.11 * k));
+        t.set_power(2, 75.0 + 35.0 * std::cos(0.07 * k));
+        t.set_power(4, 120.0 + 20.0 * std::sin(0.05 * k));
+
+        // "Fan speed change": rescale the convective conductances.
+        if (k % 37 == 13) {
+            const double scale = (k % 2 == 0) ? 1.4 : 0.8;
+            t.set_conductance(1, 2.857 * scale);
+            t.set_conductance(3, 2.857 * scale);
+            t.set_conductance(4, 5.26 * scale);
+        }
+        // Room drift (does not bump the structure revision: the cached
+        // matrix must stay valid while the derivative RHS tracks it).
+        if (k % 53 == 20) {
+            t.set_ambient(24.0 + 0.05 * k);
+        }
+
+        switch (scheme) {
+            case integration_scheme::explicit_euler:
+                t.ref.step_explicit(dt);
+                break;
+            case integration_scheme::rk4:
+                t.ref.step_rk4(dt);
+                break;
+            case integration_scheme::implicit_euler:
+                t.ref.step_implicit(dt);
+                break;
+        }
+        optimized.step(t.net, util::seconds_t{dt});
+        expect_states_identical(t, "step " + std::to_string(k));
+        if (::testing::Test::HasFatalFailure()) {
+            return;
+        }
+    }
+}
+
+TEST(ThermalEquivalence, ExplicitEulerBitwiseIdenticalToSeed) {
+    run_equivalence_schedule(integration_scheme::explicit_euler, 2.0);
+}
+
+TEST(ThermalEquivalence, Rk4BitwiseIdenticalToSeed) {
+    run_equivalence_schedule(integration_scheme::rk4, 5.0);
+}
+
+TEST(ThermalEquivalence, ImplicitEulerBitwiseIdenticalToSeed) {
+    run_equivalence_schedule(integration_scheme::implicit_euler, 1.0);
+}
+
+TEST(ThermalEquivalence, ImplicitEulerStepSizeChangeRefactors) {
+    // Alternating dt exercises the (revision, dt) key of the implicit
+    // solver's cached factorization.
+    twin t = make_paper_server_twin();
+    transient_solver optimized(integration_scheme::implicit_euler);
+    for (int k = 0; k < 60; ++k) {
+        const double dt = (k / 29) % 2 == 0 ? 1.0 : 2.0;
+        t.set_power(0, 100.0 + k);
+        t.set_power(2, 90.0 + 2.0 * k);
+        t.ref.step_implicit(dt);
+        optimized.step(t.net, util::seconds_t{dt});
+        expect_states_identical(t, "step " + std::to_string(k));
+        if (::testing::Test::HasFatalFailure()) {
+            return;
+        }
+    }
+}
+
+TEST(ThermalEquivalence, SteadyStateMatchesSeedSolve) {
+    twin t = make_paper_server_twin();
+    t.set_power(0, 115.0);
+    t.set_power(2, 115.0);
+    t.set_power(4, 145.0);
+    for (int round = 0; round < 4; ++round) {
+        const std::vector<double> optimized = thermal::steady_state(t.net);
+        const std::vector<double> expected = t.ref.steady_state();
+        ASSERT_EQ(optimized.size(), expected.size());
+        for (std::size_t i = 0; i < optimized.size(); ++i) {
+            ASSERT_EQ(optimized[i], expected[i]) << "round " << round << ", node " << i;
+        }
+        // Mutate between rounds: the cached factorization must refresh.
+        t.set_conductance(1, 2.857 * (1.0 + 0.25 * (round + 1)));
+        t.set_ambient(24.0 + round);
+        t.set_power(4, 145.0 - 10.0 * round);
+    }
+}
+
+TEST(ThermalEquivalence, CachedMatrixTracksConductanceMutation) {
+    twin t = make_paper_server_twin();
+    const util::matrix before = t.net.conductance_matrix();
+    t.set_conductance(1, 9.99);
+    const util::matrix after = t.net.cached_conductance_matrix();
+    EXPECT_NE(before(1, 1), after(1, 1));
+    const util::matrix expected = t.ref.conductance_matrix();
+    for (std::size_t r = 0; r < expected.rows(); ++r) {
+        for (std::size_t c = 0; c < expected.cols(); ++c) {
+            ASSERT_EQ(after(r, c), expected(r, c)) << "(" << r << "," << c << ")";
+        }
+    }
+    EXPECT_EQ(t.net.stable_explicit_dt(), t.ref.stable_explicit_step());
+}
+
+TEST(ThermalEquivalence, StepValidationFlagGatesNonFiniteCheck) {
+    // With validation on, a state overflowing to infinity throws; with it
+    // off, the (cheaper) step completes and the caller owns the check.
+    const auto blow_up = [](bool validate) {
+        rc_network net(util::celsius_t{25.0});
+        const auto a = net.add_node("hot", 1.0);
+        const auto b = net.add_node("cold", 1.0);
+        net.add_edge(a, b, 10.0);
+        net.add_ambient_edge(b, 1.0);
+        // Near-DBL_MAX injection: the first substep stays finite, the
+        // coupling flow then overflows to -inf.
+        net.set_power(a, util::watts_t{1.7e308});
+        transient_solver solver(integration_scheme::explicit_euler);
+        solver.set_validate_steps(validate);
+        for (int i = 0; i < 4; ++i) {
+            solver.step(net, util::seconds_t{1.0});
+        }
+    };
+    EXPECT_THROW(blow_up(true), util::numeric_error);
+    EXPECT_NO_THROW(blow_up(false));
+}
+
+TEST(ThermalEquivalence, EmptyNetworkKeepsSeedContract) {
+    // The seed returned empty vectors from derivatives()/source_vector()
+    // on an empty network and only threw from conductance_matrix().
+    rc_network net(util::celsius_t{25.0});
+    EXPECT_TRUE(net.derivatives({}).empty());
+    EXPECT_TRUE(net.source_vector().empty());
+    EXPECT_THROW(static_cast<void>(net.conductance_matrix()), util::precondition_error);
+}
+
+TEST(ThermalEquivalence, DerivativesIntoRejectsAliasedVectors) {
+    twin t = make_paper_server_twin();
+    std::vector<double> v(t.net.node_count(), 30.0);
+    EXPECT_THROW(t.net.derivatives_into(v, v), util::precondition_error);
+}
+
+TEST(ThermalEquivalence, AdoptTemperaturesSwapsState) {
+    twin t = make_paper_server_twin();
+    std::vector<double> state(t.net.node_count(), 42.0);
+    t.net.adopt_temperatures(state);
+    for (std::size_t i = 0; i < t.net.node_count(); ++i) {
+        EXPECT_EQ(t.net.temperatures()[i], 42.0);
+    }
+    // The old state (all-ambient) came back in exchange.
+    for (double v : state) {
+        EXPECT_EQ(v, 24.0);
+    }
+    std::vector<double> wrong_size(t.net.node_count() + 1, 0.0);
+    EXPECT_THROW(t.net.adopt_temperatures(wrong_size), util::precondition_error);
+}
+
+}  // namespace
