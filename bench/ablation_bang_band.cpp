@@ -5,26 +5,39 @@
 //
 // Sweeps the band on Test-3 and reports change frequency, overshoot and
 // energy, plus the thermal-cycling damage metric that motivates keeping
-// cycles small.
+// cycles small.  Each band is an independent fresh-plant run; the sweep
+// fans out through sim::parallel_runner::map because the row needs the
+// run's trace (undershoot, cycle counting), not just the metrics.
 #include <cstdio>
+#include <vector>
 
 #include "core/bang_bang_controller.hpp"
 #include "core/controller_runtime.hpp"
 #include "core/reliability.hpp"
 #include "sim/metrics.hpp"
+#include "sim/parallel_runner.hpp"
 #include "sim/server_simulator.hpp"
 #include "workload/paper_tests.hpp"
+
+namespace {
+
+struct band {
+    double floor_c, low_c, high_c, ceiling_c;
+    const char* label;
+};
+
+struct band_row {
+    ltsc::sim::run_metrics metrics;
+    double load_min_c = 0.0;
+    double damage_index = 0.0;
+};
+
+}  // namespace
 
 int main() {
     using namespace ltsc;
 
-    sim::server_simulator server;
     const auto profile = workload::make_paper_test(workload::paper_test::test3_frequent);
-
-    struct band {
-        double floor_c, low_c, high_c, ceiling_c;
-        const char* label;
-    };
     const band bands[] = {
         {65.0, 70.0, 75.0, 80.0, "70-75 (narrow)"},
         {60.0, 65.0, 75.0, 80.0, "65-75 (paper)"},
@@ -32,23 +45,35 @@ int main() {
         {50.0, 55.0, 75.0, 80.0, "55-75 (wider)"},
     };
 
-    std::printf("== Ablation: bang-bang temperature band on Test-3 ==\n\n");
+    sim::parallel_runner runner(sim::parallel_runner::threads_from_env());
+    const std::vector<band_row> rows =
+        runner.map<band_row>(std::size(bands), [&](std::size_t i) {
+            const band& b = bands[i];
+            core::bang_bang_thresholds th;
+            th.floor_c = b.floor_c;
+            th.low_c = b.low_c;
+            th.high_c = b.high_c;
+            th.ceiling_c = b.ceiling_c;
+            core::bang_bang_controller bang(th);
+            sim::server_simulator server;
+            band_row row;
+            row.metrics = core::run_controlled(server, bang, profile);
+            const auto& temp = server.trace().max_sensor_temp;
+            // Undershoot during the loaded body (minutes 5-70).
+            row.load_min_c = temp.min(5.0 * 60.0, 70.0 * 60.0);
+            row.damage_index = core::count_thermal_cycles(temp).damage_index;
+            return row;
+        });
+
+    std::printf("== Ablation: bang-bang temperature band on Test-3 (%zu threads) ==\n\n",
+                runner.thread_count());
     std::printf("%-16s %13s %13s %12s %12s %15s\n", "band", "energy[kWh]", "#fan changes",
                 "maxT[degC]", "minT@load", "cycle damage");
-    for (const band& b : bands) {
-        core::bang_bang_thresholds th;
-        th.floor_c = b.floor_c;
-        th.low_c = b.low_c;
-        th.high_c = b.high_c;
-        th.ceiling_c = b.ceiling_c;
-        core::bang_bang_controller bang(th);
-        const sim::run_metrics m = core::run_controlled(server, bang, profile);
-        const auto& temp = server.trace().max_sensor_temp;
-        // Undershoot during the loaded body (minutes 5-70).
-        const double load_min = temp.min(5.0 * 60.0, 70.0 * 60.0);
-        const auto cycles = core::count_thermal_cycles(temp);
-        std::printf("%-16s %13.4f %13zu %12.1f %12.1f %15.2f\n", b.label, m.energy_kwh,
-                    m.fan_changes, m.max_temp_c, load_min, cycles.damage_index);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const band_row& row = rows[i];
+        std::printf("%-16s %13.4f %13zu %12.1f %12.1f %15.2f\n", bands[i].label,
+                    row.metrics.energy_kwh, row.metrics.fan_changes, row.metrics.max_temp_c,
+                    row.load_min_c, row.damage_index);
     }
     std::printf("\nexpected: narrow bands -> more changes; wide bands -> larger thermal\n"
                 "cycles (damage) and deeper undershoot.  The paper picks 65-75.\n");

@@ -5,13 +5,20 @@
 // (b) How fast must the DLC-PC poll utilization?  The paper polls every
 //     second "to respond to sudden utilization spikes"; we compare 1 s
 //     against slower polls.
+//
+// Every cell is an independent (fresh-plant) closed-loop run, so both
+// sweeps fan out across cores through sim::parallel_runner; rows print
+// in sweep order regardless of thread count (LTSC_THREADS=1 forces a
+// serial sweep).
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/characterization.hpp"
 #include "core/controller_runtime.hpp"
 #include "core/lut_controller.hpp"
 #include "sim/metrics.hpp"
+#include "sim/parallel_runner.hpp"
 #include "sim/server_simulator.hpp"
 #include "workload/paper_tests.hpp"
 
@@ -41,14 +48,26 @@ int main() {
     const core::fan_lut full_lut = core::characterize(server).lut;
     const auto profile = workload::make_paper_test(workload::paper_test::test3_frequent);
 
-    std::printf("== Ablation (a): LUT granularity on Test-3 ==\n\n");
+    sim::parallel_runner runner(sim::parallel_runner::threads_from_env());
+
+    std::printf("== Ablation (a): LUT granularity on Test-3 (%zu threads) ==\n\n",
+                runner.thread_count());
+    std::vector<core::fan_lut> tables;
+    std::vector<sim::scenario> granularity;
+    for (std::size_t keep : {2U, 3U, 5U, 9U}) {
+        tables.push_back(subsample(full_lut, keep));
+        sim::scenario sc;
+        sc.profile = profile;
+        const core::fan_lut& table = tables.back();
+        sc.make_controller = [table] { return std::make_unique<core::lut_controller>(table); };
+        granularity.push_back(sc);
+    }
+    const std::vector<sim::run_metrics> by_entries = runner.run(granularity);
     std::printf("%10s %13s %13s %12s %10s\n", "entries", "energy[kWh]", "#fan changes",
                 "maxT[degC]", "avg RPM");
-    for (std::size_t keep : {2U, 3U, 5U, 9U}) {
-        const core::fan_lut table = subsample(full_lut, keep);
-        core::lut_controller lut(table);
-        const sim::run_metrics m = core::run_controlled(server, lut, profile);
-        std::printf("%10zu %13.4f %13zu %12.1f %10.0f\n", table.size(), m.energy_kwh,
+    for (std::size_t i = 0; i < by_entries.size(); ++i) {
+        const sim::run_metrics& m = by_entries[i];
+        std::printf("%10zu %13.4f %13zu %12.1f %10.0f\n", tables[i].size(), m.energy_kwh,
                     m.fan_changes, m.max_temp_c, m.avg_rpm);
     }
     std::printf("\nexpected: a 2-entry table already captures most savings (the optimum\n"
@@ -56,14 +75,24 @@ int main() {
 
     std::printf("\n== Ablation (b): utilization polling period on Test-2 ==\n\n");
     const auto spiky = workload::make_paper_test(workload::paper_test::test2_periods);
+    const std::vector<double> periods{1.0, 10.0, 30.0, 120.0};
+    std::vector<sim::scenario> polling;
+    for (double period_s : periods) {
+        sim::scenario sc;
+        sc.profile = spiky;
+        sc.make_controller = [&full_lut, period_s] {
+            core::lut_controller_config cfg;
+            cfg.polling_period = util::seconds_t{period_s};
+            return std::make_unique<core::lut_controller>(full_lut, cfg);
+        };
+        polling.push_back(sc);
+    }
+    const std::vector<sim::run_metrics> by_period = runner.run(polling);
     std::printf("%12s %13s %13s %12s\n", "poll [s]", "energy[kWh]", "#fan changes",
                 "maxT[degC]");
-    for (double period_s : {1.0, 10.0, 30.0, 120.0}) {
-        core::lut_controller_config cfg;
-        cfg.polling_period = util::seconds_t{period_s};
-        core::lut_controller lut(full_lut, cfg);
-        const sim::run_metrics m = core::run_controlled(server, lut, spiky);
-        std::printf("%12.0f %13.4f %13zu %12.1f\n", period_s, m.energy_kwh, m.fan_changes,
+    for (std::size_t i = 0; i < by_period.size(); ++i) {
+        const sim::run_metrics& m = by_period[i];
+        std::printf("%12.0f %13.4f %13zu %12.1f\n", periods[i], m.energy_kwh, m.fan_changes,
                     m.max_temp_c);
     }
     std::printf("\nexpected: slower polling delays the reaction to load spikes, letting\n"

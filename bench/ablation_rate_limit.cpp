@@ -7,14 +7,17 @@
 // between 0 and 100 % within one PWM period, and an unthrottled LUT
 // controller chases it.  Both the measurement window and the hold time
 // are swept here; the paper's configuration is window >= PWM period plus
-// a 60 s hold.
+// a 60 s hold.  The 8 cells are independent fresh-plant runs fanned out
+// through sim::parallel_runner (LTSC_THREADS=1 forces a serial sweep).
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/characterization.hpp"
 #include "core/controller_runtime.hpp"
 #include "core/lut_controller.hpp"
 #include "sim/metrics.hpp"
+#include "sim/parallel_runner.hpp"
 #include "sim/server_simulator.hpp"
 #include "workload/paper_tests.hpp"
 
@@ -25,20 +28,38 @@ int main() {
     const core::fan_lut lut_table = core::characterize(server).lut;
     const auto profile = workload::make_paper_test(workload::paper_test::test3_frequent);
 
-    std::printf("== Ablation: LUT rate limit x utilization window on Test-3 ==\n\n");
-    std::printf("%12s %12s %13s %13s %12s %10s\n", "window [s]", "hold [s]", "energy[kWh]",
-                "#fan changes", "maxT[degC]", "avg RPM");
+    struct cell {
+        double window_s = 0.0;
+        double hold_s = 0.0;
+    };
+    std::vector<cell> cells;
+    std::vector<sim::scenario> scenarios;
     for (double window_s : {30.0, 240.0}) {
         for (double hold_s : {0.0, 15.0, 60.0, 300.0}) {
-            core::lut_controller_config cfg;
-            cfg.min_hold = util::seconds_t{hold_s};
-            core::lut_controller lut(lut_table, cfg);
-            core::runtime_config rt;
-            rt.util_window = util::seconds_t{window_s};
-            const sim::run_metrics m = core::run_controlled(server, lut, profile, rt);
-            std::printf("%12.0f %12.0f %13.4f %13zu %12.1f %10.0f\n", window_s, hold_s,
-                        m.energy_kwh, m.fan_changes, m.max_temp_c, m.avg_rpm);
+            cells.push_back(cell{window_s, hold_s});
+            sim::scenario sc;
+            sc.profile = profile;
+            sc.make_controller = [&lut_table, hold_s] {
+                core::lut_controller_config cfg;
+                cfg.min_hold = util::seconds_t{hold_s};
+                return std::make_unique<core::lut_controller>(lut_table, cfg);
+            };
+            sc.runtime.util_window = util::seconds_t{window_s};
+            scenarios.push_back(sc);
         }
+    }
+
+    sim::parallel_runner runner(sim::parallel_runner::threads_from_env());
+    const std::vector<sim::run_metrics> rows = runner.run(scenarios);
+
+    std::printf("== Ablation: LUT rate limit x utilization window on Test-3 (%zu threads) ==\n\n",
+                runner.thread_count());
+    std::printf("%12s %12s %13s %13s %12s %10s\n", "window [s]", "hold [s]", "energy[kWh]",
+                "#fan changes", "maxT[degC]", "avg RPM");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const sim::run_metrics& m = rows[i];
+        std::printf("%12.0f %12.0f %13.4f %13zu %12.1f %10.0f\n", cells[i].window_s,
+                    cells[i].hold_s, m.energy_kwh, m.fan_changes, m.max_temp_c, m.avg_rpm);
     }
     std::printf("\nexpected: with a fast (30 s) utilization estimate and no hold, the\n"
                 "controller chases the PWM phases (tens of changes, a fan-reliability\n"

@@ -6,33 +6,52 @@
 // sockets, lockstep must serve the hottest socket with all fans; the
 // per-zone controller serves each socket with its own pair.  This bench
 // sweeps the imbalance and reports the differential controller's edge.
+// The 6 (imbalance, policy) cells are independent fresh-plant runs fanned
+// out through sim::parallel_runner::map (the row needs per-socket trace
+// maxima, not just the metrics).
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "core/characterization.hpp"
 #include "core/controller_runtime.hpp"
 #include "core/lut_controller.hpp"
 #include "core/zone_lut_controller.hpp"
 #include "sim/metrics.hpp"
+#include "sim/parallel_runner.hpp"
 #include "sim/server_simulator.hpp"
 #include "workload/profile.hpp"
+
+namespace {
+
+struct zone_row {
+    ltsc::sim::run_metrics metrics;
+    double max_t0_c = 0.0;
+    double max_t1_c = 0.0;
+};
+
+}  // namespace
 
 int main() {
     using namespace ltsc;
     using namespace ltsc::util::literals;
 
-    sim::server_simulator server;
-    const core::fan_lut lut_table = core::characterize(server).lut;
+    sim::server_simulator probe;
+    const core::fan_lut lut_table = core::characterize(probe).lut;
 
     // A sustained mixed workload; imbalance is applied on top.
     workload::utilization_profile profile("skewed");
     profile.idle(5.0_min).constant(80.0, 30.0_min).constant(40.0, 30.0_min).idle(10.0_min);
 
-    std::printf("== Ablation: lockstep LUT vs per-zone LUT under socket imbalance ==\n\n");
-    std::printf("%12s %-10s %13s %12s %12s %10s\n", "socket0 [%]", "policy", "energy[kWh]",
-                "maxT0[degC]", "maxT1[degC]", "avg RPM");
-    for (double imbalance : {0.50, 0.65, 0.80}) {
-        for (int policy = 0; policy < 2; ++policy) {
+    const double imbalances[] = {0.50, 0.65, 0.80};
+    constexpr std::size_t kPolicies = 2;
+
+    sim::parallel_runner runner(sim::parallel_runner::threads_from_env());
+    const std::vector<zone_row> rows =
+        runner.map<zone_row>(std::size(imbalances) * kPolicies, [&](std::size_t i) {
+            const double imbalance = imbalances[i / kPolicies];
+            const std::size_t policy = i % kPolicies;
+            sim::server_simulator server;
             server.set_load_imbalance(imbalance);
             std::unique_ptr<core::fan_controller> controller;
             if (policy == 0) {
@@ -40,14 +59,24 @@ int main() {
             } else {
                 controller = std::make_unique<core::zone_lut_controller>(lut_table);
             }
-            const sim::run_metrics m = core::run_controlled(server, *controller, profile);
-            const double t0 = server.trace().cpu0_temp.max();
-            const double t1 = server.trace().cpu1_temp.max();
-            std::printf("%12.0f %-10s %13.4f %12.1f %12.1f %10.0f\n", 100.0 * imbalance,
-                        m.controller_name.c_str(), m.energy_kwh, t0, t1, m.avg_rpm);
-        }
+            zone_row row;
+            row.metrics = core::run_controlled(server, *controller, profile);
+            row.max_t0_c = server.trace().cpu0_temp.max();
+            row.max_t1_c = server.trace().cpu1_temp.max();
+            return row;
+        });
+
+    std::printf("== Ablation: lockstep LUT vs per-zone LUT under socket imbalance "
+                "(%zu threads) ==\n\n",
+                runner.thread_count());
+    std::printf("%12s %-10s %13s %12s %12s %10s\n", "socket0 [%]", "policy", "energy[kWh]",
+                "maxT0[degC]", "maxT1[degC]", "avg RPM");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const zone_row& row = rows[i];
+        std::printf("%12.0f %-10s %13.4f %12.1f %12.1f %10.0f\n",
+                    100.0 * imbalances[i / kPolicies], row.metrics.controller_name.c_str(),
+                    row.metrics.energy_kwh, row.max_t0_c, row.max_t1_c, row.metrics.avg_rpm);
     }
-    server.set_load_imbalance(0.5);
     std::printf("\nexpected: at 50/50 both policies coincide; as the skew grows the\n"
                 "zone controller keeps the idle socket's fans slow, saving energy at\n"
                 "equal or lower hot-socket temperature.\n");

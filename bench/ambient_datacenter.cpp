@@ -5,10 +5,12 @@
 // ambients shows the LUT adapting: optima shift toward faster fans and
 // the controller uses more of its table.
 //
-// Each ambient is an independent pipeline (characterize, baseline run,
-// LUT run), so the five ambients execute concurrently through
-// sim::parallel_runner::map; rows print in sweep order regardless of
-// thread count (LTSC_THREADS=1 forces a serial sweep).
+// Each ambient is an independent pipeline (characterize, then a 2-lane
+// sim::server_batch stepping the Default baseline and the LUT run
+// together through the batched thermal kernel); the five ambients
+// execute concurrently through sim::parallel_runner::map, and rows print
+// in sweep order regardless of thread count (LTSC_THREADS=1 forces a
+// serial sweep).
 #include <cstdio>
 #include <set>
 #include <vector>
@@ -19,6 +21,7 @@
 #include "core/lut_controller.hpp"
 #include "sim/metrics.hpp"
 #include "sim/parallel_runner.hpp"
+#include "sim/server_batch.hpp"
 #include "sim/server_simulator.hpp"
 #include "workload/paper_tests.hpp"
 
@@ -48,17 +51,21 @@ int main() {
         runner.map<ambient_row>(ambients.size(), [&](std::size_t i) {
             auto cfg = sim::paper_server();
             cfg.thermal.ambient_c = ambients[i];
-            sim::server_simulator server(cfg);
-            const auto ch = core::characterize(server);
-            const util::watts_t idle = server.idle_power(3300_rpm);
+            sim::server_simulator probe(cfg);
+            const auto ch = core::characterize(probe);
+            const util::watts_t idle = probe.idle_power(3300_rpm);
 
+            // Baseline and LUT run side by side as two lanes of one batch.
+            sim::server_batch pair(cfg, 2);
             core::default_controller dflt;
             core::lut_controller lut(ch.lut);
-            const sim::run_metrics base = core::run_controlled(server, dflt, profile);
-            const sim::run_metrics m = core::run_controlled(server, lut, profile);
+            const auto results = core::run_controlled_batch(
+                pair, {&dflt, &lut}, {profile, profile});
+            const sim::run_metrics& base = results[0];
+            const sim::run_metrics& m = results[1];
 
             std::set<double> speeds;
-            for (const auto& s : server.trace().avg_fan_rpm.samples()) {
+            for (const auto& s : pair.trace(1).avg_fan_rpm.samples()) {
                 speeds.insert(s.v);
             }
             ambient_row row;

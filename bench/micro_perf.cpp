@@ -9,6 +9,7 @@
 #include "core/controller_runtime.hpp"
 #include "core/lut_controller.hpp"
 #include "fit/nlls.hpp"
+#include "sim/server_batch.hpp"
 #include "sim/server_simulator.hpp"
 #include "thermal/server_thermal_model.hpp"
 #include "thermal/steady_state.hpp"
@@ -71,6 +72,26 @@ void BM_SimulatorSecond(benchmark::State& state) {
     state.SetLabel("simulated seconds per wall second");
 }
 BENCHMARK(BM_SimulatorSecond);
+
+void BM_BatchStep(benchmark::State& state) {
+    // One batched plant second across N servers; items = server-steps, so
+    // items/s is per-server throughput and can be read directly against
+    // BM_SimulatorSecond (the scalar path).  The acceptance bar for the
+    // SoA plant is N=64 per-server cost within 1.25x of scalar.
+    const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+    sim::server_batch batch(sim::paper_server(), lanes);
+    workload::utilization_profile p("bench");
+    p.constant(60.0, util::seconds_t{1e9});
+    for (std::size_t l = 0; l < lanes; ++l) {
+        batch.bind_workload(l, p);
+    }
+    for (auto _ : state) {
+        batch.step(1_s);
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(lanes));
+    state.SetLabel("per-server simulated seconds per wall second");
+}
+BENCHMARK(BM_BatchStep)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
 
 void BM_LutDecision(benchmark::State& state) {
     sim::server_simulator s;

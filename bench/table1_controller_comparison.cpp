@@ -4,12 +4,14 @@
 //   Test | Control scheme | Energy (kWh) | Net Savings | Peak Pwr (W) |
 //   Max Temp (degC) | #fan changes | Avg RPM
 //
-// The twelve (test, controller) cells are independent closed-loop runs,
-// so they execute concurrently on a sim::parallel_runner; each cell gets
-// a fresh plant (the same methodology the golden-trace suite uses, so
-// cells are independent of run order and RNG stream position).  Results
-// are printed in table order regardless of thread count; set
-// LTSC_THREADS=1 to force a serial sweep.
+// Each test's three controller cells run as the three lanes of one
+// sim::server_batch (Default / Bang / LUT stepping through one batched
+// thermal kernel), and the four tests fan out across cores through
+// sim::parallel_runner::map.  Every lane is bitwise-identical to an
+// independent fresh-plant scalar run (the batch-equivalence suite pins
+// this), so the table matches the scalar methodology the golden-trace
+// suite uses.  Results print in table order regardless of thread count;
+// set LTSC_THREADS=1 to force a serial sweep.
 //
 // Paper shape to verify: the default policy never changes speed and
 // overcools (max temp ~60 degC); both controllers save energy; the LUT
@@ -17,15 +19,16 @@
 // degC and reduces peak power by ~5-15 W.
 #include <cstdio>
 #include <iterator>
-#include <memory>
 #include <vector>
 
 #include "core/bang_bang_controller.hpp"
 #include "core/characterization.hpp"
+#include "core/controller_runtime.hpp"
 #include "core/default_controller.hpp"
 #include "core/lut_controller.hpp"
 #include "sim/metrics.hpp"
 #include "sim/parallel_runner.hpp"
+#include "sim/server_batch.hpp"
 #include "sim/server_simulator.hpp"
 #include "workload/paper_tests.hpp"
 
@@ -44,39 +47,27 @@ int main() {
         workload::paper_test::test4_poisson,
     };
 
-    std::vector<sim::scenario> scenarios;
-    for (const auto test : tests) {
-        const auto profile = workload::make_paper_test(test);
-        sim::scenario dflt;
-        dflt.profile = profile;
-        dflt.make_controller = [] { return std::make_unique<core::default_controller>(); };
-        scenarios.push_back(dflt);
-
-        sim::scenario bang;
-        bang.profile = profile;
-        bang.make_controller = [] { return std::make_unique<core::bang_bang_controller>(); };
-        scenarios.push_back(bang);
-
-        sim::scenario lut;
-        lut.profile = profile;
-        lut.make_controller = [&lut_table] {
-            return std::make_unique<core::lut_controller>(lut_table);
-        };
-        scenarios.push_back(lut);
-    }
-
     sim::parallel_runner runner(sim::parallel_runner::threads_from_env());
-    const std::vector<sim::run_metrics> results = runner.run(scenarios);
+    const auto per_test =
+        runner.map<std::vector<sim::run_metrics>>(std::size(tests), [&](std::size_t t) {
+            const auto profile = workload::make_paper_test(tests[t]);
+            sim::server_batch batch(sim::paper_server(), 3);
+            core::default_controller dflt;
+            core::bang_bang_controller bang;
+            core::lut_controller lut(lut_table);
+            return core::run_controlled_batch(batch, {&dflt, &bang, &lut},
+                                              {profile, profile, profile});
+        });
 
     std::printf("== Table I: summary of controller properties ==\n");
     std::printf("(idle power for net-savings accounting: %.1f W; paper-implied: 366 W; "
-                "%zu runs on %zu threads)\n\n",
-                idle_power.value(), results.size(), runner.thread_count());
+                "%zu batched runs on %zu threads)\n\n",
+                idle_power.value(), 3 * std::size(tests), runner.thread_count());
     std::printf("%-7s %-8s %13s %12s %10s %10s %13s %9s\n", "Test", "Control", "Energy[kWh]",
                 "NetSavings", "PeakPwr[W]", "MaxT[degC]", "#fan changes", "Avg RPM");
 
     for (std::size_t t = 0; t < std::size(tests); ++t) {
-        const sim::run_metrics& m_d = results[3 * t];
+        const sim::run_metrics& m_d = per_test[t][0];
         const auto print_row = [&](const sim::run_metrics& m, bool baseline) {
             char savings[16];
             if (baseline) {
@@ -90,8 +81,8 @@ int main() {
                         m.peak_power_w, m.max_temp_c, m.fan_changes, m.avg_rpm);
         };
         print_row(m_d, true);
-        print_row(results[3 * t + 1], false);
-        print_row(results[3 * t + 2], false);
+        print_row(per_test[t][1], false);
+        print_row(per_test[t][2], false);
     }
 
     std::printf("\npaper reference (Table I):\n");

@@ -4,10 +4,14 @@
 //   $ ./datacenter_rack [server_count]
 //
 // Each server gets its own workload mix (web-like diurnal ramps, batch
-// plateaus, bursty shells).  The example reports per-policy fleet energy,
-// the PSU conversion losses (power::psu_model), and the aggregate heat the
-// rack dumps into the hot aisle — the quantity a facility-level study
-// would feed into a CRAC model.
+// plateaus, bursty shells).  The whole rack is one sim::server_batch:
+// every server is a lane of the structure-of-arrays plant, all lanes
+// step through one batched thermal kernel, and each lane's controller
+// runs against its own telemetry.  The example reports per-policy fleet
+// energy, the PSU conversion losses (power::psu_model evaluated over the
+// fleet's DC draws as one flat array), and the aggregate heat the rack
+// dumps into the hot aisle — the quantity a facility-level study would
+// feed into a CRAC model.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +26,7 @@
 #include "core/lut_controller.hpp"
 #include "power/psu_model.hpp"
 #include "sim/metrics.hpp"
+#include "sim/server_batch.hpp"
 #include "sim/server_simulator.hpp"
 #include "thermal/room_model.hpp"
 #include "workload/profile.hpp"
@@ -66,19 +71,72 @@ workload::utilization_profile rack_workload(std::size_t i) {
     }
 }
 
+std::unique_ptr<core::fan_controller> make_policy(const std::string& policy,
+                                                  const core::fan_lut& lut_table) {
+    if (policy == "Bang") {
+        return std::make_unique<core::bang_bang_controller>();
+    }
+    if (policy == "LUT") {
+        return std::make_unique<core::lut_controller>(lut_table);
+    }
+    return std::make_unique<core::default_controller>();
+}
+
 struct fleet_result {
     double energy_kwh = 0.0;
     double peak_w = 0.0;
     double max_temp_c = 0.0;
     double exhaust_heat_kwh = 0.0;  // heat into the hot aisle (= DC energy)
     double psu_loss_kwh = 0.0;      // conversion losses at the rack PDU
+    double duration_s = 0.0;        // trace span of the runs
 };
+
+/// Runs one policy across the whole rack as a single batched plant and
+/// folds the per-lane rows into fleet totals.
+fleet_result run_fleet(const sim::server_config& cfg, std::size_t servers,
+                       const std::string& policy, const core::fan_lut& lut_table,
+                       const power::psu_model& psu) {
+    sim::server_batch rack(cfg, servers);
+    std::vector<workload::utilization_profile> profiles;
+    std::vector<std::unique_ptr<core::fan_controller>> owned;
+    std::vector<core::fan_controller*> controllers;
+    for (std::size_t i = 0; i < servers; ++i) {
+        profiles.push_back(rack_workload(i));
+        owned.push_back(make_policy(policy, lut_table));
+        controllers.push_back(owned.back().get());
+    }
+    const std::vector<sim::run_metrics> rows =
+        core::run_controlled_batch(rack, controllers, profiles);
+
+    fleet_result fleet;
+    std::vector<double> dc_w(servers);
+    for (std::size_t i = 0; i < servers; ++i) {
+        const sim::run_metrics& m = rows[i];
+        fleet.energy_kwh += m.energy_kwh;
+        fleet.peak_w += m.peak_power_w;
+        fleet.max_temp_c = std::max(fleet.max_temp_c, m.max_temp_c);
+        fleet.exhaust_heat_kwh += m.energy_kwh;
+        fleet.duration_s = m.duration_s;
+        dc_w[i] = m.energy_kwh * 3.6e6 / m.duration_s;
+    }
+    // Everything a server draws ends up as heat in the aisle; the PSUs
+    // add their conversion losses on top of the fleet's DC draws, which
+    // are evaluated through the curve as one flat array.
+    std::vector<double> ac_w;
+    psu.ac_input_into(dc_w, ac_w);
+    for (std::size_t i = 0; i < servers; ++i) {
+        fleet.psu_loss_kwh += (ac_w[i] - dc_w[i]) * rows[i].duration_s / 3.6e6;
+    }
+    return fleet;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
     const std::size_t servers = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
-    std::printf("rack of %zu servers, 60-minute heterogeneous workloads\n\n", servers);
+    std::printf("rack of %zu servers (one server_batch lane each), 60-minute "
+                "heterogeneous workloads\n\n",
+                servers);
 
     // Characterize once (all servers share the hardware model).
     sim::server_simulator reference;
@@ -89,30 +147,8 @@ int main(int argc, char** argv) {
     std::printf("%-8s %14s %11s %12s %14s %14s\n", "policy", "energy[kWh]", "peak[W]",
                 "maxT[degC]", "PSU loss[kWh]", "aisle heat[kWh]");
     for (const char* policy : policies) {
-        fleet_result fleet;
-        for (std::size_t i = 0; i < servers; ++i) {
-            sim::server_simulator s;
-            std::unique_ptr<core::fan_controller> controller;
-            if (std::string(policy) == "Bang") {
-                controller = std::make_unique<core::bang_bang_controller>();
-            } else if (std::string(policy) == "LUT") {
-                controller = std::make_unique<core::lut_controller>(lut_table);
-            } else {
-                controller = std::make_unique<core::default_controller>();
-            }
-            const sim::run_metrics m =
-                core::run_controlled(s, *controller, rack_workload(i));
-            fleet.energy_kwh += m.energy_kwh;
-            fleet.peak_w += m.peak_power_w;
-            fleet.max_temp_c = std::max(fleet.max_temp_c, m.max_temp_c);
-            // Everything a server draws ends up as heat in the aisle; the
-            // PSU adds its conversion loss on top of the DC draw.
-            const double avg_dc_w = m.energy_kwh * 3.6e6 / s.trace().total_power.duration();
-            const double loss_w = psu.loss(util::watts_t{avg_dc_w}).value();
-            fleet.psu_loss_kwh +=
-                loss_w * s.trace().total_power.duration() / 3.6e6;
-            fleet.exhaust_heat_kwh += m.energy_kwh;
-        }
+        const fleet_result fleet =
+            run_fleet(sim::paper_server(), servers, policy, lut_table, psu);
         std::printf("%-8s %14.3f %11.0f %12.1f %14.3f %14.3f\n", policy, fleet.energy_kwh,
                     fleet.peak_w, fleet.max_temp_c, fleet.psu_loss_kwh,
                     fleet.exhaust_heat_kwh + fleet.psu_loss_kwh);
@@ -131,13 +167,8 @@ int main(int argc, char** argv) {
         cfg.thermal.ambient_c = setpoint;
         sim::server_simulator probe(cfg);
         const core::fan_lut warm_lut = core::characterize(probe).lut;
-        double it_avg_w = 0.0;
-        for (std::size_t i = 0; i < servers; ++i) {
-            sim::server_simulator s(cfg);
-            core::lut_controller lut(warm_lut);
-            const sim::run_metrics m = core::run_controlled(s, lut, rack_workload(i));
-            it_avg_w += m.energy_kwh * 3.6e6 / m.duration_s;
-        }
+        const fleet_result fleet = run_fleet(cfg, servers, "LUT", warm_lut, psu);
+        const double it_avg_w = fleet.energy_kwh * 3.6e6 / fleet.duration_s;
         const auto facility =
             crac.facility(util::watts_t{it_avg_w}, util::celsius_t{setpoint});
         std::printf("%14.0f %10.2f %14.0f %16.0f %8.3f\n", setpoint,

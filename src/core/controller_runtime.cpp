@@ -7,6 +7,77 @@
 
 namespace ltsc::core {
 
+namespace {
+
+/// One controller decision against any plant exposing the scalar
+/// observation/actuation surface: gathers the controller_inputs, asks
+/// the policy, and actuates the returned fan commands.  Shared by the
+/// scalar runtime (on server_simulator directly) and the batched
+/// runtime (through a lane view), so the two cannot drift apart.
+template <typename Plant>
+void poll_and_actuate(Plant& plant, fan_controller& controller, const runtime_config& config,
+                      const char* zone_count_msg) {
+    controller_inputs in;
+    in.now = plant.now();
+    in.utilization_pct = plant.measured_utilization(config.util_window);
+    in.max_cpu_temp = plant.max_cpu_sensor_temp();
+    in.current_rpm = plant.average_fan_rpm();
+    in.system_power = plant.system_power_reading();
+    const std::vector<double> sensors = plant.cpu_sensor_temps();
+    for (std::size_t s = 0; s < 2; ++s) {
+        in.socket_util_pct[s] = plant.measured_socket_utilization(s, config.util_window);
+        // Sensors 2s and 2s+1 sit on die s; the policy sees the max.
+        in.socket_temp_c[s] = std::max(sensors[2 * s], sensors[2 * s + 1]);
+    }
+    for (std::size_t z = 0; z < plant.config().fan_pairs; ++z) {
+        in.zone_rpm.push_back(plant.fan_speed(z));
+    }
+    if (const auto cmds = controller.decide_zones(in)) {
+        util::ensure(cmds->size() == plant.config().fan_pairs, zone_count_msg);
+        bool uniform = true;
+        for (const util::rpm_t r : *cmds) {
+            uniform = uniform && r.value() == cmds->front().value();
+        }
+        if (uniform) {
+            plant.set_all_fans(cmds->front());  // one counted change
+        } else {
+            for (std::size_t z = 0; z < cmds->size(); ++z) {
+                plant.set_fan_speed(z, (*cmds)[z]);
+            }
+        }
+    }
+}
+
+/// server_simulator's surface, re-addressed to one server_batch lane.
+struct lane_view {
+    sim::server_batch& batch;
+    std::size_t lane;
+
+    [[nodiscard]] util::seconds_t now() const { return batch.now(lane); }
+    [[nodiscard]] double measured_utilization(util::seconds_t w) const {
+        return batch.measured_utilization(lane, w);
+    }
+    [[nodiscard]] util::celsius_t max_cpu_sensor_temp() const {
+        return batch.max_cpu_sensor_temp(lane);
+    }
+    [[nodiscard]] util::rpm_t average_fan_rpm() const { return batch.average_fan_rpm(lane); }
+    [[nodiscard]] util::watts_t system_power_reading() const {
+        return batch.system_power_reading(lane);
+    }
+    [[nodiscard]] std::vector<double> cpu_sensor_temps() const {
+        return batch.cpu_sensor_temps(lane);
+    }
+    [[nodiscard]] double measured_socket_utilization(std::size_t s, util::seconds_t w) const {
+        return batch.measured_socket_utilization(lane, s, w);
+    }
+    [[nodiscard]] const sim::server_config& config() const { return batch.config(lane); }
+    [[nodiscard]] util::rpm_t fan_speed(std::size_t z) const { return batch.fan_speed(lane, z); }
+    void set_all_fans(util::rpm_t rpm) { batch.set_all_fans(lane, rpm); }
+    void set_fan_speed(std::size_t z, util::rpm_t rpm) { batch.set_fan_speed(lane, z, rpm); }
+};
+
+}  // namespace
+
 sim::run_metrics run_controlled(sim::server_simulator& sim, fan_controller& controller,
                                 const workload::utilization_profile& profile,
                                 const runtime_config& config) {
@@ -25,41 +96,77 @@ sim::run_metrics run_controlled(sim::server_simulator& sim, fan_controller& cont
 
     while (sim.now().value() < duration - 1e-9) {
         if (sim.now().value() + 1e-9 >= next_decision) {
-            controller_inputs in;
-            in.now = sim.now();
-            in.utilization_pct = sim.measured_utilization(config.util_window);
-            in.max_cpu_temp = sim.max_cpu_sensor_temp();
-            in.current_rpm = sim.average_fan_rpm();
-            in.system_power = sim.system_power_reading();
-            const std::vector<double> sensors = sim.cpu_sensor_temps();
-            for (std::size_t s = 0; s < 2; ++s) {
-                in.socket_util_pct[s] = sim.measured_socket_utilization(s, config.util_window);
-                // Sensors 2s and 2s+1 sit on die s; the policy sees the max.
-                in.socket_temp_c[s] = std::max(sensors[2 * s], sensors[2 * s + 1]);
-            }
-            for (std::size_t z = 0; z < sim.config().fan_pairs; ++z) {
-                in.zone_rpm.push_back(sim.fan_speed(z));
-            }
-            if (const auto cmds = controller.decide_zones(in)) {
-                util::ensure(cmds->size() == sim.config().fan_pairs,
+            poll_and_actuate(sim, controller, config,
                              "run_controlled: controller returned wrong zone count");
-                bool uniform = true;
-                for (const util::rpm_t r : *cmds) {
-                    uniform = uniform && r.value() == cmds->front().value();
-                }
-                if (uniform) {
-                    sim.set_all_fans(cmds->front());  // one counted change
-                } else {
-                    for (std::size_t z = 0; z < cmds->size(); ++z) {
-                        sim.set_fan_speed(z, (*cmds)[z]);
-                    }
-                }
-            }
             next_decision += period;
         }
         sim.step(config.sim_dt);
     }
     return sim::compute_metrics(sim, profile.name(), controller.name());
+}
+
+std::vector<sim::run_metrics> run_controlled_batch(
+    sim::server_batch& batch, const std::vector<fan_controller*>& controllers,
+    const std::vector<workload::utilization_profile>& profiles, const runtime_config& config) {
+    util::ensure(config.sim_dt.value() > 0.0, "run_controlled_batch: non-positive step");
+    util::ensure(config.util_window.value() > 0.0, "run_controlled_batch: non-positive window");
+    const std::size_t n = batch.lane_count();
+    util::ensure(controllers.size() == n,
+                 "run_controlled_batch: controller count != lane count");
+    util::ensure(profiles.size() == n, "run_controlled_batch: profile count != lane count");
+    util::ensure(n > 0, "run_controlled_batch: empty batch");
+    // Lanes share one time base, so every profile must imply the same
+    // number of plant steps (durations may differ by segment-accumulation
+    // rounding; what matters is where the scalar loop would stop).
+    const auto steps_for = [&](double dur) {
+        double now = 0.0;
+        long k = 0;
+        while (now < dur - 1e-9) {
+            now += config.sim_dt.value();
+            ++k;
+        }
+        return k;
+    };
+    const double duration = profiles.front().duration().value();
+    const long steps = steps_for(duration);
+    for (std::size_t l = 0; l < n; ++l) {
+        util::ensure(controllers[l] != nullptr, "run_controlled_batch: null controller");
+        util::ensure(steps_for(profiles[l].duration().value()) == steps,
+                     "run_controlled_batch: profiles must share one duration");
+    }
+
+    std::vector<double> period(n);
+    std::vector<double> next_decision(n, 0.0);
+    for (std::size_t l = 0; l < n; ++l) {
+        batch.bind_workload(l, profiles[l]);
+    }
+    batch.force_cold_start();
+    for (std::size_t l = 0; l < n; ++l) {
+        batch.set_all_fans(l, config.initial_rpm);
+        batch.reset_fan_change_counter(l);
+        controllers[l]->reset();
+        period[l] = controllers[l]->polling_period().value();
+    }
+
+    while (batch.now(0).value() < duration - 1e-9) {
+        for (std::size_t l = 0; l < n; ++l) {
+            if (batch.now(l).value() + 1e-9 < next_decision[l]) {
+                continue;
+            }
+            lane_view lane{batch, l};
+            poll_and_actuate(lane, *controllers[l], config,
+                             "run_controlled_batch: controller returned wrong zone count");
+            next_decision[l] += period[l];
+        }
+        batch.step(config.sim_dt);
+    }
+
+    std::vector<sim::run_metrics> out;
+    out.reserve(n);
+    for (std::size_t l = 0; l < n; ++l) {
+        out.push_back(sim::compute_metrics(batch, l, profiles[l].name(), controllers[l]->name()));
+    }
+    return out;
 }
 
 }  // namespace ltsc::core

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/controller.hpp"
 #include "sim/metrics.hpp"
+#include "sim/server_batch.hpp"
 #include "sim/server_simulator.hpp"
 #include "workload/profile.hpp"
 
@@ -34,5 +36,17 @@ struct runtime_config {
                                               fan_controller& controller,
                                               const workload::utilization_profile& profile,
                                               const runtime_config& config = {});
+
+/// Batched analog of run_controlled: drives every server_batch lane with
+/// its own controller and profile through the shared time base, and
+/// returns one Table-I metrics row per lane.  Per lane the observation /
+/// decision / actuation sequence is identical to run_controlled, so a
+/// lane's metrics are bitwise-identical to an independent scalar run.
+/// Controllers are borrowed (one per lane, each owning its state);
+/// profiles must all span the same duration.
+[[nodiscard]] std::vector<sim::run_metrics> run_controlled_batch(
+    sim::server_batch& batch, const std::vector<fan_controller*>& controllers,
+    const std::vector<workload::utilization_profile>& profiles,
+    const runtime_config& config = {});
 
 }  // namespace ltsc::core

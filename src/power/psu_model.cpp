@@ -37,4 +37,11 @@ util::watts_t psu_model::ac_input(util::watts_t dc_load) const {
 
 util::watts_t psu_model::loss(util::watts_t dc_load) const { return ac_input(dc_load) - dc_load; }
 
+void psu_model::ac_input_into(const std::vector<double>& dc_w, std::vector<double>& ac_w) const {
+    ac_w.resize(dc_w.size());
+    for (std::size_t i = 0; i < dc_w.size(); ++i) {
+        ac_w[i] = ac_input(util::watts_t{dc_w[i]}).value();
+    }
+}
+
 }  // namespace ltsc::power

@@ -30,6 +30,10 @@ public:
     /// AC input power required to supply `dc_load`.
     [[nodiscard]] util::watts_t ac_input(util::watts_t dc_load) const;
 
+    /// Batched AC-draw evaluation over a fleet: ac_w[i] = ac_input(dc_w[i])
+    /// for every lane (ac_w is resized to match dc_w).
+    void ac_input_into(const std::vector<double>& dc_w, std::vector<double>& ac_w) const;
+
     /// Conversion loss at `dc_load` (AC input minus DC output).
     [[nodiscard]] util::watts_t loss(util::watts_t dc_load) const;
 

@@ -1,13 +1,20 @@
 #include "sim/metrics.hpp"
 
+#include "sim/server_batch.hpp"
 #include "util/error.hpp"
 
 namespace ltsc::sim {
 
-run_metrics compute_metrics(const server_simulator& sim, std::string test_name,
-                            std::string controller_name) {
-    const simulation_trace& tr = sim.trace();
+run_metrics compute_metrics(const simulation_trace& tr, std::size_t fan_changes,
+                            std::string test_name, std::string controller_name) {
     util::ensure(tr.total_power.size() >= 2, "compute_metrics: trace too short");
+    // The recorder appends every channel in lockstep; a trace whose
+    // channels disagree is truncated or hand-assembled, and reporting a
+    // half-row from it would be silently wrong.
+    util::ensure(tr.max_sensor_temp.size() == tr.total_power.size() &&
+                     tr.avg_fan_rpm.size() == tr.total_power.size() &&
+                     tr.avg_cpu_temp.size() == tr.total_power.size(),
+                 "compute_metrics: trace channels out of step");
     run_metrics m;
     m.test_name = std::move(test_name);
     m.controller_name = std::move(controller_name);
@@ -15,10 +22,22 @@ run_metrics compute_metrics(const server_simulator& sim, std::string test_name,
     m.energy_kwh = util::to_kwh(util::joules_t{tr.total_power.integrate()});
     m.peak_power_w = tr.total_power.max();
     m.max_temp_c = tr.max_sensor_temp.max();
-    m.fan_changes = sim.fan_change_count();
+    m.fan_changes = fan_changes;
     m.avg_rpm = tr.avg_fan_rpm.mean();
     m.avg_cpu_temp_c = tr.avg_cpu_temp.mean();
     return m;
+}
+
+run_metrics compute_metrics(const server_simulator& sim, std::string test_name,
+                            std::string controller_name) {
+    return compute_metrics(sim.trace(), sim.fan_change_count(), std::move(test_name),
+                           std::move(controller_name));
+}
+
+run_metrics compute_metrics(const server_batch& batch, std::size_t lane, std::string test_name,
+                            std::string controller_name) {
+    return compute_metrics(batch.trace(lane), batch.fan_change_count(lane), std::move(test_name),
+                           std::move(controller_name));
 }
 
 double net_savings(const run_metrics& candidate, const run_metrics& baseline,

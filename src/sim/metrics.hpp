@@ -30,9 +30,22 @@ struct run_metrics {
     double duration_s = 0.0;      ///< Trace span.
 };
 
+class server_batch;
+
+/// Extracts the metrics from a finished run's trace (the core shared by
+/// the scalar and batched plants).  `fan_changes` is the plant's counter
+/// at extraction time.  Throws precondition_error when the trace has
+/// fewer than 2 power samples.
+[[nodiscard]] run_metrics compute_metrics(const simulation_trace& trace, std::size_t fan_changes,
+                                          std::string test_name, std::string controller_name);
+
 /// Extracts the metrics from a finished run's trace.
 [[nodiscard]] run_metrics compute_metrics(const server_simulator& sim, std::string test_name,
                                           std::string controller_name);
+
+/// Extracts the metrics of one server_batch lane.
+[[nodiscard]] run_metrics compute_metrics(const server_batch& batch, std::size_t lane,
+                                          std::string test_name, std::string controller_name);
 
 /// Net energy savings of `candidate` vs. `baseline` per the paper's
 /// definition.  `idle_power` is the steady idle wall power; the idle

@@ -1,0 +1,175 @@
+// Structure-of-arrays fleet plant: N servers stepped through one
+// instruction stream.
+//
+// A server_batch is the data-center-scale counterpart of
+// server_simulator: every lane is a full plant (workload synthesis,
+// power models, sensors with their own seeded RNG stream, telemetry
+// harness, trace), but the thermal state lives in lane-contiguous flat
+// arrays (thermal::rc_batch) and all lanes integrate through one batched
+// RK4 kernel per step.  Power evaluation (active + leakage + fan) and
+// controller decisions run as flat per-lane passes around the thermal
+// kernel.
+//
+// Contract: every lane is *bitwise-identical* to an independent scalar
+// server_simulator driven through the same schedule — same trace, same
+// sensor noise stream, same metrics.  The batch_equivalence suite pins
+// this, including mid-run fan-speed and ambient mutations.  Lanes may
+// differ in configuration (ambient, seed, calibration), workload,
+// controller, and fan commands; only the thermal network topology is
+// shared.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "power/fan_model.hpp"
+#include "power/leakage_model.hpp"
+#include "power/server_power_model.hpp"
+#include "sim/server_config.hpp"
+#include "sim/server_simulator.hpp"
+#include "telemetry/harness.hpp"
+#include "thermal/rc_batch.hpp"
+#include "thermal/sensors.hpp"
+#include "thermal/server_thermal_model.hpp"
+#include "util/rng.hpp"
+#include "workload/loadgen.hpp"
+
+namespace ltsc::sim {
+
+/// N simulated servers in one structure-of-arrays plant.
+class server_batch {
+public:
+    /// One lane per configuration (each validated on entry).
+    explicit server_batch(std::vector<server_config> configs);
+
+    /// N identical lanes from one configuration.
+    server_batch(const server_config& config, std::size_t lanes);
+
+    // Sensor/telemetry closures capture lane addresses; the batch is
+    // pinned in memory like the scalar plant.
+    server_batch(const server_batch&) = delete;
+    server_batch& operator=(const server_batch&) = delete;
+    server_batch(server_batch&&) = delete;
+    server_batch& operator=(server_batch&&) = delete;
+
+    [[nodiscard]] std::size_t lane_count() const { return lanes_.size(); }
+
+    // --- workload binding (per lane) ---------------------------------------
+    void bind_workload(std::size_t lane, workload::loadgen generator);
+    void bind_workload(std::size_t lane, const workload::utilization_profile& profile);
+
+    void set_load_imbalance(std::size_t lane, double fraction_socket0);
+    [[nodiscard]] double load_imbalance(std::size_t lane) const;
+    [[nodiscard]] double measured_socket_utilization(std::size_t lane, std::size_t socket,
+                                                     util::seconds_t window) const;
+
+    // --- control surface (per lane) ----------------------------------------
+    void set_fan_speed(std::size_t lane, std::size_t pair_index, util::rpm_t rpm);
+    void set_all_fans(std::size_t lane, util::rpm_t rpm);
+    [[nodiscard]] util::rpm_t fan_speed(std::size_t lane, std::size_t pair_index) const;
+    [[nodiscard]] util::rpm_t average_fan_rpm(std::size_t lane) const;
+    [[nodiscard]] std::size_t fan_change_count(std::size_t lane) const;
+    void reset_fan_change_counter(std::size_t lane);
+
+    [[nodiscard]] double measured_utilization(std::size_t lane, util::seconds_t window) const;
+
+    // --- observation surface (per lane) ------------------------------------
+    [[nodiscard]] std::vector<double> cpu_sensor_temps(std::size_t lane) const;
+    [[nodiscard]] util::celsius_t max_cpu_sensor_temp(std::size_t lane) const;
+    [[nodiscard]] util::watts_t system_power_reading(std::size_t lane) const;
+    [[nodiscard]] const telemetry::harness& telemetry(std::size_t lane) const;
+
+    // --- ground truth (per lane) -------------------------------------------
+    [[nodiscard]] util::celsius_t true_cpu_temp(std::size_t lane, std::size_t socket) const;
+    [[nodiscard]] util::celsius_t true_avg_cpu_temp(std::size_t lane) const;
+    [[nodiscard]] util::celsius_t true_dimm_temp(std::size_t lane) const;
+    [[nodiscard]] power::power_breakdown current_power(std::size_t lane) const;
+
+    /// Changes one lane's room temperature mid-run (aisle gradients,
+    /// setpoint drift).
+    void set_ambient(std::size_t lane, util::celsius_t t);
+    [[nodiscard]] util::celsius_t ambient(std::size_t lane) const;
+
+    // --- time ---------------------------------------------------------------
+    /// Advances every lane by `dt` through the batched thermal kernel.
+    void step(util::seconds_t dt = util::seconds_t{1.0});
+    void advance(util::seconds_t duration, util::seconds_t dt = util::seconds_t{1.0});
+    [[nodiscard]] util::seconds_t now(std::size_t lane) const;
+
+    /// Paper cold-start protocol on one lane / every lane.
+    void force_cold_start(std::size_t lane);
+    void force_cold_start();
+
+    /// Jumps one lane to the steady state of a constant utilization.
+    void settle_at(std::size_t lane, double u_pct);
+
+    [[nodiscard]] util::watts_t idle_power(std::size_t lane, util::rpm_t fan_rpm) const;
+
+    // --- recording (per lane) -----------------------------------------------
+    [[nodiscard]] const simulation_trace& trace(std::size_t lane) const;
+    void clear_trace(std::size_t lane);
+
+    [[nodiscard]] const server_config& config(std::size_t lane) const;
+
+private:
+    struct lane_state {
+        explicit lane_state(const server_config& cfg)
+            : config(cfg),
+              rng(cfg.seed, 0xda3e39cb94b95bdbULL),
+              fans(cfg.fan_pairs, cfg.fan, cfg.default_fan_rpm),
+              leakage(cfg.leakage),
+              active(cfg.active_coeff_w_per_pct, cfg.split, cfg.cpu_heat_shape_exponent),
+              telemetry(util::seconds_t{cfg.telemetry_period_s}) {}
+
+        server_config config;
+        util::pcg32 rng;
+        power::fan_bank fans;
+        power::leakage_model leakage;
+        power::active_model active;
+        thermal::server_sensor_suite sensors;
+        telemetry::harness telemetry;
+        std::optional<workload::loadgen> workload;
+
+        double now_s = 0.0;
+        double imbalance = 0.5;
+        std::size_t fan_changes = 0;
+        simulation_trace trace;
+        std::vector<double> last_cpu_sensor_reads;
+
+        // Mirror of server_thermal_model's per-plant scalar state; the
+        // node/edge state itself lives in the shared rc_batch lanes.
+        std::vector<double> zone_airflow_cfm;
+        double cpu_heat_w[2] = {0.0, 0.0};
+        double dimm_heat_w = 0.0;
+        double sink_g_w_per_k[2] = {0.0, 0.0};
+        double stream_capacity_w_per_k = 0.0;
+    };
+
+    void init_lane(std::size_t lane, const server_config& config);
+    void register_telemetry(std::size_t lane);
+    void apply_airflow(std::size_t lane);
+    void update_conductances(std::size_t lane);
+    void update_preheat(std::size_t lane);
+    void apply_heat(std::size_t lane, double u_inst);
+    void settle_to_steady_state(std::size_t lane);
+    void record(std::size_t lane, double u_target, double u_inst);
+    [[nodiscard]] power::power_breakdown breakdown_at(std::size_t lane, double u_inst) const;
+    [[nodiscard]] double total_airflow_cfm(std::size_t lane) const;
+    [[nodiscard]] double effective_airflow_cfm(std::size_t lane, std::size_t component_zone) const;
+    [[nodiscard]] double die_temp(std::size_t lane, std::size_t socket) const;
+
+    [[nodiscard]] lane_state& at(std::size_t lane);
+    [[nodiscard]] const lane_state& at(std::size_t lane) const;
+
+    // Topology prototype (node/edge handles) shared by every lane.
+    thermal::server_thermal_model proto_;
+    thermal::rc_batch batch_;
+    std::vector<std::unique_ptr<lane_state>> lanes_;
+
+    // Per-step scratch so stepping does not allocate.
+    std::vector<double> u_target_scratch_;
+    std::vector<double> u_inst_scratch_;
+};
+
+}  // namespace ltsc::sim

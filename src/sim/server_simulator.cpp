@@ -229,9 +229,16 @@ void server_simulator::settle_at(double u_pct) {
 }
 
 util::watts_t server_simulator::idle_power(util::rpm_t fan_rpm) const {
-    // Build a scratch plant so a const query does not disturb the live one.
-    thermal::server_thermal_model scratch(config_.thermal);
-    power::fan_bank scratch_fans(config_.fan_pairs, config_.fan, fan_rpm);
+    return steady_idle_power(config_, fan_rpm);
+}
+
+void server_simulator::set_ambient(util::celsius_t t) { thermal_.set_ambient(t); }
+
+util::watts_t steady_idle_power(const server_config& config, util::rpm_t fan_rpm) {
+    // Build a scratch plant so the query does not disturb any live one.
+    const power::leakage_model leakage(config.leakage);
+    thermal::server_thermal_model scratch(config.thermal);
+    power::fan_bank scratch_fans(config.fan_pairs, config.fan, fan_rpm);
     std::vector<util::cfm_t> per_zone;
     for (std::size_t i = 0; i < scratch_fans.pair_count(); ++i) {
         per_zone.push_back(scratch_fans.pair().airflow(scratch_fans.speed(i)));
@@ -239,18 +246,18 @@ util::watts_t server_simulator::idle_power(util::rpm_t fan_rpm) const {
     scratch.set_zone_airflow(per_zone);
     for (int i = 0; i < 12; ++i) {
         for (std::size_t s = 0; s < thermal::server_thermal_model::socket_count(); ++s) {
-            scratch.set_cpu_heat(s, util::watts_t{config_.cpu_idle_each_w} +
-                                        leakage_.share_at(scratch.cpu_die_temp(s), 2));
+            scratch.set_cpu_heat(s, util::watts_t{config.cpu_idle_each_w} +
+                                        leakage.share_at(scratch.cpu_die_temp(s), 2));
         }
-        scratch.set_dimm_heat(util::watts_t{config_.dimm_idle_total_w});
+        scratch.set_dimm_heat(util::watts_t{config.dimm_idle_total_w});
         scratch.set_other_heat(util::watts_t{0.0});
         scratch.settle_to_steady_state();
     }
     util::watts_t leak{0.0};
     for (std::size_t s = 0; s < thermal::server_thermal_model::socket_count(); ++s) {
-        leak += leakage_.share_at(scratch.cpu_die_temp(s), 2);
+        leak += leakage.share_at(scratch.cpu_die_temp(s), 2);
     }
-    return util::watts_t{config_.base_power_w} + leak + scratch_fans.total_power();
+    return util::watts_t{config.base_power_w} + leak + scratch_fans.total_power();
 }
 
 void server_simulator::record(double u_target, double u_inst) {

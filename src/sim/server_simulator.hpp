@@ -129,6 +129,12 @@ public:
     /// the paper subtracts to compute net savings).
     [[nodiscard]] util::watts_t idle_power(util::rpm_t fan_rpm) const;
 
+    /// Changes the room (inlet) temperature mid-run; takes effect through
+    /// the plant dynamics on subsequent steps (ambient sweeps and aisle
+    /// drift studies mutate this while a run is in flight).
+    void set_ambient(util::celsius_t t);
+    [[nodiscard]] util::celsius_t ambient() const { return thermal_.ambient(); }
+
     // --- recording -----------------------------------------------------------
     [[nodiscard]] const simulation_trace& trace() const { return trace_; }
     void clear_trace();
@@ -160,5 +166,10 @@ private:
     // Cached latest sensor readings (refreshed at each telemetry poll).
     std::vector<double> last_cpu_sensor_reads_;
 };
+
+/// Steady-state idle wall power of a server described by `config` with
+/// every fan pair at `fan_rpm`.  Shared by server_simulator::idle_power
+/// and server_batch::idle_power so both report the same accounting floor.
+[[nodiscard]] util::watts_t steady_idle_power(const server_config& config, util::rpm_t fan_rpm);
 
 }  // namespace ltsc::sim

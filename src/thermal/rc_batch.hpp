@@ -1,0 +1,146 @@
+// Structure-of-arrays lane state over a shared rc_network topology.
+//
+// An rc_batch steps N independent thermal "lanes" (servers) through one
+// instruction stream: temperatures, powers, capacities, ambients, and
+// edge conductances are stored lane-contiguous per node/edge, and the
+// RK4 / forward-Euler substep loops run the rc_network batch kernels
+// across all lanes at once.  Every lane follows the exact floating-point
+// operation sequence of a scalar rc_network + transient_solver driven
+// through the same schedule, so lanes are bitwise-identical to their
+// scalar twins (the batch-equivalence suite pins this contract).
+//
+// Lanes may differ in conductances (per-server fan speeds), powers,
+// capacities, and ambient temperature — only the topology (node/edge
+// structure and flattened edge order) is shared.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "thermal/rc_network.hpp"
+#include "thermal/transient_solver.hpp"
+#include "util/matrix.hpp"
+#include "util/units.hpp"
+
+namespace ltsc::thermal {
+
+/// N thermal lanes over one topology, stepped together.
+class rc_batch {
+public:
+    /// Copies `topology`'s structure and seeds every lane with its
+    /// current conductances, ambient, and all-ambient temperatures.
+    /// Powers start at zero; capacities at the topology's values.
+    rc_batch(const rc_network& topology, std::size_t lanes,
+             integration_scheme scheme = integration_scheme::rk4);
+
+    [[nodiscard]] std::size_t lane_count() const { return lanes_; }
+    [[nodiscard]] std::size_t node_count() const { return nodes_; }
+    [[nodiscard]] const rc_network& topology() const { return topo_; }
+    [[nodiscard]] integration_scheme scheme() const { return scheme_; }
+
+    // --- per-lane state ----------------------------------------------------
+    void set_power(node_id n, std::size_t lane, util::watts_t power) {
+        util::ensure(n.index < nodes_ && lane < lanes_, "rc_batch::set_power: out of range");
+        util::ensure(std::isfinite(power.value()), "rc_batch::set_power: non-finite power");
+        powers_[n.index * lanes_ + lane] = power.value();
+    }
+    [[nodiscard]] util::watts_t power(node_id n, std::size_t lane) const {
+        util::ensure(n.index < nodes_ && lane < lanes_, "rc_batch::power: out of range");
+        return util::watts_t{powers_[n.index * lanes_ + lane]};
+    }
+
+    void set_temperature(node_id n, std::size_t lane, util::celsius_t t);
+    [[nodiscard]] util::celsius_t temperature(node_id n, std::size_t lane) const {
+        util::ensure(n.index < nodes_ && lane < lanes_, "rc_batch::temperature: out of range");
+        return util::celsius_t{temps_[n.index * lanes_ + lane]};
+    }
+
+    void set_heat_capacity(node_id n, std::size_t lane, double c);
+    [[nodiscard]] double heat_capacity(node_id n, std::size_t lane) const;
+
+    void set_ambient(std::size_t lane, util::celsius_t t);
+    [[nodiscard]] util::celsius_t ambient(std::size_t lane) const;
+
+    /// Updates one lane's conductance of edge `e` (insertion-order id).
+    /// Invalidates the lane's cached diagonal/stable-dt only when the
+    /// value actually changes, mirroring rc_network::set_conductance.
+    void set_conductance(edge_id e, std::size_t lane, double conductance_w_per_k);
+    [[nodiscard]] double conductance(edge_id e, std::size_t lane) const;
+
+    /// Conductance-matrix diagonal entry of node `n` in lane `lane`
+    /// (bitwise-identical to cached_conductance_matrix()(n, n) of the
+    /// lane's scalar twin).
+    [[nodiscard]] double diagonal(node_id n, std::size_t lane) const;
+
+    /// Largest stable forward-Euler substep of one lane (matches
+    /// rc_network::stable_explicit_dt of the scalar twin).
+    [[nodiscard]] double stable_dt(std::size_t lane) const;
+
+    // --- stepping ----------------------------------------------------------
+    /// Advances every lane by `dt` with the configured scheme.  Per lane
+    /// this is bitwise-identical to transient_solver::step on the scalar
+    /// twin; lanes with different stable substeps are masked out of the
+    /// shared substep loop once their own substeps are done.
+    void step(util::seconds_t dt);
+
+    /// Solves one lane's steady state L T = P + G_amb T_amb and adopts it
+    /// (bitwise-identical to thermal::settle on the scalar twin).  Throws
+    /// numeric_error for singular systems.
+    void settle_lane(std::size_t lane);
+
+    /// Per-step finite-state scan (on by default in Debug builds, like
+    /// transient_solver).
+    void set_validate_steps(bool on) { validate_ = on; }
+    [[nodiscard]] bool validate_steps() const { return validate_; }
+
+private:
+    static constexpr bool default_validate() {
+#ifdef NDEBUG
+        return false;
+#else
+        return true;
+#endif
+    }
+
+    void refresh_lane_cache(std::size_t lane) const;
+    void step_rk4(double dt);
+    void step_explicit(double dt);
+
+    rc_network topo_;
+    std::size_t lanes_ = 0;
+    std::size_t nodes_ = 0;
+    integration_scheme scheme_;
+    bool validate_ = default_validate();
+
+    // Lane-contiguous state: value(node i, lane l) = buf[i * lanes_ + l],
+    // conductance(edge e, lane l) = edge_g_[e * lanes_ + l].
+    std::vector<double> temps_;
+    std::vector<double> powers_;
+    std::vector<double> capacities_;
+    std::vector<double> ambient_;  ///< [lane]
+    std::vector<double> edge_g_;
+
+    // Per-lane derived quantities (conductance diagonal, stable substep),
+    // refreshed lazily when a lane's conductances or capacities change.
+    mutable std::vector<double> diag_;       ///< [node][lane] layout.
+    mutable std::vector<double> stable_dt_;  ///< [lane]
+    mutable std::vector<char> lane_dirty_;   ///< [lane]
+
+    // Persistent stepping scratch (node*lane each) so step() never
+    // allocates after the first call.
+    struct scratch {
+        std::vector<double> t0;
+        std::vector<double> tmp;
+        std::vector<double> k1;
+        std::vector<double> k2;
+        std::vector<double> k3;
+        std::vector<double> k4;
+        std::vector<int> substeps;  ///< [lane]
+        std::vector<double> h;      ///< [lane]
+        std::vector<double> rhs;    ///< settle_lane right-hand side.
+        util::matrix cond;          ///< settle_lane lane matrix.
+    };
+    mutable scratch scratch_;
+};
+
+}  // namespace ltsc::thermal

@@ -70,6 +70,11 @@ void rc_network::set_conductance(edge_id e, double conductance_w_per_k) {
     }
 }
 
+double rc_network::conductance(edge_id e) const {
+    util::ensure(e.index < edges_.size(), "rc_network::conductance: edge out of range");
+    return edges_[e.index].conductance;
+}
+
 void rc_network::set_ambient(util::celsius_t ambient) {
     util::ensure(std::isfinite(ambient.value()), "rc_network::set_ambient: non-finite ambient");
     ambient_ = ambient.value();
@@ -118,12 +123,13 @@ const rc_network::assembly& rc_network::assembled() const {
     cache_.internal.clear();
     cache_.ambient.clear();
     cache_.cond = util::matrix(n, n);
-    for (const edge& e : edges_) {
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        const edge& e = edges_[i];
         if (e.to_ambient) {
-            cache_.ambient.push_back(flat_ambient_edge{e.a, e.conductance});
+            cache_.ambient.push_back(flat_ambient_edge{e.a, e.conductance, i});
             cache_.cond(e.a, e.a) += e.conductance;
         } else {
-            cache_.internal.push_back(flat_internal_edge{e.a, e.b, e.conductance});
+            cache_.internal.push_back(flat_internal_edge{e.a, e.b, e.conductance, i});
             cache_.cond(e.a, e.a) += e.conductance;
             cache_.cond(e.b, e.b) += e.conductance;
             cache_.cond(e.a, e.b) -= e.conductance;
@@ -172,6 +178,98 @@ void rc_network::derivatives_into(const std::vector<double>& temps,
     }
     for (std::size_t i = 0; i < n; ++i) {
         out[i] = (out[i] + powers_[i]) / capacities_[i];
+    }
+}
+
+void rc_network::batch_derivatives_into(std::size_t lanes, const double* temps,
+                                        const double* powers, const double* capacities,
+                                        const double* ambient, const double* edge_g,
+                                        double* out) const {
+    util::ensure(lanes > 0, "rc_network::batch_derivatives_into: zero lanes");
+    const assembly& a = assembled();
+    const std::size_t n = capacities_.size();
+    for (std::size_t i = 0; i < n * lanes; ++i) {
+        out[i] = 0.0;
+    }
+    for (const flat_internal_edge& e : a.internal) {
+        const double* g = edge_g + e.src * lanes;
+        const double* ta = temps + e.a * lanes;
+        const double* tb = temps + e.b * lanes;
+        double* oa = out + e.a * lanes;
+        double* ob = out + e.b * lanes;
+        for (std::size_t l = 0; l < lanes; ++l) {
+            const double q = g[l] * (tb[l] - ta[l]);
+            oa[l] += q;
+            ob[l] -= q;
+        }
+    }
+    for (const flat_ambient_edge& e : a.ambient) {
+        const double* g = edge_g + e.src * lanes;
+        const double* tn = temps + e.n * lanes;
+        double* on = out + e.n * lanes;
+        for (std::size_t l = 0; l < lanes; ++l) {
+            on[l] += g[l] * (ambient[l] - tn[l]);
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const double* p = powers + i * lanes;
+        const double* c = capacities + i * lanes;
+        double* o = out + i * lanes;
+        for (std::size_t l = 0; l < lanes; ++l) {
+            o[l] = (o[l] + p[l]) / c[l];
+        }
+    }
+}
+
+void rc_network::lane_diagonal_into(std::size_t lanes, std::size_t lane, const double* edge_g,
+                                    double* diag) const {
+    util::ensure(lane < lanes, "rc_network::lane_diagonal_into: lane out of range");
+    const std::size_t n = capacities_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        diag[i] = 0.0;
+    }
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        const edge& e = edges_[i];
+        const double g = edge_g[i * lanes + lane];
+        diag[e.a] += g;
+        if (!e.to_ambient) {
+            diag[e.b] += g;
+        }
+    }
+}
+
+void rc_network::lane_conductance_matrix_into(std::size_t lanes, std::size_t lane,
+                                              const double* edge_g, util::matrix& out) const {
+    util::ensure(lane < lanes, "rc_network::lane_conductance_matrix_into: lane out of range");
+    util::ensure(!capacities_.empty(), "rc_network: empty network");
+    const std::size_t n = capacities_.size();
+    out = util::matrix(n, n);
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        const edge& e = edges_[i];
+        const double g = edge_g[i * lanes + lane];
+        if (e.to_ambient) {
+            out(e.a, e.a) += g;
+        } else {
+            out(e.a, e.a) += g;
+            out(e.b, e.b) += g;
+            out(e.a, e.b) -= g;
+            out(e.b, e.a) -= g;
+        }
+    }
+}
+
+void rc_network::lane_source_vector_into(std::size_t lanes, std::size_t lane,
+                                         const double* powers, double ambient_c,
+                                         const double* edge_g, std::vector<double>& out) const {
+    util::ensure(lane < lanes, "rc_network::lane_source_vector_into: lane out of range");
+    const assembly& a = assembled();
+    const std::size_t n = capacities_.size();
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = powers[i * lanes + lane];
+    }
+    for (const flat_ambient_edge& e : a.ambient) {
+        out[e.n] += edge_g[e.src * lanes + lane] * ambient_c;
     }
 }
 

@@ -64,6 +64,9 @@ public:
     /// Updates an edge conductance (e.g. convection at a new fan speed).
     void set_conductance(edge_id e, double conductance_w_per_k);
 
+    /// Current conductance of an edge (internal or ambient).
+    [[nodiscard]] double conductance(edge_id e) const;
+
     /// Sets the heat injected at a node [W]; may be negative (a sink).
     /// Inline: called for every heat source every simulation step.
     void set_power(node_id n, util::watts_t power) {
@@ -158,6 +161,49 @@ public:
     /// or a conductance changes; solvers use it to invalidate caches.
     [[nodiscard]] std::uint64_t structure_revision() const { return revision_; }
 
+    // --- batch entry points (structure-of-arrays lanes) --------------------
+    //
+    // These step N independent "lanes" (servers) through this network's
+    // *topology* with one instruction stream.  The lane state lives in
+    // caller-owned flat arrays:
+    //   node quantity  q of node i, lane l  ->  q[i * lanes + l]
+    //   conductance    g of edge e, lane l  ->  edge_g[e.index * lanes + l]
+    // (edge indices are the insertion-order edge_id indices, covering
+    // internal and ambient edges alike).  Per lane, every kernel performs
+    // the exact floating-point operation sequence of its scalar
+    // counterpart, so a lane stepped here is bitwise-identical to the same
+    // schedule applied to a scalar rc_network (the batch-equivalence suite
+    // pins this).  This network's own conductances/temperatures/powers are
+    // ignored; only the topology (and flattened edge order) is shared.
+
+    /// Number of edges (internal + ambient) in insertion order.
+    [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+    /// Batched derivatives_into: writes dT/dt for every lane into `out`
+    /// (size node_count() * lanes).  Matches derivatives_into() per lane:
+    /// internal edges accumulate before ambient edges, then the
+    /// (flow + power) / capacity division runs per node.
+    void batch_derivatives_into(std::size_t lanes, const double* temps, const double* powers,
+                                const double* capacities, const double* ambient,
+                                const double* edge_g, double* out) const;
+
+    /// Conductance-matrix diagonal of one lane, accumulated in edge
+    /// insertion order (bitwise-matching the cached assembly's diagonal).
+    /// `diag` receives node_count() values.
+    void lane_diagonal_into(std::size_t lanes, std::size_t lane, const double* edge_g,
+                            double* diag) const;
+
+    /// Full conductance (Laplacian + ambient) matrix of one lane,
+    /// accumulated in edge insertion order like conductance_matrix().
+    void lane_conductance_matrix_into(std::size_t lanes, std::size_t lane, const double* edge_g,
+                                      util::matrix& out) const;
+
+    /// Steady-state right-hand side P + G_amb * T_amb of one lane,
+    /// matching source_vector_into() per lane.
+    void lane_source_vector_into(std::size_t lanes, std::size_t lane, const double* powers,
+                                 double ambient_c, const double* edge_g,
+                                 std::vector<double>& out) const;
+
 private:
     struct edge {
         std::size_t a = 0;
@@ -174,10 +220,12 @@ private:
         std::size_t a = 0;
         std::size_t b = 0;
         double g = 0.0;
+        std::size_t src = 0;  ///< Insertion-order edge index (batch g lookup).
     };
     struct flat_ambient_edge {
         std::size_t n = 0;
         double g = 0.0;
+        std::size_t src = 0;  ///< Insertion-order edge index (batch g lookup).
     };
     struct assembly {
         std::uint64_t revision = 0;

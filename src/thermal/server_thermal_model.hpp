@@ -108,6 +108,28 @@ public:
     /// Read-only access to the underlying network (tests, visualization).
     [[nodiscard]] const rc_network& network() const { return net_; }
 
+    // Node/edge handles of the fixed topology, exposed so batched plants
+    // (thermal::rc_batch lanes built over network()) and tests can address
+    // the same nodes and mutable convective edges the scalar model drives.
+    [[nodiscard]] node_id die_node(std::size_t s) const {
+        util::ensure(s < socket_count(), "server_thermal_model::die_node: bad socket");
+        return die_[s];
+    }
+    [[nodiscard]] node_id sink_node(std::size_t s) const {
+        util::ensure(s < socket_count(), "server_thermal_model::sink_node: bad socket");
+        return sink_[s];
+    }
+    [[nodiscard]] node_id dimm_node() const { return dimm_; }
+    [[nodiscard]] edge_id die_sink_edge(std::size_t s) const {
+        util::ensure(s < socket_count(), "server_thermal_model::die_sink_edge: bad socket");
+        return die_sink_edge_[s];
+    }
+    [[nodiscard]] edge_id sink_ambient_edge(std::size_t s) const {
+        util::ensure(s < socket_count(), "server_thermal_model::sink_ambient_edge: bad socket");
+        return sink_amb_edge_[s];
+    }
+    [[nodiscard]] edge_id dimm_ambient_edge() const { return dimm_amb_edge_; }
+
 private:
     void update_conductances();
     void update_preheat();

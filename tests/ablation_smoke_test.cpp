@@ -1,0 +1,170 @@
+// Smoke coverage for the ablation harnesses' parallel_runner ports: each
+// harness's sweep shape (scenario lists through parallel_runner::run,
+// trace-consuming cells through parallel_runner::map) is exercised at
+// reduced scale and must produce nonempty, finite metric rows.  The full
+// sweeps live in bench/ablation_*.cpp; this pins the pattern they rely
+// on so a runner or controller regression fails fast in ctest instead of
+// in a bench binary nobody runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/bang_bang_controller.hpp"
+#include "core/characterization.hpp"
+#include "core/controller_runtime.hpp"
+#include "core/lut_controller.hpp"
+#include "core/reliability.hpp"
+#include "core/zone_lut_controller.hpp"
+#include "sim/metrics.hpp"
+#include "sim/parallel_runner.hpp"
+#include "sim/server_simulator.hpp"
+#include "workload/profile.hpp"
+
+namespace {
+
+using namespace ltsc;
+using namespace ltsc::util::literals;
+
+workload::utilization_profile short_profile() {
+    workload::utilization_profile p("smoke");
+    p.idle(2.0_min).constant(80.0, 6.0_min).constant(40.0, 4.0_min).idle(2.0_min);
+    return p;
+}
+
+void expect_row_sane(const sim::run_metrics& m) {
+    EXPECT_TRUE(std::isfinite(m.energy_kwh));
+    EXPECT_GT(m.energy_kwh, 0.0);
+    EXPECT_TRUE(std::isfinite(m.peak_power_w));
+    EXPECT_GT(m.peak_power_w, 0.0);
+    EXPECT_TRUE(std::isfinite(m.max_temp_c));
+    EXPECT_GT(m.max_temp_c, 0.0);
+    EXPECT_LT(m.max_temp_c, 120.0);
+    EXPECT_TRUE(std::isfinite(m.avg_rpm));
+    EXPECT_GE(m.avg_rpm, 1800.0);
+    EXPECT_LE(m.avg_rpm, 4200.0);
+    EXPECT_GT(m.duration_s, 0.0);
+}
+
+const core::fan_lut& shared_lut() {
+    static const core::fan_lut lut = [] {
+        sim::server_simulator probe;
+        return core::characterize(probe).lut;
+    }();
+    return lut;
+}
+
+TEST(AblationSmoke, LutGranularityAndPollingSweep) {
+    const auto profile = short_profile();
+    std::vector<sim::scenario> scenarios;
+    for (double period_s : {1.0, 30.0}) {
+        sim::scenario sc;
+        sc.profile = profile;
+        sc.make_controller = [period_s] {
+            core::lut_controller_config cfg;
+            cfg.polling_period = util::seconds_t{period_s};
+            return std::make_unique<core::lut_controller>(shared_lut(), cfg);
+        };
+        scenarios.push_back(sc);
+    }
+    sim::parallel_runner runner(2);
+    const auto rows = runner.run(scenarios);
+    ASSERT_EQ(rows.size(), scenarios.size());
+    for (const auto& m : rows) {
+        expect_row_sane(m);
+    }
+}
+
+TEST(AblationSmoke, RateLimitWindowSweep) {
+    const auto profile = short_profile();
+    std::vector<sim::scenario> scenarios;
+    for (double window_s : {30.0, 240.0}) {
+        for (double hold_s : {0.0, 60.0}) {
+            sim::scenario sc;
+            sc.profile = profile;
+            sc.make_controller = [hold_s] {
+                core::lut_controller_config cfg;
+                cfg.min_hold = util::seconds_t{hold_s};
+                return std::make_unique<core::lut_controller>(shared_lut(), cfg);
+            };
+            sc.runtime.util_window = util::seconds_t{window_s};
+            scenarios.push_back(sc);
+        }
+    }
+    sim::parallel_runner runner(2);
+    const auto rows = runner.run(scenarios);
+    ASSERT_EQ(rows.size(), scenarios.size());
+    for (const auto& m : rows) {
+        expect_row_sane(m);
+    }
+}
+
+TEST(AblationSmoke, BangBandSweepWithTraceStats) {
+    const auto profile = short_profile();
+    struct row {
+        sim::run_metrics metrics;
+        double load_min_c = 0.0;
+        double damage_index = 0.0;
+    };
+    const double lows[] = {70.0, 65.0};
+    sim::parallel_runner runner(2);
+    const auto rows = runner.map<row>(2, [&](std::size_t i) {
+        core::bang_bang_thresholds th;
+        th.floor_c = lows[i] - 5.0;
+        th.low_c = lows[i];
+        th.high_c = 75.0;
+        th.ceiling_c = 80.0;
+        core::bang_bang_controller bang(th);
+        sim::server_simulator server;
+        row r;
+        r.metrics = core::run_controlled(server, bang, profile);
+        const auto& temp = server.trace().max_sensor_temp;
+        r.load_min_c = temp.min(2.0 * 60.0, 12.0 * 60.0);
+        r.damage_index = core::count_thermal_cycles(temp).damage_index;
+        return r;
+    });
+    ASSERT_EQ(rows.size(), 2U);
+    for (const auto& r : rows) {
+        expect_row_sane(r.metrics);
+        EXPECT_TRUE(std::isfinite(r.load_min_c));
+        EXPECT_TRUE(std::isfinite(r.damage_index));
+        EXPECT_GE(r.damage_index, 0.0);
+    }
+}
+
+TEST(AblationSmoke, ZoneControlSweepWithImbalance) {
+    const auto profile = short_profile();
+    struct row {
+        sim::run_metrics metrics;
+        double max_t0_c = 0.0;
+        double max_t1_c = 0.0;
+    };
+    sim::parallel_runner runner(2);
+    const auto rows = runner.map<row>(4, [&](std::size_t i) {
+        const double imbalance = i / 2 == 0 ? 0.5 : 0.8;
+        sim::server_simulator server;
+        server.set_load_imbalance(imbalance);
+        std::unique_ptr<core::fan_controller> controller;
+        if (i % 2 == 0) {
+            controller = std::make_unique<core::lut_controller>(shared_lut());
+        } else {
+            controller = std::make_unique<core::zone_lut_controller>(shared_lut());
+        }
+        row r;
+        r.metrics = core::run_controlled(server, *controller, profile);
+        r.max_t0_c = server.trace().cpu0_temp.max();
+        r.max_t1_c = server.trace().cpu1_temp.max();
+        return r;
+    });
+    ASSERT_EQ(rows.size(), 4U);
+    for (const auto& r : rows) {
+        expect_row_sane(r.metrics);
+        EXPECT_TRUE(std::isfinite(r.max_t0_c));
+        EXPECT_TRUE(std::isfinite(r.max_t1_c));
+        EXPECT_GT(r.max_t0_c, 0.0);
+        EXPECT_GT(r.max_t1_c, 0.0);
+    }
+}
+
+}  // namespace

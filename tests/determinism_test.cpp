@@ -14,6 +14,7 @@
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
 #include "sim/parallel_runner.hpp"
+#include "sim/server_batch.hpp"
 #include "sim/server_simulator.hpp"
 #include "sim/trace_io.hpp"
 #include "workload/paper_tests.hpp"
@@ -131,6 +132,105 @@ TEST(Determinism, ParallelRunnerIsThreadCountInvariant) {
     for (std::size_t i = 0; i < a.size(); ++i) {
         EXPECT_EQ(a[i].energy_kwh, c[i].energy_kwh);
         EXPECT_EQ(a[i].fan_changes, c[i].fan_changes);
+    }
+}
+
+// A server_batch job fanned out through parallel_runner must be a pure
+// reordering too: batched fleet rows are bitwise-identical whether the
+// jobs run serially or across threads.
+TEST(Determinism, BatchUnderParallelRunnerIsThreadCountInvariant) {
+    const auto run_fleet = [](std::size_t job) {
+        std::vector<sim::server_config> configs(3, sim::paper_server());
+        configs[1].seed = 0xfeed + job;
+        configs[2].thermal.ambient_c = 24.0 + 2.0 * static_cast<double>(job);
+        sim::server_batch batch(configs);
+        const auto profile = workload::make_paper_test(workload::paper_test::test3_frequent);
+        core::default_controller dflt;
+        core::bang_bang_controller bang_a;
+        core::bang_bang_controller bang_b;
+        const std::vector<core::fan_controller*> controllers{&dflt, &bang_a, &bang_b};
+        return core::run_controlled_batch(batch, controllers, {profile, profile, profile});
+    };
+
+    sim::parallel_runner serial(1);
+    sim::parallel_runner wide(4);
+    const auto a = serial.map<std::vector<sim::run_metrics>>(2, run_fleet);
+    const auto b = wide.map<std::vector<sim::run_metrics>>(2, run_fleet);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+        ASSERT_EQ(a[j].size(), b[j].size());
+        for (std::size_t l = 0; l < a[j].size(); ++l) {
+            SCOPED_TRACE("job " + std::to_string(j) + " lane " + std::to_string(l));
+            EXPECT_EQ(a[j][l].energy_kwh, b[j][l].energy_kwh);
+            EXPECT_EQ(a[j][l].peak_power_w, b[j][l].peak_power_w);
+            EXPECT_EQ(a[j][l].max_temp_c, b[j][l].max_temp_c);
+            EXPECT_EQ(a[j][l].fan_changes, b[j][l].fan_changes);
+            EXPECT_EQ(a[j][l].avg_rpm, b[j][l].avg_rpm);
+            EXPECT_EQ(a[j][l].avg_cpu_temp_c, b[j][l].avg_cpu_temp_c);
+        }
+    }
+}
+
+// Lane packing is an implementation detail: N lanes stepped together,
+// the same scenarios split across two smaller batches, and N separate
+// single-lane batches all yield bitwise-identical traces.
+TEST(Determinism, LanePackingIsObservationallyInvariant) {
+    std::vector<sim::server_config> configs(4, sim::paper_server());
+    configs[1].seed = 0xabcd;
+    configs[2].thermal.ambient_c = 30.0;
+    configs[3].default_fan_rpm = util::rpm_t{2400.0};
+
+    workload::utilization_profile profile("pack");
+    profile.idle(util::seconds_t{60.0})
+        .constant(70.0, util::seconds_t{240.0})
+        .constant(30.0, util::seconds_t{180.0});
+
+    // The mid-run fan command rides with the scenario (not the lane slot),
+    // so any packing of the same scenarios is comparable.
+    const std::vector<double> fan_rpm{1800.0, 2400.0, 3000.0, 4200.0};
+    const auto run_lanes = [&](std::vector<sim::server_config> cfgs, std::vector<double> rpms) {
+        sim::server_batch batch(std::move(cfgs));
+        for (std::size_t l = 0; l < batch.lane_count(); ++l) {
+            batch.bind_workload(l, profile);
+            batch.force_cold_start(l);
+        }
+        for (int k = 0; k < 8 * 60; ++k) {
+            if (k == 120) {
+                for (std::size_t l = 0; l < batch.lane_count(); ++l) {
+                    batch.set_all_fans(l, util::rpm_t{rpms[l]});
+                }
+            }
+            batch.step();
+        }
+        std::vector<sim::simulation_trace> out;
+        for (std::size_t l = 0; l < batch.lane_count(); ++l) {
+            out.push_back(batch.trace(l));
+        }
+        return out;
+    };
+
+    const auto packed = run_lanes(configs, fan_rpm);
+    std::vector<sim::simulation_trace> split;
+    {
+        auto front = run_lanes({configs[0], configs[1]}, {fan_rpm[0], fan_rpm[1]});
+        auto back = run_lanes({configs[2], configs[3]}, {fan_rpm[2], fan_rpm[3]});
+        for (auto& t : front) {
+            split.push_back(std::move(t));
+        }
+        for (auto& t : back) {
+            split.push_back(std::move(t));
+        }
+    }
+
+    ASSERT_EQ(packed.size(), 4U);
+    ASSERT_EQ(split.size(), 4U);
+    for (std::size_t l = 0; l < packed.size(); ++l) {
+        SCOPED_TRACE("lane " + std::to_string(l));
+        // 4-lane batch vs two 2-lane batches vs a single-lane batch: the
+        // packing must be invisible in every recorded sample.
+        expect_traces_identical(packed[l], split[l]);
+        const auto single = run_lanes({configs[l]}, {fan_rpm[l]});
+        expect_traces_identical(packed[l], single.front());
     }
 }
 
