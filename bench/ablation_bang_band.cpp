@@ -58,7 +58,7 @@ int main() {
             sim::server_simulator server;
             band_row row;
             row.metrics = core::run_controlled(server, bang, profile);
-            const auto& temp = server.trace().max_sensor_temp;
+            const util::column_view temp = server.trace().max_sensor_temp();
             // Undershoot during the loaded body (minutes 5-70).
             row.load_min_c = temp.min(5.0 * 60.0, 70.0 * 60.0);
             row.damage_index = core::count_thermal_cycles(temp).damage_index;

@@ -61,8 +61,8 @@ int main() {
             }
             zone_row row;
             row.metrics = core::run_controlled(server, *controller, profile);
-            row.max_t0_c = server.trace().cpu0_temp.max();
-            row.max_t1_c = server.trace().cpu1_temp.max();
+            row.max_t0_c = server.trace().cpu0_temp().max();
+            row.max_t1_c = server.trace().cpu1_temp().max();
             return row;
         });
 

@@ -65,7 +65,7 @@ int main() {
             const sim::run_metrics& m = results[1];
 
             std::set<double> speeds;
-            for (const auto& s : pair.trace(1).avg_fan_rpm.samples()) {
+            for (const auto& s : pair.trace(1).avg_fan_rpm().samples()) {
                 speeds.insert(s.v);
             }
             ambient_row row;

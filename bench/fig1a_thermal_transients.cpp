@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     for (util::rpm_t rpm : speeds) {
         sim::server_simulator s;
         sim::run_protocol_experiment(s, rpm, 100.0);
-        traces.push_back(s.trace().avg_cpu_temp);
+        traces.push_back(s.trace().avg_cpu_temp().to_series());
 
         // Time (from load onset at minute 5) to reach 95 % of the rise.
         const util::time_series& tr = traces.back();

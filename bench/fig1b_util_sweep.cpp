@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     for (double duty : duties) {
         sim::server_simulator s;
         sim::run_protocol_experiment(s, 1800_rpm, duty);
-        traces.push_back(s.trace().avg_cpu_temp);
+        traces.push_back(s.trace().avg_cpu_temp().to_series());
     }
 
     std::printf("%8s", "t[min]");

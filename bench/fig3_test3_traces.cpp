@@ -41,11 +41,14 @@ int main(int argc, char** argv) {
     std::vector<run> runs;
 
     (void)core::run_controlled(server, dflt, profile);
-    runs.push_back(run{"Default", server.trace().max_sensor_temp, server.trace().avg_fan_rpm});
+    runs.push_back(run{"Default", server.trace().max_sensor_temp().to_series(),
+                       server.trace().avg_fan_rpm().to_series()});
     (void)core::run_controlled(server, bang, profile);
-    runs.push_back(run{"Bang", server.trace().max_sensor_temp, server.trace().avg_fan_rpm});
+    runs.push_back(run{"Bang", server.trace().max_sensor_temp().to_series(),
+                       server.trace().avg_fan_rpm().to_series()});
     (void)core::run_controlled(server, lut, profile);
-    runs.push_back(run{"LUT", server.trace().max_sensor_temp, server.trace().avg_fan_rpm});
+    runs.push_back(run{"LUT", server.trace().max_sensor_temp().to_series(),
+                       server.trace().avg_fan_rpm().to_series()});
 
     std::printf("== Fig. 3: Test-3 runtime traces (max CPU sensor temp / avg RPM) ==\n\n");
     std::printf("%7s", "t[min]");

@@ -9,8 +9,10 @@
 #include "core/controller_runtime.hpp"
 #include "core/lut_controller.hpp"
 #include "fit/nlls.hpp"
+#include "sim/batch_trace.hpp"
 #include "sim/server_batch.hpp"
 #include "sim/server_simulator.hpp"
+#include "sim/simulation_trace.hpp"
 #include "thermal/server_thermal_model.hpp"
 #include "thermal/steady_state.hpp"
 #include "workload/paper_tests.hpp"
@@ -92,6 +94,64 @@ void BM_BatchStep(benchmark::State& state) {
     state.SetLabel("per-server simulated seconds per wall second");
 }
 BENCHMARK(BM_BatchStep)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_TraceRecord(benchmark::State& state) {
+    // Pure recording cost: one columnar row append (shared timestamp +
+    // 12 channel values) per simulated step.  This is the storage layer
+    // under BM_SimulatorSecond's record() call.
+    // Cycle a pre-reserved working set so the number reflects
+    // steady-state append cost (not first-touch vector growth) at any
+    // --benchmark_min_time.
+    constexpr std::size_t kRows = 1U << 16;
+    sim::simulation_trace tr;
+    tr.reserve(kRows);
+    sim::trace_row row;
+    for (std::size_t c = 0; c < sim::trace_channel_count; ++c) {
+        row.values[c] = 40.0 + static_cast<double>(c);
+    }
+    double t = 0.0;
+    for (auto _ : state) {
+        if (tr.size() == kRows) {
+            tr.clear();
+            t = 0.0;
+        }
+        tr.append(t, row);
+        t += 1.0;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel("rows per second");
+}
+BENCHMARK(BM_TraceRecord);
+
+void BM_TraceRecordBatch(benchmark::State& state) {
+    // Fleet recording: one lane-major arena row-group per step (all N
+    // lanes' rows land contiguously).  items = lane-rows, comparable to
+    // BM_TraceRecord's per-row cost.
+    const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+    const std::size_t steps = (1U << 20) / lanes;
+    sim::batch_trace traces(lanes);
+    traces.reserve_steps(steps);
+    sim::trace_row row;
+    for (std::size_t c = 0; c < sim::trace_channel_count; ++c) {
+        row.values[c] = 40.0 + static_cast<double>(c);
+    }
+    double t = 0.0;
+    for (auto _ : state) {
+        if (traces.size(0) == steps) {
+            for (std::size_t l = 0; l < lanes; ++l) {
+                traces.clear(l);
+            }
+            t = 0.0;
+        }
+        for (std::size_t l = 0; l < lanes; ++l) {
+            traces.append(l, t, row);
+        }
+        t += 1.0;
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(lanes));
+    state.SetLabel("lane-rows per second");
+}
+BENCHMARK(BM_TraceRecordBatch)->Arg(64)->Arg(256);
 
 void BM_LutDecision(benchmark::State& state) {
     sim::server_simulator s;

@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
     const auto& tr = server.trace();
     for (double t_min : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0}) {
         std::printf("  t=%4.0f min  Tcpu=%5.1f degC  P=%6.1f W\n", t_min,
-                    tr.avg_cpu_temp.value_at(t_min * 60.0 - 1.0),
-                    tr.total_power.value_at(t_min * 60.0 - 1.0));
+                    tr.avg_cpu_temp().value_at(t_min * 60.0 - 1.0),
+                    tr.total_power().value_at(t_min * 60.0 - 1.0));
     }
 
     // --- sweep + fit (Eqn. 1 / Eqn. 2) -----------------------------------

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Fail when hot-path micro-benchmarks regress against the committed baseline.
+
+Usage:
+    perf_gate.py [--calibrate BENCH] CURRENT.json BASELINE.json BENCH [BENCH...]
+
+CURRENT.json and BASELINE.json are Google Benchmark JSON files (e.g. a
+fresh CI run vs. the checked-in BENCH_micro.json).  For every named
+benchmark, throughput (items_per_second, falling back to 1/real_time) in
+CURRENT must be at least (1 - PERF_GATE_TOLERANCE) of BASELINE.  The
+default tolerance is 0.20 (fail on a >20% regression); override with the
+PERF_GATE_TOLERANCE environment variable.
+
+--calibrate BENCH divides each side's throughput by that benchmark's
+throughput *from the same file* before comparing.  With a calibration
+benchmark whose cost is unaffected by the change under test (e.g. the
+pure-compute BM_ThermalStep), absolute machine speed cancels and the
+gate compares code, not hardware — required when the baseline was
+recorded on a different machine than the CI runner.
+
+Exit codes: 0 pass, 1 regression, 2 usage/missing-benchmark error.
+"""
+import json
+import os
+import sys
+
+
+def throughput(entry):
+    if "items_per_second" in entry:
+        return float(entry["items_per_second"])
+    real = float(entry["real_time"])
+    if real <= 0.0:
+        raise ValueError(f"non-positive real_time in {entry['name']}")
+    return 1.0 / real
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for entry in doc.get("benchmarks", []):
+        # Keep the first (aggregate-free) entry per name.
+        out.setdefault(entry["name"], entry)
+    return out
+
+
+def lookup(table, name, path):
+    if name not in table:
+        print(f"perf_gate: {name} missing from {path}", file=sys.stderr)
+        sys.exit(2)
+    return throughput(table[name])
+
+
+def main(argv):
+    args = argv[1:]
+    calibrate = None
+    if args and args[0] == "--calibrate":
+        if len(args) < 2:
+            print(__doc__, file=sys.stderr)
+            return 2
+        calibrate = args[1]
+        args = args[2:]
+    if len(args) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    current_path, baseline_path = args[0], args[1]
+    current = load(current_path)
+    baseline = load(baseline_path)
+    cur_scale = lookup(current, calibrate, current_path) if calibrate else 1.0
+    base_scale = lookup(baseline, calibrate, baseline_path) if calibrate else 1.0
+    unit = f"x {calibrate}" if calibrate else "items/s"
+
+    tolerance = float(os.environ.get("PERF_GATE_TOLERANCE", "0.20"))
+    failed = False
+    for name in args[2:]:
+        cur = lookup(current, name, current_path) / cur_scale
+        base = lookup(baseline, name, baseline_path) / base_scale
+        ratio = cur / base
+        status = "OK" if ratio >= 1.0 - tolerance else "REGRESSION"
+        print(f"{name}: {cur:.3e} vs baseline {base:.3e} {unit} ({ratio:6.1%}) {status}")
+        failed = failed or status != "OK"
+    if failed:
+        print(f"perf_gate: regression beyond {tolerance:.0%} tolerance", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

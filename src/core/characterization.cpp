@@ -150,7 +150,7 @@ std::vector<sim::steady_point> measure_protocol_sweep(sim::server_simulator& sim
             const double w0 = std::max(timing.stabilization.value(), w1 - span);
 
             const auto channel_mean = [&](const std::string& name) {
-                const util::time_series& h = sim.telemetry().by_name(name).history();
+                const util::column_view h = sim.telemetry().by_name(name).history();
                 return h.mean(w0, w1);
             };
             sim::steady_point p;
@@ -158,7 +158,7 @@ std::vector<sim::steady_point> measure_protocol_sweep(sim::server_simulator& sim
             p.fan_rpm = rpm.value();
             p.avg_cpu_temp_c = 0.25 * (channel_mean("cpu0_temp_a") + channel_mean("cpu0_temp_b") +
                                        channel_mean("cpu1_temp_a") + channel_mean("cpu1_temp_b"));
-            p.dimm_temp_c = sim.trace().dimm_temp.mean(w0, w1);
+            p.dimm_temp_c = sim.trace().dimm_temp().mean(w0, w1);
             p.fan_power_w = channel_mean("fan_power");
             p.total_power_w = channel_mean("system_power");
             out.push_back(p);

@@ -115,9 +115,9 @@ std::vector<sim::run_metrics> run_controlled_batch(
                  "run_controlled_batch: controller count != lane count");
     util::ensure(profiles.size() == n, "run_controlled_batch: profile count != lane count");
     util::ensure(n > 0, "run_controlled_batch: empty batch");
-    // Lanes share one time base, so every profile must imply the same
-    // number of plant steps (durations may differ by segment-accumulation
-    // rounding; what matters is where the scalar loop would stop).
+    // Number of plant steps the scalar loop would take for a duration
+    // (durations may differ by segment-accumulation rounding; what
+    // matters is where the scalar loop would stop).
     const auto steps_for = [&](double dur) {
         double now = 0.0;
         long k = 0;
@@ -127,12 +127,14 @@ std::vector<sim::run_metrics> run_controlled_batch(
         }
         return k;
     };
-    const double duration = profiles.front().duration().value();
-    const long steps = steps_for(duration);
+    // Lanes share one time base but may stop at different step counts: a
+    // finished lane goes inert and the rest of the fleet keeps stepping.
+    std::vector<long> steps(n);
+    long max_steps = 0;
     for (std::size_t l = 0; l < n; ++l) {
         util::ensure(controllers[l] != nullptr, "run_controlled_batch: null controller");
-        util::ensure(steps_for(profiles[l].duration().value()) == steps,
-                     "run_controlled_batch: profiles must share one duration");
+        steps[l] = steps_for(profiles[l].duration().value());
+        max_steps = std::max(max_steps, steps[l]);
     }
 
     std::vector<double> period(n);
@@ -148,8 +150,12 @@ std::vector<sim::run_metrics> run_controlled_batch(
         period[l] = controllers[l]->polling_period().value();
     }
 
-    while (batch.now(0).value() < duration - 1e-9) {
+    for (long k = 0; k < max_steps; ++k) {
         for (std::size_t l = 0; l < n; ++l) {
+            if (k >= steps[l]) {
+                batch.set_lane_active(l, false);
+                continue;
+            }
             if (batch.now(l).value() + 1e-9 < next_decision[l]) {
                 continue;
             }
@@ -165,6 +171,10 @@ std::vector<sim::run_metrics> run_controlled_batch(
     out.reserve(n);
     for (std::size_t l = 0; l < n; ++l) {
         out.push_back(sim::compute_metrics(batch, l, profiles[l].name(), controllers[l]->name()));
+        // The run borrows the batch: hand it back with every lane live
+        // again, so follow-up stepping does not silently skip the lanes
+        // whose profiles finished first.
+        batch.set_lane_active(l, true);
     }
     return out;
 }

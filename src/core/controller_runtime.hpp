@@ -42,8 +42,10 @@ struct runtime_config {
 /// returns one Table-I metrics row per lane.  Per lane the observation /
 /// decision / actuation sequence is identical to run_controlled, so a
 /// lane's metrics are bitwise-identical to an independent scalar run.
-/// Controllers are borrowed (one per lane, each owning its state);
-/// profiles must all span the same duration.
+/// Controllers are borrowed (one per lane, each owning its state).
+/// Profiles may span different durations (ragged fleets): a lane whose
+/// profile finishes goes inert — no stepping, recording, or controller
+/// polling — while the remaining lanes run to completion.
 [[nodiscard]] std::vector<sim::run_metrics> run_controlled_batch(
     sim::server_batch& batch, const std::vector<fan_controller*>& controllers,
     const std::vector<workload::utilization_profile>& profiles,

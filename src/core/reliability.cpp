@@ -7,15 +7,15 @@
 
 namespace ltsc::core {
 
-std::vector<double> peak_valley_sequence(const util::time_series& temps, double hysteresis_c) {
+std::vector<double> peak_valley_sequence(const util::column_view& temps, double hysteresis_c) {
     util::ensure(temps.size() >= 2, "peak_valley_sequence: trace too short");
     util::ensure(hysteresis_c >= 0.0, "peak_valley_sequence: negative hysteresis");
 
-    std::vector<double> seq{temps.at(0).v};
-    double candidate = temps.at(0).v;
+    std::vector<double> seq{temps.v(0)};
+    double candidate = temps.v(0);
     int direction = 0;  // +1 rising, -1 falling, 0 undetermined
     for (std::size_t i = 1; i < temps.size(); ++i) {
-        const double v = temps.at(i).v;
+        const double v = temps.v(i);
         switch (direction) {
             case 0:
                 if (v > candidate + hysteresis_c) {
@@ -50,7 +50,7 @@ std::vector<double> peak_valley_sequence(const util::time_series& temps, double 
     return seq;
 }
 
-cycling_report count_thermal_cycles(const util::time_series& temps,
+cycling_report count_thermal_cycles(const util::column_view& temps,
                                     const cycling_options& options) {
     const std::vector<double> reversals = peak_valley_sequence(temps, options.hysteresis_c);
     cycling_report report;

@@ -37,14 +37,23 @@ struct cycling_options {
 };
 
 /// Runs rainflow counting (ASTM E1049 four-point method) on a temperature
-/// trace and scores the cycles.  Throws on traces with fewer than 2
-/// samples.
-[[nodiscard]] cycling_report count_thermal_cycles(const util::time_series& temps,
+/// trace and scores the cycles.  Accepts a view so columnar trace
+/// channels feed in without copies; a `time_series` converts via the
+/// inline overload.  Throws on traces with fewer than 2 samples.
+[[nodiscard]] cycling_report count_thermal_cycles(const util::column_view& temps,
                                                   const cycling_options& options = {});
+[[nodiscard]] inline cycling_report count_thermal_cycles(const util::time_series& temps,
+                                                         const cycling_options& options = {}) {
+    return count_thermal_cycles(temps.view(), options);
+}
 
 /// Extracts the alternating peak/valley sequence of a trace after
 /// hysteresis filtering (exposed for tests and plotting).
-[[nodiscard]] std::vector<double> peak_valley_sequence(const util::time_series& temps,
+[[nodiscard]] std::vector<double> peak_valley_sequence(const util::column_view& temps,
                                                        double hysteresis_c);
+[[nodiscard]] inline std::vector<double> peak_valley_sequence(const util::time_series& temps,
+                                                              double hysteresis_c) {
+    return peak_valley_sequence(temps.view(), hysteresis_c);
+}
 
 }  // namespace ltsc::core

@@ -5,26 +5,19 @@
 
 namespace ltsc::sim {
 
-run_metrics compute_metrics(const simulation_trace& tr, std::size_t fan_changes,
+run_metrics compute_metrics(const trace_view& tr, std::size_t fan_changes,
                             std::string test_name, std::string controller_name) {
-    util::ensure(tr.total_power.size() >= 2, "compute_metrics: trace too short");
-    // The recorder appends every channel in lockstep; a trace whose
-    // channels disagree is truncated or hand-assembled, and reporting a
-    // half-row from it would be silently wrong.
-    util::ensure(tr.max_sensor_temp.size() == tr.total_power.size() &&
-                     tr.avg_fan_rpm.size() == tr.total_power.size() &&
-                     tr.avg_cpu_temp.size() == tr.total_power.size(),
-                 "compute_metrics: trace channels out of step");
+    util::ensure(tr.size() >= 2, "compute_metrics: trace too short");
     run_metrics m;
     m.test_name = std::move(test_name);
     m.controller_name = std::move(controller_name);
-    m.duration_s = tr.total_power.duration();
-    m.energy_kwh = util::to_kwh(util::joules_t{tr.total_power.integrate()});
-    m.peak_power_w = tr.total_power.max();
-    m.max_temp_c = tr.max_sensor_temp.max();
+    m.duration_s = tr.total_power().duration();
+    m.energy_kwh = util::to_kwh(util::joules_t{tr.total_power().integrate()});
+    m.peak_power_w = tr.total_power().max();
+    m.max_temp_c = tr.max_sensor_temp().max();
     m.fan_changes = fan_changes;
-    m.avg_rpm = tr.avg_fan_rpm.mean();
-    m.avg_cpu_temp_c = tr.avg_cpu_temp.mean();
+    m.avg_rpm = tr.avg_fan_rpm().mean();
+    m.avg_cpu_temp_c = tr.avg_cpu_temp().mean();
     return m;
 }
 

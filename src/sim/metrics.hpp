@@ -32,11 +32,13 @@ struct run_metrics {
 
 class server_batch;
 
-/// Extracts the metrics from a finished run's trace (the core shared by
-/// the scalar and batched plants).  `fan_changes` is the plant's counter
-/// at extraction time.  Throws precondition_error when the trace has
-/// fewer than 2 power samples.
-[[nodiscard]] run_metrics compute_metrics(const simulation_trace& trace, std::size_t fan_changes,
+/// Extracts the metrics from a finished run's trace view (the core
+/// shared by the scalar and batched plants — a `simulation_trace`
+/// converts implicitly).  `fan_changes` is the plant's counter at
+/// extraction time.  Throws precondition_error when the trace has fewer
+/// than 2 samples.  Channels cannot drift out of step: the columnar
+/// store appends every channel in one row.
+[[nodiscard]] run_metrics compute_metrics(const trace_view& trace, std::size_t fan_changes,
                                           std::string test_name, std::string controller_name);
 
 /// Extracts the metrics from a finished run's trace.

@@ -19,7 +19,10 @@ const server_config& front_checked(const std::vector<server_config>& configs) {
 }  // namespace
 
 server_batch::server_batch(std::vector<server_config> configs)
-    : proto_(front_checked(configs).thermal), batch_(proto_.network(), configs.size()) {
+    : proto_(front_checked(configs).thermal),
+      batch_(proto_.network(), configs.size()),
+      traces_(configs.size()),
+      active_(configs.size(), 1) {
     lanes_.reserve(configs.size());
     for (std::size_t l = 0; l < configs.size(); ++l) {
         init_lane(l, validated(configs[l]));
@@ -130,6 +133,7 @@ void server_batch::bind_workload(std::size_t lane, workload::loadgen generator) 
     ln.workload = std::move(generator);
     ln.now_s = 0.0;
     clear_trace(lane);
+    set_lane_active(lane, true);
 }
 
 void server_batch::bind_workload(std::size_t lane, const workload::utilization_profile& profile) {
@@ -359,9 +363,15 @@ void server_batch::apply_heat(std::size_t lane, double u_inst) {
 void server_batch::step(util::seconds_t dt) {
     util::ensure(dt.value() > 0.0, "server_batch::step: non-positive dt");
     const std::size_t n = lanes_.size();
+    if (inert_count_ == n) {
+        return;
+    }
     u_target_scratch_.resize(n);
     u_inst_scratch_.resize(n);
     for (std::size_t l = 0; l < n; ++l) {
+        if (active_[l] == 0) {
+            continue;
+        }
         lane_state& ln = *lanes_[l];
         u_target_scratch_[l] =
             ln.workload ? ln.workload->target_utilization(now(l)) : 0.0;
@@ -370,13 +380,35 @@ void server_batch::step(util::seconds_t dt) {
         apply_heat(l, u_inst_scratch_[l]);
         update_preheat(l);
     }
-    batch_.step(dt);
+    batch_.step(dt, inert_count_ == 0 ? nullptr : active_.data());
     for (std::size_t l = 0; l < n; ++l) {
+        if (active_[l] == 0) {
+            continue;
+        }
         lane_state& ln = *lanes_[l];
         ln.now_s += dt.value();
         record(l, u_target_scratch_[l], u_inst_scratch_[l]);
         ln.telemetry.poll_due(now(l));
     }
+}
+
+void server_batch::set_lane_active(std::size_t lane, bool active) {
+    static_cast<void>(at(lane));
+    const unsigned char flag = active ? 1 : 0;
+    if (active_[lane] == flag) {
+        return;
+    }
+    active_[lane] = flag;
+    if (active) {
+        --inert_count_;
+    } else {
+        ++inert_count_;
+    }
+}
+
+bool server_batch::lane_active(std::size_t lane) const {
+    static_cast<void>(at(lane));
+    return active_[lane] != 0;
 }
 
 void server_batch::advance(util::seconds_t duration, util::seconds_t dt) {
@@ -407,6 +439,7 @@ void server_batch::force_cold_start(std::size_t lane) {
     ln.now_s = 0.0;
     ln.fan_changes = 0;
     clear_trace(lane);
+    set_lane_active(lane, true);
     ln.telemetry.reset();
     ln.telemetry.poll_now(now(lane));
 }
@@ -436,29 +469,36 @@ util::seconds_t server_batch::now(std::size_t lane) const {
 void server_batch::record(std::size_t lane, double u_target, double u_inst) {
     lane_state& ln = *lanes_[lane];
     const power::power_breakdown p = breakdown_at(lane, u_inst);
-    simulation_trace& tr = ln.trace;
-    tr.target_util.push_back(ln.now_s, u_target);
-    tr.instant_util.push_back(ln.now_s, u_inst);
-    tr.cpu0_temp.push_back(ln.now_s, die_temp(lane, 0));
-    tr.cpu1_temp.push_back(ln.now_s, die_temp(lane, 1));
-    tr.avg_cpu_temp.push_back(ln.now_s, true_avg_cpu_temp(lane).value());
+    trace_row row;
+    row[trace_channel::target_util] = u_target;
+    row[trace_channel::instant_util] = u_inst;
+    row[trace_channel::cpu0_temp] = die_temp(lane, 0);
+    row[trace_channel::cpu1_temp] = die_temp(lane, 1);
+    row[trace_channel::avg_cpu_temp] = true_avg_cpu_temp(lane).value();
     double max_sensor = ln.last_cpu_sensor_reads.empty() ? true_avg_cpu_temp(lane).value()
                                                          : ln.last_cpu_sensor_reads[0];
     for (double v : ln.last_cpu_sensor_reads) {
         max_sensor = std::max(max_sensor, v);
     }
-    tr.max_sensor_temp.push_back(ln.now_s, max_sensor);
-    tr.dimm_temp.push_back(ln.now_s, true_dimm_temp(lane).value());
-    tr.total_power.push_back(ln.now_s, p.total().value());
-    tr.fan_power.push_back(ln.now_s, p.fan.value());
-    tr.leakage_power.push_back(ln.now_s, p.leakage.value());
-    tr.active_power.push_back(ln.now_s, p.active.value());
-    tr.avg_fan_rpm.push_back(ln.now_s, ln.fans.average_speed().value());
+    row[trace_channel::max_sensor_temp] = max_sensor;
+    row[trace_channel::dimm_temp] = true_dimm_temp(lane).value();
+    row[trace_channel::total_power] = p.total().value();
+    row[trace_channel::fan_power] = p.fan.value();
+    row[trace_channel::leakage_power] = p.leakage.value();
+    row[trace_channel::active_power] = p.active.value();
+    row[trace_channel::avg_fan_rpm] = ln.fans.average_speed().value();
+    traces_.append(lane, ln.now_s, row);
 }
 
-const simulation_trace& server_batch::trace(std::size_t lane) const { return at(lane).trace; }
+trace_view server_batch::trace(std::size_t lane) const {
+    static_cast<void>(at(lane));
+    return traces_.lane(lane);
+}
 
-void server_batch::clear_trace(std::size_t lane) { at(lane).trace = simulation_trace{}; }
+void server_batch::clear_trace(std::size_t lane) {
+    static_cast<void>(at(lane));
+    traces_.clear(lane);
+}
 
 const server_config& server_batch::config(std::size_t lane) const { return at(lane).config; }
 

@@ -26,8 +26,10 @@
 #include "power/fan_model.hpp"
 #include "power/leakage_model.hpp"
 #include "power/server_power_model.hpp"
+#include "sim/batch_trace.hpp"
 #include "sim/server_config.hpp"
 #include "sim/server_simulator.hpp"
+#include "sim/simulation_trace.hpp"
 #include "telemetry/harness.hpp"
 #include "thermal/rc_batch.hpp"
 #include "thermal/sensors.hpp"
@@ -92,10 +94,21 @@ public:
     [[nodiscard]] util::celsius_t ambient(std::size_t lane) const;
 
     // --- time ---------------------------------------------------------------
-    /// Advances every lane by `dt` through the batched thermal kernel.
+    /// Advances every *active* lane by `dt` through the batched thermal
+    /// kernel.  Inert lanes (see set_lane_active) are left bitwise
+    /// untouched: no heat update, no integration, no time advance, no
+    /// recording, no telemetry poll.  A step with every lane inert is a
+    /// no-op.
     void step(util::seconds_t dt = util::seconds_t{1.0});
     void advance(util::seconds_t duration, util::seconds_t dt = util::seconds_t{1.0});
     [[nodiscard]] util::seconds_t now(std::size_t lane) const;
+
+    /// Ragged fleets: marks one lane (in)active for subsequent steps.
+    /// Lanes whose workload finishes early go inert while the rest of
+    /// the fleet keeps stepping; binding a workload or forcing a cold
+    /// start reactivates the lane.
+    void set_lane_active(std::size_t lane, bool active);
+    [[nodiscard]] bool lane_active(std::size_t lane) const;
 
     /// Paper cold-start protocol on one lane / every lane.
     void force_cold_start(std::size_t lane);
@@ -107,7 +120,10 @@ public:
     [[nodiscard]] util::watts_t idle_power(std::size_t lane, util::rpm_t fan_rpm) const;
 
     // --- recording (per lane) -----------------------------------------------
-    [[nodiscard]] const simulation_trace& trace(std::size_t lane) const;
+    /// View of one lane's recording in the shared lane-major arena
+    /// (invalidated by the next step/clear; materialize with
+    /// `simulation_trace{batch.trace(l)}` to keep it).
+    [[nodiscard]] trace_view trace(std::size_t lane) const;
     void clear_trace(std::size_t lane);
 
     [[nodiscard]] const server_config& config(std::size_t lane) const;
@@ -134,7 +150,6 @@ private:
         double now_s = 0.0;
         double imbalance = 0.5;
         std::size_t fan_changes = 0;
-        simulation_trace trace;
         std::vector<double> last_cpu_sensor_reads;
 
         // Mirror of server_thermal_model's per-plant scalar state; the
@@ -166,6 +181,15 @@ private:
     thermal::server_thermal_model proto_;
     thermal::rc_batch batch_;
     std::vector<std::unique_ptr<lane_state>> lanes_;
+
+    // Lane-major columnar recording: all lanes of a step append into one
+    // contiguous arena row-group.
+    batch_trace traces_;
+
+    // Per-lane active flags (ragged fleets); inert_count_ keeps the
+    // all-active hot path on the unmasked kernel.
+    std::vector<unsigned char> active_;
+    std::size_t inert_count_ = 0;
 
     // Per-step scratch so stepping does not allocate.
     std::vector<double> u_target_scratch_;

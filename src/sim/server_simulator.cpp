@@ -262,25 +262,27 @@ util::watts_t steady_idle_power(const server_config& config, util::rpm_t fan_rpm
 
 void server_simulator::record(double u_target, double u_inst) {
     const power::power_breakdown p = breakdown_at(u_inst);
-    trace_.target_util.push_back(now_s_, u_target);
-    trace_.instant_util.push_back(now_s_, u_inst);
-    trace_.cpu0_temp.push_back(now_s_, thermal_.cpu_die_temp(0).value());
-    trace_.cpu1_temp.push_back(now_s_, thermal_.cpu_die_temp(1).value());
-    trace_.avg_cpu_temp.push_back(now_s_, thermal_.average_cpu_temp().value());
+    trace_row row;
+    row[trace_channel::target_util] = u_target;
+    row[trace_channel::instant_util] = u_inst;
+    row[trace_channel::cpu0_temp] = thermal_.cpu_die_temp(0).value();
+    row[trace_channel::cpu1_temp] = thermal_.cpu_die_temp(1).value();
+    row[trace_channel::avg_cpu_temp] = thermal_.average_cpu_temp().value();
     double max_sensor = last_cpu_sensor_reads_.empty() ? thermal_.average_cpu_temp().value()
                                                        : last_cpu_sensor_reads_[0];
     for (double v : last_cpu_sensor_reads_) {
         max_sensor = std::max(max_sensor, v);
     }
-    trace_.max_sensor_temp.push_back(now_s_, max_sensor);
-    trace_.dimm_temp.push_back(now_s_, thermal_.dimm_temp().value());
-    trace_.total_power.push_back(now_s_, p.total().value());
-    trace_.fan_power.push_back(now_s_, p.fan.value());
-    trace_.leakage_power.push_back(now_s_, p.leakage.value());
-    trace_.active_power.push_back(now_s_, p.active.value());
-    trace_.avg_fan_rpm.push_back(now_s_, fans_.average_speed().value());
+    row[trace_channel::max_sensor_temp] = max_sensor;
+    row[trace_channel::dimm_temp] = thermal_.dimm_temp().value();
+    row[trace_channel::total_power] = p.total().value();
+    row[trace_channel::fan_power] = p.fan.value();
+    row[trace_channel::leakage_power] = p.leakage.value();
+    row[trace_channel::active_power] = p.active.value();
+    row[trace_channel::avg_fan_rpm] = fans_.average_speed().value();
+    trace_.append(now_s_, row);
 }
 
-void server_simulator::clear_trace() { trace_ = simulation_trace{}; }
+void server_simulator::clear_trace() { trace_.clear(); }
 
 }  // namespace ltsc::sim

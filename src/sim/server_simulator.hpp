@@ -17,6 +17,7 @@
 #include "power/leakage_model.hpp"
 #include "power/server_power_model.hpp"
 #include "sim/server_config.hpp"
+#include "sim/simulation_trace.hpp"
 #include "telemetry/harness.hpp"
 #include "thermal/sensors.hpp"
 #include "thermal/server_thermal_model.hpp"
@@ -25,23 +26,6 @@
 #include "workload/loadgen.hpp"
 
 namespace ltsc::sim {
-
-/// Everything the simulator records while stepping, at the simulation
-/// cadence (1 s by default).  All series share the simulation time base.
-struct simulation_trace {
-    util::time_series target_util;      ///< Commanded utilization [%].
-    util::time_series instant_util;     ///< PWM instantaneous utilization [%].
-    util::time_series cpu0_temp;        ///< True die temperature, socket 0 [degC].
-    util::time_series cpu1_temp;        ///< True die temperature, socket 1 [degC].
-    util::time_series avg_cpu_temp;     ///< Mean of the two dies [degC].
-    util::time_series max_sensor_temp;  ///< Max of the 4 CPU sensor readings [degC].
-    util::time_series dimm_temp;        ///< DIMM bank temperature [degC].
-    util::time_series total_power;      ///< System wall power [W].
-    util::time_series fan_power;        ///< Fan bank power [W].
-    util::time_series leakage_power;    ///< Leakage component [W].
-    util::time_series active_power;     ///< Active component [W].
-    util::time_series avg_fan_rpm;      ///< Mean commanded RPM.
-};
 
 /// Simulated enterprise server.
 class server_simulator {

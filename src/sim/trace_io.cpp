@@ -1,5 +1,7 @@
 #include "sim/trace_io.hpp"
 
+#include <array>
+#include <cmath>
 #include <ostream>
 
 #include "util/csv.hpp"
@@ -7,46 +9,200 @@
 
 namespace ltsc::sim {
 
-std::vector<util::named_series> to_named_series(const simulation_trace& trace) {
-    return {
-        util::named_series{"target_util", "pct", trace.target_util},
-        util::named_series{"instant_util", "pct", trace.instant_util},
-        util::named_series{"cpu0_temp", "degC", trace.cpu0_temp},
-        util::named_series{"cpu1_temp", "degC", trace.cpu1_temp},
-        util::named_series{"avg_cpu_temp", "degC", trace.avg_cpu_temp},
-        util::named_series{"max_sensor_temp", "degC", trace.max_sensor_temp},
-        util::named_series{"dimm_temp", "degC", trace.dimm_temp},
-        util::named_series{"total_power", "W", trace.total_power},
-        util::named_series{"fan_power", "W", trace.fan_power},
-        util::named_series{"leakage_power", "W", trace.leakage_power},
-        util::named_series{"active_power", "W", trace.active_power},
-        util::named_series{"avg_fan_rpm", "RPM", trace.avg_fan_rpm},
-    };
+namespace {
+
+[[nodiscard]] bool channel_from_name(const std::string& name, trace_channel& out) {
+    for (std::size_t c = 0; c < trace_channel_count; ++c) {
+        if (name == trace_channel_name(static_cast<trace_channel>(c))) {
+            out = static_cast<trace_channel>(c);
+            return true;
+        }
+    }
+    return false;
 }
 
-void write_trace_csv(std::ostream& os, const simulation_trace& trace) {
-    util::write_series_csv(os, to_named_series(trace));
+[[nodiscard]] double parse_cell(const std::string& cell) {
+    std::size_t pos = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(cell, &pos);
+    } catch (const std::exception&) {
+        throw util::parse_error("read_trace_csv: unparseable number: " + cell);
+    }
+    // std::stod happily parses "nan"/"inf"; a trace cell holding one is
+    // a corrupted dump, which is the reader's (parse_error) domain.
+    if (pos != cell.size() || !std::isfinite(v)) {
+        throw util::parse_error("read_trace_csv: unparseable number: " + cell);
+    }
+    return v;
 }
 
-void write_trace_csv_wide(std::ostream& os, const simulation_trace& trace,
-                          double sample_period_s) {
-    util::ensure(sample_period_s > 0.0, "write_trace_csv_wide: non-positive period");
-    util::ensure(!trace.total_power.empty(), "write_trace_csv_wide: empty trace");
-    const auto series = to_named_series(trace);
+/// Appends a parsed row, translating the store's precondition failures
+/// (e.g. a non-monotonic time column) into the documented parse_error.
+void append_parsed(simulation_trace& out, double t, const trace_row& row) {
+    try {
+        out.append(t, row);
+    } catch (const util::precondition_error& e) {
+        throw util::parse_error(std::string("read_trace_csv: ") + e.what());
+    }
+}
 
+[[nodiscard]] simulation_trace read_columnar(const util::csv_document& doc) {
+    if (doc.header.size() != 1 + trace_channel_count) {
+        throw util::parse_error("read_trace_csv: columnar header must be time_s + 12 channels");
+    }
+    std::array<std::size_t, trace_channel_count> column_of{};  // channel -> CSV column
+    std::array<bool, trace_channel_count> seen{};
+    for (std::size_t j = 1; j < doc.header.size(); ++j) {
+        trace_channel c{};
+        if (!channel_from_name(doc.header[j], c)) {
+            throw util::parse_error("read_trace_csv: unknown channel " + doc.header[j]);
+        }
+        const auto i = static_cast<std::size_t>(c);
+        if (seen[i]) {
+            throw util::parse_error("read_trace_csv: duplicate channel " + doc.header[j]);
+        }
+        seen[i] = true;
+        column_of[i] = j;
+    }
+    simulation_trace out;
+    trace_row row;
+    for (const auto& cells : doc.rows) {
+        const double t = parse_cell(cells[0]);
+        for (std::size_t c = 0; c < trace_channel_count; ++c) {
+            row.values[c] = parse_cell(cells[column_of[c]]);
+        }
+        append_parsed(out, t, row);
+    }
+    return out;
+}
+
+[[nodiscard]] simulation_trace read_legacy_long(const util::csv_document& doc) {
+    const std::size_t series_col = util::column_index(doc, "series");
+    const std::size_t time_col = util::column_index(doc, "time_s");
+    const std::size_t value_col = util::column_index(doc, "value");
+
+    // The legacy writer emits each channel as one contiguous block; a
+    // channel name that re-appears after its block closed is a duplicate.
+    std::array<std::vector<util::sample>, trace_channel_count> channels;
+    std::array<bool, trace_channel_count> completed{};
+    bool any = false;
+    trace_channel current{};
+    for (const auto& cells : doc.rows) {
+        const std::string& name = cells[series_col];
+        if (!any || name != trace_channel_name(current)) {
+            trace_channel next{};
+            if (!channel_from_name(name, next)) {
+                throw util::parse_error("read_trace_csv: unknown channel " + name);
+            }
+            if (any) {
+                completed[static_cast<std::size_t>(current)] = true;
+            }
+            if (completed[static_cast<std::size_t>(next)] ||
+                !channels[static_cast<std::size_t>(next)].empty()) {
+                throw util::parse_error("read_trace_csv: duplicate channel " + name);
+            }
+            current = next;
+            any = true;
+        }
+        channels[static_cast<std::size_t>(current)].push_back(
+            util::sample{parse_cell(cells[time_col]), parse_cell(cells[value_col])});
+    }
+
+    simulation_trace out;
+    if (!any) {
+        return out;  // header-only dump: an empty trace
+    }
+    const std::size_t rows = channels[0].size();
+    for (std::size_t c = 0; c < trace_channel_count; ++c) {
+        if (channels[c].empty()) {
+            throw util::parse_error(std::string("read_trace_csv: missing channel ") +
+                                    trace_channel_name(static_cast<trace_channel>(c)));
+        }
+        if (channels[c].size() != rows) {
+            throw util::parse_error(std::string("read_trace_csv: channel out of step: ") +
+                                    trace_channel_name(static_cast<trace_channel>(c)));
+        }
+    }
+    trace_row row;
+    for (std::size_t i = 0; i < rows; ++i) {
+        const double t = channels[0][i].t;
+        for (std::size_t c = 0; c < trace_channel_count; ++c) {
+            if (channels[c][i].t != t) {
+                throw util::parse_error("read_trace_csv: channels disagree on the time axis");
+            }
+            row.values[c] = channels[c][i].v;
+        }
+        append_parsed(out, t, row);
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<util::named_series> to_named_series(const trace_view& trace) {
+    std::vector<util::named_series> out;
+    out.reserve(trace_channel_count);
+    for (std::size_t c = 0; c < trace_channel_count; ++c) {
+        const auto ch = static_cast<trace_channel>(c);
+        out.push_back(util::named_series{trace_channel_name(ch), trace_channel_unit(ch),
+                                         trace.channel(ch).to_series()});
+    }
+    return out;
+}
+
+void write_trace_csv(std::ostream& os, const trace_view& trace) {
     util::csv_writer w(os);
     std::vector<std::string> header{"time_s"};
-    for (const auto& s : series) {
-        header.push_back(s.name);
+    for (std::size_t c = 0; c < trace_channel_count; ++c) {
+        header.push_back(trace_channel_name(static_cast<trace_channel>(c)));
     }
     w.write_header(header);
 
-    const double t0 = trace.total_power.front().t;
-    const double t1 = trace.total_power.back().t;
+    const util::column_view time = trace.channel(trace_channel::target_util);
+    std::vector<double> row(1 + trace_channel_count);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        row[0] = time.t(i);
+        for (std::size_t c = 0; c < trace_channel_count; ++c) {
+            row[1 + c] = trace.channel(static_cast<trace_channel>(c)).v(i);
+        }
+        w.write_row(row);
+    }
+}
+
+simulation_trace read_trace_csv(const std::string& text) {
+    const util::csv_document doc = util::parse_csv(text);
+    util::ensure_rectangular(doc);
+    if (doc.header.empty()) {
+        throw util::parse_error("read_trace_csv: empty document");
+    }
+    if (doc.header.front() == "time_s") {
+        return read_columnar(doc);
+    }
+    if (doc.header == std::vector<std::string>{"series", "time_s", "value", "unit"}) {
+        return read_legacy_long(doc);
+    }
+    throw util::parse_error("read_trace_csv: unrecognized trace layout");
+}
+
+void write_trace_csv_wide(std::ostream& os, const trace_view& trace, double sample_period_s) {
+    util::ensure(sample_period_s > 0.0, "write_trace_csv_wide: non-positive period");
+    util::ensure(!trace.empty(), "write_trace_csv_wide: empty trace");
+
+    util::csv_writer w(os);
+    std::vector<std::string> header{"time_s"};
+    for (std::size_t c = 0; c < trace_channel_count; ++c) {
+        header.push_back(trace_channel_name(static_cast<trace_channel>(c)));
+    }
+    w.write_header(header);
+
+    const util::column_view power = trace.total_power();
+    const double t0 = power.front().t;
+    const double t1 = power.back().t;
     for (double t = t0; t <= t1 + 1e-9; t += sample_period_s) {
         std::vector<double> row{t};
-        for (const auto& s : series) {
-            row.push_back(s.data.empty() ? 0.0 : s.data.value_at(t));
+        for (std::size_t c = 0; c < trace_channel_count; ++c) {
+            row.push_back(trace.channel(static_cast<trace_channel>(c)).value_at(t));
         }
         w.write_row(row);
     }

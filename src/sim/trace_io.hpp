@@ -1,28 +1,42 @@
-// Export of simulation traces for offline analysis and plotting.
+// Export / import of simulation traces for offline analysis and plotting.
 //
 // Every figure in the paper is a plot over a recorded run; these helpers
-// turn a `simulation_trace` into named series / CSV so any external tool
-// can regenerate the plots from the bench binaries' data.
+// turn a trace into named series / CSV so any external tool can
+// regenerate the plots from the bench binaries' data, and read a dumped
+// run back into a `simulation_trace` for fleet post-processing.
+//
+// The canonical on-disk layout is columnar, matching the storage: one
+// `time_s` column plus one column per channel, one row per recorded
+// step.  The reader additionally accepts the legacy long format
+// (`series,time_s,value,unit`) written by earlier versions.
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
-#include "sim/server_simulator.hpp"
+#include "sim/simulation_trace.hpp"
 #include "util/time_series.hpp"
 
 namespace ltsc::sim {
 
-/// Flattens a trace into named, unit-tagged series (one per channel).
-[[nodiscard]] std::vector<util::named_series> to_named_series(const simulation_trace& trace);
+/// Materializes a trace into named, unit-tagged series (one per channel).
+[[nodiscard]] std::vector<util::named_series> to_named_series(const trace_view& trace);
 
-/// Writes the trace as long-format CSV (series, time_s, value, unit).
-void write_trace_csv(std::ostream& os, const simulation_trace& trace);
+/// Writes the trace as columnar CSV: header `time_s,<channel>...`, one
+/// row per recorded step (the single shared time axis appears once).
+void write_trace_csv(std::ostream& os, const trace_view& trace);
 
-/// Writes the trace as wide-format CSV: one row per sample time of the
-/// power series, one column per channel (values linearly interpolated
-/// onto that time base).  Easier to load into spreadsheets.
-void write_trace_csv_wide(std::ostream& os, const simulation_trace& trace,
+/// Parses a trace dumped by `write_trace_csv` — or by the legacy
+/// long-format writer (`series,time_s,value,unit`) — back into an owning
+/// trace.  Throws util::parse_error on duplicate channel names, unknown
+/// or missing channels, channels out of step, or malformed cells.
+[[nodiscard]] simulation_trace read_trace_csv(const std::string& text);
+
+/// Writes the trace as wide-format CSV: one row per `sample_period_s` of
+/// the power series' span, one column per channel (values linearly
+/// interpolated onto that grid).  Easier to load into spreadsheets.
+void write_trace_csv_wide(std::ostream& os, const trace_view& trace,
                           double sample_period_s = 10.0);
 
 }  // namespace ltsc::sim

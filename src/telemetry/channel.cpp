@@ -47,17 +47,22 @@ channel::channel(std::string name, std::string unit, std::function<double()> sou
     util::ensure(!name_.empty(), "channel: empty name");
 }
 
-void channel::poll(double t) {
+double channel::poll(double t) {
     const double v = source_();
     ring_.push(t, v);
-    if (record_history_) {
-        history_.push_back(t, v);
+    if (record_history_ && history_frame_ == nullptr) {
+        util::ensure(own_time_.empty() || t >= own_time_.back(),
+                     "channel::poll: non-monotonic time stamp");
+        own_time_.push_back(t);
+        own_values_.push_back(v);
     }
+    return v;
 }
 
 void channel::clear() {
     ring_.clear();
-    history_ = util::time_series{};
+    own_time_.clear();
+    own_values_.clear();
 }
 
 std::optional<util::sample> channel::latest() const {
@@ -67,8 +72,21 @@ std::optional<util::sample> channel::latest() const {
     return ring_.recent(0);
 }
 
+util::column_view channel::history() const {
+    if (!record_history_) {
+        return {};
+    }
+    if (history_frame_ != nullptr) {
+        return history_frame_->column(history_column_);
+    }
+    if (own_time_.empty()) {
+        return {};
+    }
+    return util::column_view(own_time_.data(), own_values_.data(), own_time_.size());
+}
+
 util::named_series channel::to_named_series() const {
-    return util::named_series{name_, unit_, history_};
+    return util::named_series{name_, unit_, history().to_series()};
 }
 
 }  // namespace ltsc::telemetry

@@ -1,9 +1,12 @@
 // A telemetry channel: one named, unit-tagged sensor stream.
 //
 // Channels hold a bounded ring buffer of recent samples for runtime
-// consumers (controllers, alarms) and optionally a full history for
-// offline analysis and CSV export — mirroring how the Continuous System
-// Telemetry Harness [Gross et al., MFPT'06] archives signals.
+// consumers (controllers, alarms).  Full histories are no longer owned
+// per channel: the harness polls every channel at one shared timestamp
+// and records the values as columns of a single `util::frame`, so a
+// channel's history is a `column_view` into that columnar store —
+// mirroring how the Continuous System Telemetry Harness
+// [Gross et al., MFPT'06] archives signals.
 #pragma once
 
 #include <cstddef>
@@ -12,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "util/frame.hpp"
 #include "util/time_series.hpp"
 
 namespace ltsc::telemetry {
@@ -46,16 +50,21 @@ private:
 /// One registered telemetry signal.
 class channel {
 public:
-    /// `source` is sampled at poll time.  When `record_history` is set the
-    /// channel keeps every sample (for export), otherwise only the ring.
+    /// `source` is sampled at poll time.  When `record_history` is set
+    /// every sample is archived in addition to the ring: a
+    /// harness-owned channel records into the harness's shared frame
+    /// (one row per poll across all channels), a standalone channel
+    /// into its own time/value columns.
     channel(std::string name, std::string unit, std::function<double()> source,
             std::size_t ring_capacity = 512, bool record_history = true);
 
-    /// Samples the source at time `t` and stores the value.
-    void poll(double t);
+    /// Samples the source at time `t`, stores it in the ring (plus the
+    /// standalone history when no harness owns this channel), and
+    /// returns the value (a harness archives it in its shared frame).
+    double poll(double t);
 
-    /// Discards all stored samples (ring and history); the channel can
-    /// then record a fresh run starting from t = 0.
+    /// Discards the ring and any standalone history (the harness clears
+    /// its shared frame).
     void clear();
 
     [[nodiscard]] const std::string& name() const { return name_; }
@@ -66,19 +75,33 @@ public:
 
     [[nodiscard]] const sample_ring& ring() const { return ring_; }
 
-    /// Full recorded history (empty when record_history was false).
-    [[nodiscard]] const util::time_series& history() const { return history_; }
+    [[nodiscard]] bool records_history() const { return record_history_; }
 
-    /// Exports the history as a named series.
+    /// View of the recorded history: the channel's column of the owning
+    /// harness's frame, or the standalone store.  Empty when
+    /// `record_history = false` or before the first poll.  Invalidated
+    /// by the next poll/reset.
+    [[nodiscard]] util::column_view history() const;
+
+    /// Materializes the history as a named series.
     [[nodiscard]] util::named_series to_named_series() const;
 
 private:
+    friend class harness;  // binds the shared history column
+
     std::string name_;
     std::string unit_;
     std::function<double()> source_;
     sample_ring ring_;
     bool record_history_;
-    util::time_series history_;
+
+    // Shared columnar history (owned by the harness), bound at
+    // registration time; standalone recording channels archive into
+    // their own columns instead.
+    const util::frame* history_frame_ = nullptr;
+    std::size_t history_column_ = 0;
+    std::vector<double> own_time_;
+    std::vector<double> own_values_;
 };
 
 }  // namespace ltsc::telemetry

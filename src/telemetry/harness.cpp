@@ -17,8 +17,15 @@ std::size_t harness::add_channel(std::string name, std::string unit,
     for (const auto& ch : channels_) {
         util::ensure(ch->name() != name, "harness::add_channel: duplicate channel name " + name);
     }
+    util::ensure(!record_history || history_.empty(),
+                 "harness::add_channel: cannot add a recorded channel after polling started");
     channels_.push_back(std::make_unique<channel>(std::move(name), std::move(unit),
                                                   std::move(source), ring_capacity, record_history));
+    channel& ch = *channels_.back();
+    if (record_history) {
+        ch.history_frame_ = &history_;
+        ch.history_column_ = history_.add_channel(ch.name());
+    }
     return channels_.size() - 1;
 }
 
@@ -31,8 +38,18 @@ bool harness::poll_due(util::seconds_t now) {
 }
 
 void harness::poll_now(util::seconds_t now) {
+    // Channels are sampled in registration order (sources may share
+    // side-effecting state, e.g. one RNG stream); history values land in
+    // one shared frame row.
+    poll_scratch_.resize(history_.channel_count());
     for (const auto& ch : channels_) {
-        ch->poll(now.value());
+        const double v = ch->poll(now.value());
+        if (ch->records_history()) {
+            poll_scratch_[ch->history_column_] = v;
+        }
+    }
+    if (history_.channel_count() > 0) {
+        history_.append(now.value(), poll_scratch_.data(), poll_scratch_.size());
     }
     last_poll_ = now.value();
     polled_once_ = true;
@@ -42,6 +59,7 @@ void harness::reset() {
     for (const auto& ch : channels_) {
         ch->clear();
     }
+    history_.clear();
     last_poll_ = -1.0;
     polled_once_ = false;
 }

@@ -5,6 +5,11 @@
 // that role for the simulated server: channels register a source lambda,
 // `poll_due(t)` samples every channel at the configured cadence, and the
 // recorded histories export to CSV for the figure benches.
+//
+// Histories are columnar: every poll samples all channels at one shared
+// timestamp, so the harness archives them as one `util::frame` (one time
+// column + one value column per history-recording channel) instead of
+// per-channel series that each duplicate the poll clock.
 #pragma once
 
 #include <iosfwd>
@@ -13,6 +18,7 @@
 #include <vector>
 
 #include "telemetry/channel.hpp"
+#include "util/frame.hpp"
 #include "util/units.hpp"
 
 namespace ltsc::telemetry {
@@ -22,6 +28,13 @@ class harness {
 public:
     /// `period` is the sampling cadence (the paper uses 10 s).
     explicit harness(util::seconds_t period = util::seconds_t{10.0});
+
+    // Channels hold views into the harness's history frame; the harness
+    // is pinned in memory once channels are registered.
+    harness(const harness&) = delete;
+    harness& operator=(const harness&) = delete;
+    harness(harness&&) = delete;
+    harness& operator=(harness&&) = delete;
 
     /// Registers a channel; names must be unique.  Returns its index.
     std::size_t add_channel(std::string name, std::string unit, std::function<double()> source,
@@ -55,11 +68,17 @@ public:
     /// Writes all histories as long-format CSV.
     void write_csv(std::ostream& os) const;
 
+    /// The shared columnar history store (one column per
+    /// history-recording channel).
+    [[nodiscard]] const util::frame& history() const { return history_; }
+
 private:
     util::seconds_t period_;
     double last_poll_ = -1.0;
     bool polled_once_ = false;
     std::vector<std::unique_ptr<channel>> channels_;
+    util::frame history_;
+    std::vector<double> poll_scratch_;  ///< One history row, reused per poll.
 };
 
 }  // namespace ltsc::telemetry

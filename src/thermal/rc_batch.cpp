@@ -117,14 +117,14 @@ double rc_batch::stable_dt(std::size_t lane) const {
     return stable_dt_[lane];
 }
 
-void rc_batch::step(util::seconds_t dt) {
+void rc_batch::step(util::seconds_t dt, const unsigned char* active) {
     util::ensure(dt.value() > 0.0, "rc_batch::step: non-positive dt");
     switch (scheme_) {
         case integration_scheme::explicit_euler:
-            step_explicit(dt.value());
+            step_explicit(dt.value(), active);
             break;
         case integration_scheme::rk4:
-            step_rk4(dt.value());
+            step_rk4(dt.value(), active);
             break;
         case integration_scheme::implicit_euler:
             util::ensure(false, "rc_batch::step: implicit scheme not supported");
@@ -137,23 +137,40 @@ void rc_batch::step(util::seconds_t dt) {
     }
 }
 
-void rc_batch::step_rk4(double dt) {
+rc_batch::substep_plan rc_batch::plan_substeps(double dt, const unsigned char* active) {
     // Per-lane substep counts replicate transient_solver::step_rk4: each
     // lane sub-steps against its own stability bound, so a lane's update
     // sequence is bitwise-identical to its scalar twin.  Lanes with fewer
-    // substeps are masked out of the tail of the shared loop.
+    // substeps — and masked-out lanes, which take zero — are skipped in
+    // the tail of the shared loop.
     scratch_.substeps.resize(lanes_);
     scratch_.h.resize(lanes_);
-    int max_sub = 1;
-    bool uniform = true;
+    substep_plan plan;
+    int ref_sub = -1;
     for (std::size_t l = 0; l < lanes_; ++l) {
+        if (active != nullptr && active[l] == 0) {
+            scratch_.substeps[l] = 0;
+            scratch_.h[l] = 0.0;
+            plan.uniform = false;
+            continue;
+        }
         refresh_lane_cache(l);
         const int sub = std::max(1, static_cast<int>(std::ceil(dt / stable_dt_[l])));
         scratch_.substeps[l] = sub;
         scratch_.h[l] = dt / sub;
-        max_sub = std::max(max_sub, sub);
-        uniform = uniform && sub == scratch_.substeps[0];
+        plan.max_sub = std::max(plan.max_sub, sub);
+        if (ref_sub < 0) {
+            ref_sub = sub;
+        }
+        plan.uniform = plan.uniform && sub == ref_sub;
     }
+    return plan;
+}
+
+void rc_batch::step_rk4(double dt, const unsigned char* active) {
+    const substep_plan plan = plan_substeps(dt, active);
+    const int max_sub = plan.max_sub;
+    const bool uniform = plan.uniform;
     const std::size_t total = nodes_ * lanes_;
     std::vector<double>& t0 = scratch_.t0;
     t0 = temps_;
@@ -209,19 +226,10 @@ void rc_batch::step_rk4(double dt) {
     temps_.swap(t0);
 }
 
-void rc_batch::step_explicit(double dt) {
-    scratch_.substeps.resize(lanes_);
-    scratch_.h.resize(lanes_);
-    int max_sub = 1;
-    bool uniform = true;
-    for (std::size_t l = 0; l < lanes_; ++l) {
-        refresh_lane_cache(l);
-        const int sub = std::max(1, static_cast<int>(std::ceil(dt / stable_dt_[l])));
-        scratch_.substeps[l] = sub;
-        scratch_.h[l] = dt / sub;
-        max_sub = std::max(max_sub, sub);
-        uniform = uniform && sub == scratch_.substeps[0];
-    }
+void rc_batch::step_explicit(double dt, const unsigned char* active) {
+    const substep_plan plan = plan_substeps(dt, active);
+    const int max_sub = plan.max_sub;
+    const bool uniform = plan.uniform;
     const std::size_t total = nodes_ * lanes_;
     std::vector<double>& t = scratch_.t0;
     t = temps_;

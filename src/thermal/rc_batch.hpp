@@ -81,7 +81,12 @@ public:
     /// this is bitwise-identical to transient_solver::step on the scalar
     /// twin; lanes with different stable substeps are masked out of the
     /// shared substep loop once their own substeps are done.
-    void step(util::seconds_t dt);
+    ///
+    /// `active` optionally masks whole lanes (ragged fleets): a lane with
+    /// `active[l] == 0` takes zero substeps, so its state is left
+    /// bitwise-untouched while the remaining lanes integrate exactly as
+    /// they would without it.  `nullptr` (the default) steps every lane.
+    void step(util::seconds_t dt, const unsigned char* active = nullptr);
 
     /// Solves one lane's steady state L T = P + G_amb T_amb and adopts it
     /// (bitwise-identical to thermal::settle on the scalar twin).  Throws
@@ -103,8 +108,16 @@ private:
     }
 
     void refresh_lane_cache(std::size_t lane) const;
-    void step_rk4(double dt);
-    void step_explicit(double dt);
+    /// Fills the per-lane substep plan (count + substep size) for one
+    /// macro step; masked lanes get zero substeps.  Returns the largest
+    /// substep count and whether every stepped lane shares it.
+    struct substep_plan {
+        int max_sub = 0;
+        bool uniform = true;
+    };
+    substep_plan plan_substeps(double dt, const unsigned char* active);
+    void step_rk4(double dt, const unsigned char* active);
+    void step_explicit(double dt, const unsigned char* active);
 
     rc_network topo_;
     std::size_t lanes_ = 0;

@@ -119,7 +119,7 @@ TEST(AblationSmoke, BangBandSweepWithTraceStats) {
         sim::server_simulator server;
         row r;
         r.metrics = core::run_controlled(server, bang, profile);
-        const auto& temp = server.trace().max_sensor_temp;
+        const util::column_view temp = server.trace().max_sensor_temp();
         r.load_min_c = temp.min(2.0 * 60.0, 12.0 * 60.0);
         r.damage_index = core::count_thermal_cycles(temp).damage_index;
         return r;
@@ -153,8 +153,8 @@ TEST(AblationSmoke, ZoneControlSweepWithImbalance) {
         }
         row r;
         r.metrics = core::run_controlled(server, *controller, profile);
-        r.max_t0_c = server.trace().cpu0_temp.max();
-        r.max_t1_c = server.trace().cpu1_temp.max();
+        r.max_t0_c = server.trace().cpu0_temp().max();
+        r.max_t1_c = server.trace().cpu1_temp().max();
         return r;
     });
     ASSERT_EQ(rows.size(), 4U);

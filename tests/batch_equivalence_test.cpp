@@ -34,8 +34,7 @@ namespace {
 using namespace ltsc;
 using namespace ltsc::util::literals;
 
-void expect_traces_identical(const sim::simulation_trace& batch_tr,
-                             const sim::simulation_trace& scalar_tr) {
+void expect_traces_identical(const sim::trace_view& batch_tr, const sim::trace_view& scalar_tr) {
     const auto series_b = sim::to_named_series(batch_tr);
     const auto series_s = sim::to_named_series(scalar_tr);
     ASSERT_EQ(series_b.size(), series_s.size());
@@ -325,21 +324,69 @@ TEST(BatchEquivalence, ConstructionAndLaneErrors) {
     EXPECT_THROW(batch.set_load_imbalance(0, 1.5), util::precondition_error);
     EXPECT_THROW(batch.step(util::seconds_t{0.0}), util::precondition_error);
 
-    // run_controlled_batch lane-count and duration mismatches.
+    // run_controlled_batch lane-count mismatches (ragged durations are
+    // legal now; see RaggedProfileLengthsMatchScalar).
     core::default_controller c0;
     core::default_controller c1;
     workload::utilization_profile p1("a");
     p1.constant(40.0, 5.0_min);
-    workload::utilization_profile p2("b");
-    p2.constant(40.0, 6.0_min);
     const std::vector<core::fan_controller*> one{&c0};
     const std::vector<core::fan_controller*> two{&c0, &c1};
     EXPECT_THROW(static_cast<void>(core::run_controlled_batch(batch, one, {p1, p1})),
                  util::precondition_error);
     EXPECT_THROW(static_cast<void>(core::run_controlled_batch(batch, two, {p1})),
                  util::precondition_error);
-    EXPECT_THROW(static_cast<void>(core::run_controlled_batch(batch, two, {p1, p2})),
-                 util::precondition_error);
+}
+
+TEST(BatchEquivalence, RaggedProfileLengthsMatchScalar) {
+    // Ragged fleets: profiles of different durations share one batch.  A
+    // lane whose profile ends goes inert (no stepping, no recording, no
+    // decisions) while the others run on; every lane must still be
+    // bitwise-identical to run_controlled on a fresh scalar plant.
+    std::vector<sim::server_config> configs(3, sim::paper_server());
+    configs[1].seed = 0x5eed + 7;
+    configs[2].thermal.ambient_c = 28.0;
+
+    workload::utilization_profile short_p("short");
+    short_p.idle(1.0_min).constant(70.0, 3.0_min);
+    workload::utilization_profile mid_p("mid");
+    mid_p.idle(1.0_min).constant(45.0, 5.0_min).idle(2.0_min);
+    workload::utilization_profile long_p("long");
+    long_p.idle(2.0_min).constant(85.0, 8.0_min).constant(30.0, 2.0_min);
+    const std::vector<workload::utilization_profile> profiles{short_p, long_p, mid_p};
+
+    core::bang_bang_controller bang_b;
+    core::default_controller dflt_b;
+    core::bang_bang_controller bang_warm_b;
+    const std::vector<core::fan_controller*> controllers{&bang_b, &dflt_b, &bang_warm_b};
+
+    sim::server_batch batch(configs);
+    const auto rows = core::run_controlled_batch(batch, controllers, profiles);
+    ASSERT_EQ(rows.size(), 3U);
+
+    core::bang_bang_controller bang_s;
+    core::default_controller dflt_s;
+    core::bang_bang_controller bang_warm_s;
+    core::fan_controller* scalar_controllers[] = {&bang_s, &dflt_s, &bang_warm_s};
+    for (std::size_t l = 0; l < 3; ++l) {
+        SCOPED_TRACE("lane " + std::to_string(l));
+        // Short lanes went inert mid-run (their traces stopped at their
+        // own durations, checked below); the runtime hands the batch
+        // back with every lane live again.
+        EXPECT_TRUE(batch.lane_active(l));
+        sim::server_simulator scalar(configs[l]);
+        const auto row = core::run_controlled(scalar, *scalar_controllers[l], profiles[l]);
+        EXPECT_EQ(rows[l].energy_kwh, row.energy_kwh);
+        EXPECT_EQ(rows[l].peak_power_w, row.peak_power_w);
+        EXPECT_EQ(rows[l].max_temp_c, row.max_temp_c);
+        EXPECT_EQ(rows[l].fan_changes, row.fan_changes);
+        EXPECT_EQ(rows[l].avg_rpm, row.avg_rpm);
+        EXPECT_EQ(rows[l].duration_s, row.duration_s);
+        expect_lane_matches_scalar(batch, l, scalar);
+        if (::testing::Test::HasFatalFailure()) {
+            return;
+        }
+    }
 }
 
 }  // namespace

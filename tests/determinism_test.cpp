@@ -26,7 +26,7 @@ using namespace ltsc::util::literals;
 
 // Compares every channel of two traces sample-by-sample with exact
 // (bitwise for non-NaN doubles) equality.
-void expect_traces_identical(const sim::simulation_trace& a, const sim::simulation_trace& b) {
+void expect_traces_identical(const sim::trace_view& a, const sim::trace_view& b) {
     const auto series_a = sim::to_named_series(a);
     const auto series_b = sim::to_named_series(b);
     ASSERT_EQ(series_a.size(), series_b.size());
@@ -204,7 +204,8 @@ TEST(Determinism, LanePackingIsObservationallyInvariant) {
         }
         std::vector<sim::simulation_trace> out;
         for (std::size_t l = 0; l < batch.lane_count(); ++l) {
-            out.push_back(batch.trace(l));
+            // Materialize: the view dies with the batch's arena.
+            out.emplace_back(batch.trace(l));
         }
         return out;
     };
@@ -245,8 +246,8 @@ TEST(Determinism, DifferentSeedsDiverge) {
     sim::run_protocol_experiment(s1, 2400_rpm, 75.0);
     sim::run_protocol_experiment(s2, 2400_rpm, 75.0);
 
-    const auto sa = s1.trace().max_sensor_temp.samples();
-    const auto sb = s2.trace().max_sensor_temp.samples();
+    const auto sa = s1.trace().max_sensor_temp().samples();
+    const auto sb = s2.trace().max_sensor_temp().samples();
     ASSERT_EQ(sa.size(), sb.size());
     bool any_diff = false;
     for (std::size_t j = 0; j < sa.size() && !any_diff; ++j) {

@@ -34,7 +34,7 @@ TEST(GoldenFig1a, Slow1800RpmRunsHot) {
     sim::run_protocol_experiment(s, 1800_rpm, 100.0);
     const auto m = sim::compute_metrics(s, "fig1a", "fixed-1800");
 
-    EXPECT_NEAR(s.trace().avg_cpu_temp.value_at(34.5 * 60.0), 85.2988, kTempAbsTol);
+    EXPECT_NEAR(s.trace().avg_cpu_temp().value_at(34.5 * 60.0), 85.2988, kTempAbsTol);
     EXPECT_NEAR(m.energy_kwh, 0.4415149, 0.4415149 * kEnergyRelTol);
     EXPECT_NEAR(m.peak_power_w, 712.1099, 712.1099 * kEnergyRelTol);
     EXPECT_NEAR(m.max_temp_c, 86.50, kTempAbsTol);
@@ -45,7 +45,7 @@ TEST(GoldenFig1a, Fast4200RpmRunsColdButCostsFanPower) {
     sim::run_protocol_experiment(s, 4200_rpm, 100.0);
     const auto m = sim::compute_metrics(s, "fig1a", "fixed-4200");
 
-    EXPECT_NEAR(s.trace().avg_cpu_temp.value_at(34.5 * 60.0), 57.2584, kTempAbsTol);
+    EXPECT_NEAR(s.trace().avg_cpu_temp().value_at(34.5 * 60.0), 57.2584, kTempAbsTol);
     EXPECT_NEAR(m.energy_kwh, 0.4700890, 0.4700890 * kEnergyRelTol);
     EXPECT_NEAR(m.peak_power_w, 744.6008, 744.6008 * kEnergyRelTol);
     EXPECT_NEAR(m.max_temp_c, 58.50, kTempAbsTol);

@@ -148,7 +148,7 @@ TEST(ClosedLoopExtra, LutChangesBetweenTwoSpeedsOnTest3) {
     const auto profile = workload::make_paper_test(workload::paper_test::test3_frequent);
     (void)core::run_controlled(s, lut, profile);
     std::set<double> speeds;
-    for (const auto& smp : s.trace().avg_fan_rpm.samples()) {
+    for (const auto& smp : s.trace().avg_fan_rpm().samples()) {
         speeds.insert(smp.v);
     }
     // Initial stock speed plus exactly two working speeds.
@@ -179,7 +179,7 @@ TEST(ClosedLoopExtra, PidHoldsSetpointOnSustainedLoad) {
     // 70 degC setpoint.
     const auto& tr = s.trace();
     const double tail_mean =
-        tr.max_sensor_temp.mean(tr.max_sensor_temp.back().t - 600.0, tr.max_sensor_temp.back().t);
+        tr.max_sensor_temp().mean(tr.max_sensor_temp().back().t - 600.0, tr.max_sensor_temp().back().t);
     EXPECT_NEAR(tail_mean, 70.0, 4.0);
 }
 
@@ -191,7 +191,7 @@ TEST(ClosedLoopExtra, ExtremumSeekerApproachesLutOptimum) {
     workload::utilization_profile p("plateau");
     p.constant(100.0, 80.0_min);
     (void)core::run_controlled(s, seeker, p);
-    const auto& rpm = s.trace().avg_fan_rpm;
+    const util::column_view rpm = s.trace().avg_fan_rpm();
     const double tail_mean = rpm.mean(rpm.back().t - 900.0, rpm.back().t);
     // LUT optimum at 100 % is 2400; the seeker dithers around it.
     EXPECT_NEAR(tail_mean, 2400.0, 450.0);

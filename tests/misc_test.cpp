@@ -93,16 +93,24 @@ TEST_F(TraceFixture, NamedSeriesCoverAllChannels) {
     for (const auto& s : series) {
         EXPECT_FALSE(s.name.empty());
         EXPECT_FALSE(s.unit.empty());
-        EXPECT_EQ(s.data.size(), sim_.trace().total_power.size()) << s.name;
+        EXPECT_EQ(s.data.size(), sim_.trace().total_power().size()) << s.name;
     }
 }
 
-TEST_F(TraceFixture, LongCsvParsesBack) {
+TEST_F(TraceFixture, ColumnarCsvParsesBack) {
+    // Columnar layout: the shared time axis appears once, so the dump is
+    // one row per recorded step instead of 12.
     std::ostringstream os;
     sim::write_trace_csv(os, sim_.trace());
     const auto doc = util::parse_csv(os.str());
-    EXPECT_EQ(doc.header.size(), 4U);
-    EXPECT_EQ(doc.rows.size(), 12U * sim_.trace().total_power.size());
+    EXPECT_EQ(doc.header.size(), 13U);  // time_s + 12 channels
+    EXPECT_EQ(doc.header.front(), "time_s");
+    EXPECT_EQ(doc.rows.size(), sim_.trace().total_power().size());
+
+    const sim::simulation_trace back = sim::read_trace_csv(os.str());
+    ASSERT_EQ(back.size(), sim_.trace().size());
+    EXPECT_NEAR(back.total_power().back().v, sim_.trace().total_power().back().v,
+                1e-9 * sim_.trace().total_power().back().v);
 }
 
 TEST_F(TraceFixture, WideCsvHasOneColumnPerChannel) {
@@ -164,7 +172,7 @@ TEST(FailureInjection, LutFromEmptyCsvRejected) {
 TEST(FailureInjection, SimulatorWithoutWorkloadIdles) {
     sim::server_simulator s;
     s.step(1_s);  // no workload bound: behaves as idle, must not throw
-    EXPECT_DOUBLE_EQ(s.trace().target_util.back().v, 0.0);
+    EXPECT_DOUBLE_EQ(s.trace().target_util().back().v, 0.0);
     EXPECT_DOUBLE_EQ(s.measured_utilization(util::seconds_t{60.0}), 0.0);
 }
 
@@ -206,9 +214,9 @@ TEST(Protocol, CustomTimingHonoured) {
     t.load_window = 3.0_min;
     t.cooldown = 1.0_min;
     sim::run_protocol_experiment(s, 2400_rpm, 80.0, t);
-    EXPECT_NEAR(s.trace().total_power.duration(), 5.0 * 60.0, 2.0);
-    EXPECT_DOUBLE_EQ(s.trace().target_util.value_at(30.0), 0.0);
-    EXPECT_DOUBLE_EQ(s.trace().target_util.value_at(2.0 * 60.0), 80.0);
+    EXPECT_NEAR(s.trace().total_power().duration(), 5.0 * 60.0, 2.0);
+    EXPECT_DOUBLE_EQ(s.trace().target_util().value_at(30.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.trace().target_util().value_at(2.0 * 60.0), 80.0);
 }
 
 TEST(FailureInjection, TelemetryChannelsPresent) {

@@ -208,12 +208,12 @@ TEST_P(ControllerSafety, TemperatureAndRateContracts) {
     // Safety: never approach the 90 degC critical threshold.
     EXPECT_LT(m.max_temp_c, 85.0);
     // Fans always inside the legal range.
-    EXPECT_GE(s.trace().avg_fan_rpm.min(), 1800.0 - 1e-9);
-    EXPECT_LE(s.trace().avg_fan_rpm.max(), 4200.0 + 1e-9);
+    EXPECT_GE(s.trace().avg_fan_rpm().min(), 1800.0 - 1e-9);
+    EXPECT_LE(s.trace().avg_fan_rpm().max(), 4200.0 + 1e-9);
 
     // LUT rate limit: at most one change per minute outside emergencies.
     if (std::string(controller_name) == "LUT") {
-        const auto& rpm = s.trace().avg_fan_rpm;
+        const util::column_view rpm = s.trace().avg_fan_rpm();
         double last_change = -1e9;
         for (std::size_t i = 1; i < rpm.size(); ++i) {
             if (rpm.at(i).v != rpm.at(i - 1).v) {
@@ -337,10 +337,10 @@ TEST_P(PaperTestIds, EnergyDecomposesAcrossTrace) {
     const auto profile = workload::make_paper_test(GetParam());
     (void)core::run_controlled(s, dflt, profile);
     const auto& tr = s.trace();
-    const double base_j = sim::paper_server().base_power_w * tr.total_power.duration();
-    const double sum = base_j + tr.active_power.integrate() + tr.leakage_power.integrate() +
-                       tr.fan_power.integrate();
-    EXPECT_NEAR(tr.total_power.integrate(), sum, 1.0);
+    const double base_j = sim::paper_server().base_power_w * tr.total_power().duration();
+    const double sum = base_j + tr.active_power().integrate() + tr.leakage_power().integrate() +
+                       tr.fan_power().integrate();
+    EXPECT_NEAR(tr.total_power().integrate(), sum, 1.0);
 }
 
 TEST_P(PaperTestIds, RunsAreDeterministic) {

@@ -114,7 +114,7 @@ TEST(Simulator, StepAdvancesTimeAndRecords) {
     s.force_cold_start();
     s.advance(30_s);
     EXPECT_DOUBLE_EQ(s.now().value(), 30.0);
-    EXPECT_EQ(s.trace().total_power.size(), 30U);
+    EXPECT_EQ(s.trace().total_power().size(), 30U);
 }
 
 TEST(Simulator, TelemetryPollsEvery10s) {
@@ -181,7 +181,7 @@ TEST(Simulator, DimmsHeatWithMemoryLoad) {
 TEST(Experiment, ProtocolTimelineIs45Minutes) {
     server_simulator s;
     sim::run_protocol_experiment(s, 3000_rpm, 100.0);
-    EXPECT_NEAR(s.trace().total_power.duration(), 45.0 * 60.0, 2.0);
+    EXPECT_NEAR(s.trace().total_power().duration(), 45.0 * 60.0, 2.0);
 }
 
 TEST(Experiment, ProtocolPhasesVisibleInTrace) {
@@ -189,14 +189,14 @@ TEST(Experiment, ProtocolPhasesVisibleInTrace) {
     sim::run_protocol_experiment(s, 1800_rpm, 100.0);
     const auto& tr = s.trace();
     // Idle head: utilization 0 at minute 2.
-    EXPECT_DOUBLE_EQ(tr.target_util.value_at(2.0 * 60.0), 0.0);
+    EXPECT_DOUBLE_EQ(tr.target_util().value_at(2.0 * 60.0), 0.0);
     // Load window: utilization 100 at minute 20.
-    EXPECT_DOUBLE_EQ(tr.target_util.value_at(20.0 * 60.0), 100.0);
+    EXPECT_DOUBLE_EQ(tr.target_util().value_at(20.0 * 60.0), 100.0);
     // Cooldown: idle again at minute 40.
-    EXPECT_DOUBLE_EQ(tr.target_util.value_at(40.0 * 60.0), 0.0);
+    EXPECT_DOUBLE_EQ(tr.target_util().value_at(40.0 * 60.0), 0.0);
     // Temperature near the end of the load window approaches the 1800 RPM
     // steady anchor.
-    EXPECT_NEAR(tr.avg_cpu_temp.value_at(35.0 * 60.0 - 10.0), 85.4, 3.0);
+    EXPECT_NEAR(tr.avg_cpu_temp().value_at(35.0 * 60.0 - 10.0), 85.4, 3.0);
 }
 
 TEST(Experiment, SweepCoversCrossProduct) {
@@ -226,7 +226,7 @@ TEST(Metrics, EnergyIntegralOfConstantPower) {
     s.force_cold_start();
     s.advance(10.0_min);
     const auto m = sim::compute_metrics(s, "const", "none");
-    const double avg_w = s.trace().total_power.mean();
+    const double avg_w = s.trace().total_power().mean();
     EXPECT_NEAR(m.energy_kwh, avg_w * (10.0 / 60.0) / 1000.0, 0.002);
     EXPECT_NEAR(m.duration_s, 600.0, 2.0);
 }

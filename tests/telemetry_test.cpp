@@ -55,27 +55,56 @@ TEST(SampleRing, ClearEmpties) {
 // --- channel -----------------------------------------------------------------
 
 TEST(Channel, PollsSourceAndRecords) {
+    // Histories live in the owning harness's shared columnar frame; the
+    // channel exposes its column as a view.
+    telemetry::harness h(10_s);
     double value = 42.0;
-    telemetry::channel ch("sig", "W", [&value] { return value; });
-    ch.poll(0.0);
+    h.add_channel("sig", "W", [&value] { return value; });
+    h.poll_now(0_s);
     value = 43.0;
-    ch.poll(10.0);
+    h.poll_now(10_s);
+    const telemetry::channel& ch = h.by_name("sig");
     ASSERT_TRUE(ch.latest().has_value());
     EXPECT_DOUBLE_EQ(ch.latest()->v, 43.0);
     EXPECT_EQ(ch.history().size(), 2U);
+    EXPECT_DOUBLE_EQ(ch.history().at(0).v, 42.0);
+    EXPECT_DOUBLE_EQ(ch.history().at(1).t, 10.0);
+}
+
+TEST(Channel, StandaloneChannelRecordsItsOwnHistory) {
+    double value = 7.0;
+    telemetry::channel ch("sig", "W", [&value] { return value; });
+    EXPECT_DOUBLE_EQ(ch.poll(0.0), 7.0);
+    value = 8.0;
+    ch.poll(10.0);
+    ASSERT_TRUE(ch.latest().has_value());
+    EXPECT_EQ(ch.ring().size(), 2U);
+    // No harness: the channel archives into its own columns.
+    ASSERT_EQ(ch.history().size(), 2U);
+    EXPECT_DOUBLE_EQ(ch.history().at(1).v, 8.0);
+    EXPECT_THROW(ch.poll(5.0), util::precondition_error);  // time went backwards
+    ch.clear();
+    EXPECT_TRUE(ch.history().empty());
+    telemetry::channel no_hist("sig", "W", [] { return 1.0; }, 8, false);
+    no_hist.poll(0.0);
+    EXPECT_TRUE(no_hist.history().empty());
 }
 
 TEST(Channel, HistoryCanBeDisabled) {
-    telemetry::channel ch("sig", "W", [] { return 1.0; }, 8, false);
-    ch.poll(0.0);
+    telemetry::harness h;
+    h.add_channel("sig", "W", [] { return 1.0; }, 8, false);
+    h.poll_now(0_s);
+    const telemetry::channel& ch = h.by_name("sig");
     EXPECT_TRUE(ch.history().empty());
     EXPECT_EQ(ch.ring().size(), 1U);
+    EXPECT_EQ(h.history().channel_count(), 0U);
 }
 
 TEST(Channel, NamedSeriesExport) {
-    telemetry::channel ch("cpu0_temp", "degC", [] { return 55.0; });
-    ch.poll(0.0);
-    const auto ns = ch.to_named_series();
+    telemetry::harness h;
+    h.add_channel("cpu0_temp", "degC", [] { return 55.0; });
+    h.poll_now(0_s);
+    const auto ns = h.by_name("cpu0_temp").to_named_series();
     EXPECT_EQ(ns.name, "cpu0_temp");
     EXPECT_EQ(ns.unit, "degC");
     EXPECT_EQ(ns.data.size(), 1U);

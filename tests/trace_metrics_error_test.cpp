@@ -1,8 +1,9 @@
-// Error-path coverage for trace export (sim/trace_io) and metrics
-// extraction (sim/metrics): truncated and non-finite traces, empty
-// batches, and mismatched lane counts.  The happy paths are exercised
-// all over the suite; these are the edges a fleet harness hits when a
-// run is interrupted or a lane index is wrong.
+// Error-path coverage for trace export/import (sim/trace_io) and
+// metrics extraction (sim/metrics): truncated and non-finite traces,
+// malformed CSV dumps, empty batches, and mismatched lane counts.  The
+// happy paths are exercised all over the suite; these are the edges a
+// fleet harness hits when a run is interrupted, a dump is corrupted, or
+// a lane index is wrong.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -10,10 +11,12 @@
 #include <sstream>
 #include <string>
 
+#include "sim/batch_trace.hpp"
 #include "sim/metrics.hpp"
 #include "sim/server_batch.hpp"
 #include "sim/server_simulator.hpp"
 #include "sim/trace_io.hpp"
+#include "util/csv.hpp"
 #include "util/error.hpp"
 #include "workload/profile.hpp"
 
@@ -22,64 +25,68 @@ namespace {
 using namespace ltsc;
 using namespace ltsc::util::literals;
 
+sim::trace_row row_at(double v) {
+    sim::trace_row row;
+    for (std::size_t c = 0; c < sim::trace_channel_count; ++c) {
+        row.values[c] = v + static_cast<double>(c);
+    }
+    return row;
+}
+
 sim::simulation_trace two_sample_trace() {
     sim::simulation_trace tr;
-    const auto fill = [](util::time_series& s, double v) {
-        s.push_back(0.0, v);
-        s.push_back(10.0, v + 1.0);
-    };
-    fill(tr.target_util, 50.0);
-    fill(tr.instant_util, 50.0);
-    fill(tr.cpu0_temp, 60.0);
-    fill(tr.cpu1_temp, 61.0);
-    fill(tr.avg_cpu_temp, 60.5);
-    fill(tr.max_sensor_temp, 62.0);
-    fill(tr.dimm_temp, 45.0);
-    fill(tr.total_power, 500.0);
-    fill(tr.fan_power, 20.0);
-    fill(tr.leakage_power, 40.0);
-    fill(tr.active_power, 109.0);
-    fill(tr.avg_fan_rpm, 3300.0);
+    tr.append(0.0, row_at(50.0));
+    tr.append(10.0, row_at(51.0));
     return tr;
 }
 
-TEST(TraceMetricsErrors, MetricsRejectTruncatedPowerSeries) {
-    // Empty and single-sample power traces cannot be integrated.
+TEST(TraceMetricsErrors, MetricsRejectTruncatedTrace) {
+    // Empty and single-sample traces cannot be integrated.
     sim::simulation_trace empty;
     EXPECT_THROW(static_cast<void>(sim::compute_metrics(empty, 0, "t", "c")),
                  util::precondition_error);
 
-    sim::simulation_trace one = two_sample_trace();
-    one.total_power = util::time_series{};
-    one.total_power.push_back(0.0, 500.0);
+    sim::simulation_trace one;
+    one.append(0.0, row_at(50.0));
     EXPECT_THROW(static_cast<void>(sim::compute_metrics(one, 0, "t", "c")),
                  util::precondition_error);
 }
 
-TEST(TraceMetricsErrors, MetricsRejectTraceMissingChannels) {
-    // A trace whose power series is intact but whose fan/temperature
-    // channels were truncated away (e.g. a partially deserialized run)
-    // must fail loudly, not report a half-row.
-    sim::simulation_trace tr = two_sample_trace();
-    tr.avg_fan_rpm = util::time_series{};
-    EXPECT_THROW(static_cast<void>(sim::compute_metrics(tr, 0, "t", "c")),
-                 util::precondition_error);
-
-    sim::simulation_trace tr2 = two_sample_trace();
-    tr2.max_sensor_temp = util::time_series{};
-    EXPECT_THROW(static_cast<void>(sim::compute_metrics(tr2, 0, "t", "c")),
-                 util::precondition_error);
+TEST(TraceMetricsErrors, ChannelsCannotDriftOutOfStep) {
+    // The columnar store appends every channel in one row: there is no
+    // way to truncate one channel of a recorded trace, the failure mode
+    // the old per-channel layout had to guard against in compute_metrics.
+    const sim::simulation_trace tr = two_sample_trace();
+    for (std::size_t c = 0; c < sim::trace_channel_count; ++c) {
+        EXPECT_EQ(tr.channel(static_cast<sim::trace_channel>(c)).size(), tr.size());
+    }
 }
 
 TEST(TraceMetricsErrors, NonFiniteSamplesCannotEnterATrace) {
-    // The recording layer is the validation boundary: a NaN/inf sample is
-    // rejected at push time, so downstream metrics/export never see one.
-    util::time_series s;
-    EXPECT_THROW(s.push_back(0.0, std::nan("")), util::precondition_error);
-    EXPECT_THROW(s.push_back(std::nan(""), 1.0), util::precondition_error);
-    EXPECT_THROW(s.push_back(1.0, std::numeric_limits<double>::infinity()),
-                 util::precondition_error);
-    EXPECT_TRUE(s.empty());
+    // The recording layer is the validation boundary: a NaN/inf value in
+    // any channel is rejected at append time, so downstream
+    // metrics/export never see one — and the row is rejected atomically.
+    sim::simulation_trace tr;
+    sim::trace_row bad = row_at(50.0);
+    bad[sim::trace_channel::dimm_temp] = std::nan("");
+    EXPECT_THROW(tr.append(0.0, bad), util::precondition_error);
+    bad[sim::trace_channel::dimm_temp] = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(tr.append(0.0, bad), util::precondition_error);
+    EXPECT_THROW(tr.append(std::nan(""), row_at(50.0)), util::precondition_error);
+    EXPECT_TRUE(tr.empty());
+}
+
+TEST(TraceMetricsErrors, BatchTraceValidatesLikeScalar) {
+    sim::batch_trace traces(2);
+    EXPECT_THROW(traces.append(2, 0.0, row_at(1.0)), util::precondition_error);
+    sim::trace_row bad = row_at(1.0);
+    bad[sim::trace_channel::fan_power] = std::nan("");
+    EXPECT_THROW(traces.append(0, 0.0, bad), util::precondition_error);
+    traces.append(0, 0.0, row_at(1.0));
+    EXPECT_THROW(traces.append(0, -1.0, row_at(2.0)), util::precondition_error);
+    EXPECT_THROW(static_cast<void>(traces.lane(9)), util::precondition_error);
+    EXPECT_EQ(traces.size(0), 1U);
+    EXPECT_EQ(traces.size(1), 0U);
 }
 
 TEST(TraceMetricsErrors, WideCsvRejectsEmptyTraceAndBadPeriod) {
@@ -92,31 +99,84 @@ TEST(TraceMetricsErrors, WideCsvRejectsEmptyTraceAndBadPeriod) {
     EXPECT_THROW(sim::write_trace_csv_wide(os, tr, -5.0), util::precondition_error);
 }
 
-TEST(TraceMetricsErrors, WideCsvFillsTruncatedChannelsWithZeros) {
-    // A trace with an intact time base but a truncated channel still
-    // exports: the missing channel reads as 0 instead of poisoning the
-    // row (matching the long-format export, which simply omits it).
-    sim::simulation_trace tr = two_sample_trace();
-    tr.dimm_temp = util::time_series{};
-    std::ostringstream os;
-    sim::write_trace_csv_wide(os, tr, 10.0);
-    const std::string out = os.str();
-    EXPECT_NE(out.find("dimm_temp"), std::string::npos);
-    // Header + two sample rows at t=0 and t=10.
-    std::size_t lines = 0;
-    for (char c : out) {
-        lines += c == '\n' ? 1 : 0;
-    }
-    EXPECT_EQ(lines, 3U);
-}
-
-TEST(TraceMetricsErrors, LongCsvExportsEveryChannelName) {
+TEST(TraceMetricsErrors, ColumnarCsvRoundTrips) {
     const sim::simulation_trace tr = two_sample_trace();
     std::ostringstream os;
     sim::write_trace_csv(os, tr);
+    const sim::simulation_trace back = sim::read_trace_csv(os.str());
+    ASSERT_EQ(back.size(), tr.size());
+    for (std::size_t c = 0; c < sim::trace_channel_count; ++c) {
+        const auto ch = static_cast<sim::trace_channel>(c);
+        for (std::size_t i = 0; i < tr.size(); ++i) {
+            EXPECT_EQ(back.channel(ch).t(i), tr.channel(ch).t(i));
+            EXPECT_EQ(back.channel(ch).v(i), tr.channel(ch).v(i));
+        }
+    }
+}
+
+TEST(TraceMetricsErrors, ReaderAcceptsLegacyLongLayout) {
+    // Dumps from the per-channel era: one (series, time_s, value, unit)
+    // row per sample, channels in contiguous blocks.
+    const sim::simulation_trace tr = two_sample_trace();
+    std::ostringstream os;
+    util::write_series_csv(os, sim::to_named_series(tr));
+    const sim::simulation_trace back = sim::read_trace_csv(os.str());
+    ASSERT_EQ(back.size(), tr.size());
+    EXPECT_EQ(back.total_power().v(1), tr.total_power().v(1));
+    EXPECT_EQ(back.avg_fan_rpm().t(1), tr.avg_fan_rpm().t(1));
+}
+
+TEST(TraceMetricsErrors, ReaderRejectsDuplicateChannels) {
+    // Columnar layout: a channel name repeated in the header.
+    std::string columnar =
+        "time_s,target_util,instant_util,cpu0_temp,cpu1_temp,avg_cpu_temp,max_sensor_temp,"
+        "dimm_temp,total_power,fan_power,leakage_power,active_power,target_util\n";
+    EXPECT_THROW(static_cast<void>(sim::read_trace_csv(columnar)), util::parse_error);
+
+    // Legacy layout: a channel block that re-appears after closing.
+    std::string legacy = "series,time_s,value,unit\n";
+    legacy += "target_util,0,1,pct\n";
+    legacy += "instant_util,0,1,pct\n";
+    legacy += "target_util,10,2,pct\n";
+    EXPECT_THROW(static_cast<void>(sim::read_trace_csv(legacy)), util::parse_error);
+}
+
+TEST(TraceMetricsErrors, ReaderRejectsMalformedDumps) {
+    // Unknown channel name.
+    EXPECT_THROW(static_cast<void>(sim::read_trace_csv(
+                     "series,time_s,value,unit\nmystery_channel,0,1,W\n")),
+                 util::parse_error);
+    // Unrecognized layout entirely.
+    EXPECT_THROW(static_cast<void>(sim::read_trace_csv("a,b,c\n1,2,3\n")), util::parse_error);
+    // Legacy dump with a missing channel.
+    std::string partial = "series,time_s,value,unit\n";
+    partial += "target_util,0,1,pct\n";
+    EXPECT_THROW(static_cast<void>(sim::read_trace_csv(partial)), util::parse_error);
+    // Unparseable, non-finite, and non-monotonic cells all surface as
+    // parse_error (the documented corrupted-dump exception), never as
+    // the store's precondition_error.
+    const std::string header =
+        "time_s,target_util,instant_util,cpu0_temp,cpu1_temp,avg_cpu_temp,max_sensor_temp,"
+        "dimm_temp,total_power,fan_power,leakage_power,active_power,avg_fan_rpm\n";
+    EXPECT_THROW(static_cast<void>(sim::read_trace_csv(header + "0,1,2,3,4,5,6,7,8,9,10,11,oops\n")),
+                 util::parse_error);
+    EXPECT_THROW(static_cast<void>(sim::read_trace_csv(header + "0,1,2,3,4,nan,6,7,8,9,10,11,12\n")),
+                 util::parse_error);
+    EXPECT_THROW(static_cast<void>(
+                     sim::read_trace_csv(header + "10,1,2,3,4,5,6,7,8,9,10,11,12\n"
+                                                  "0,1,2,3,4,5,6,7,8,9,10,11,12\n")),
+                 util::parse_error);
+}
+
+TEST(TraceMetricsErrors, LongSeriesExportCoversEveryChannelName) {
+    const sim::simulation_trace tr = two_sample_trace();
+    const auto series = sim::to_named_series(tr);
+    ASSERT_EQ(series.size(), sim::trace_channel_count);
+    std::ostringstream os;
+    sim::write_trace_csv(os, tr);
     const std::string out = os.str();
-    for (const auto& series : sim::to_named_series(tr)) {
-        EXPECT_NE(out.find(series.name), std::string::npos) << series.name;
+    for (const auto& s : series) {
+        EXPECT_NE(out.find(s.name), std::string::npos) << s.name;
     }
 }
 
@@ -137,7 +197,7 @@ TEST(TraceMetricsErrors, BatchMetricsRejectBadLaneAndEmptyRun) {
     batch.advance(3.0_min);
     const auto m = sim::compute_metrics(batch, 1, "ok", "none");
     EXPECT_GT(m.energy_kwh, 0.0);
-    EXPECT_EQ(m.duration_s, batch.trace(1).total_power.duration());
+    EXPECT_EQ(m.duration_s, batch.trace(1).total_power().duration());
 }
 
 }  // namespace
