@@ -8,6 +8,7 @@
 #include "core/characterization.hpp"
 #include "core/controller_runtime.hpp"
 #include "core/lut_controller.hpp"
+#include "core/rollout_controller.hpp"
 #include "fit/nlls.hpp"
 #include "sim/batch_trace.hpp"
 #include "sim/server_batch.hpp"
@@ -176,6 +177,41 @@ void BM_BangBangDecision(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_BangBangDecision);
+
+void BM_RolloutDecision(benchmark::State& state) {
+    // One full receding-horizon decision: snapshot the live plant, clone
+    // it across the candidate lanes, integrate every candidate over the
+    // horizon through the batched kernel, score, commit.  With the
+    // lattice below each decision rolls ~5 candidates x 120 s, so one
+    // decision costs ~600 batched lane-steps — the number to watch when
+    // touching the snapshot/load path or the rollout loop.
+    sim::server_simulator s;
+    workload::utilization_profile p("bench");
+    p.constant(60.0, util::seconds_t{1e9});
+    s.bind_workload(p);
+    s.force_cold_start();
+    s.advance(300_s);
+
+    core::rollout_controller_config cfg;
+    cfg.horizon = 120_s;
+    cfg.lattice_radius = 2;
+    core::rollout_controller roll(std::make_unique<core::bang_bang_controller>(), cfg);
+    const core::simulator_plant_view plant(s);
+    roll.attach_plant(&plant);
+
+    core::controller_inputs in;
+    in.now = s.now();
+    in.utilization_pct = s.measured_utilization(240_s);
+    in.max_cpu_temp = s.max_cpu_sensor_temp();
+    in.current_rpm = s.average_fan_rpm();
+    in.system_power = s.system_power_reading();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(roll.decide(in));
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel("rollout decisions per second");
+}
+BENCHMARK(BM_RolloutDecision);
 
 void BM_LeakageFit(benchmark::State& state) {
     sim::server_simulator s;

@@ -1,21 +1,54 @@
 #!/usr/bin/env bash
 # One-shot tier-1 verify: configure + build + test.
 #
-#   scripts/check.sh            # Release (default)
-#   scripts/check.sh Debug      # any CMake build type
+#   scripts/check.sh                  # Release (default), default compiler
+#   scripts/check.sh Debug            # any CMake build type
+#   scripts/check.sh Release clang    # pick a compiler (gcc|clang|g++-13|...);
+#                                     # defaults to its own build-<compiler> tree
+#   CXX=clang++ scripts/check.sh      # ...or via the usual env var
 #   BUILD_DIR=out scripts/check.sh
+#
+# The CI compiler matrix and local cross-compiler runs share this one
+# entry point; CMAKE_CXX_COMPILER_LAUNCHER (e.g. ccache) is forwarded
+# when set.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_TYPE="${1:-Release}"
-BUILD_DIR="${BUILD_DIR:-build}"
+COMPILER="${2:-${CXX:-}}"
+
+# Accept toolchain family names alongside literal compiler binaries.
+case "$COMPILER" in
+    gcc) COMPILER=g++ ;;
+    clang) COMPILER=clang++ ;;
+esac
+
+# Each compiler gets its own default build tree (CMake rejects changing
+# CMAKE_CXX_COMPILER inside an existing cache), so side-by-side local
+# runs just work; BUILD_DIR still overrides.
+if [ -n "${BUILD_DIR:-}" ]; then
+    :
+elif [ -n "$COMPILER" ]; then
+    BUILD_DIR="build-$(basename "$COMPILER")"
+else
+    BUILD_DIR=build
+fi
 
 GENERATOR_ARGS=()
 if command -v ninja >/dev/null 2>&1; then
     GENERATOR_ARGS=(-G Ninja)
 fi
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE" "${GENERATOR_ARGS[@]}"
+CMAKE_ARGS=()
+if [ -n "$COMPILER" ]; then
+    CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER="$COMPILER")
+fi
+if [ -n "${CMAKE_CXX_COMPILER_LAUNCHER:-}" ]; then
+    CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER="$CMAKE_CXX_COMPILER_LAUNCHER")
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+    "${GENERATOR_ARGS[@]}" "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j

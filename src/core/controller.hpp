@@ -3,8 +3,11 @@
 // A controller plays the role of the paper's DLC-PC software: it
 // periodically observes the signals a real deployment could see (polled
 // utilization, CSTH sensor temperatures, its own last command) and decides
-// a fan speed.  Controllers never touch plant internals; the runtime
+// a fan speed.  Controllers never mutate plant internals; the runtime
 // (controller_runtime.hpp) mediates between controller and simulator.
+// Predictive controllers additionally get a *read-only* window onto the
+// plant (plant_access) so they can clone its state into private rollout
+// lanes — the live plant is still only actuated through the runtime.
 #pragma once
 
 #include <algorithm>
@@ -15,7 +18,36 @@
 
 #include "util/units.hpp"
 
+namespace ltsc::sim {
+struct server_state;
+struct server_config;
+}  // namespace ltsc::sim
+
+namespace ltsc::workload {
+class loadgen;
+}  // namespace ltsc::workload
+
 namespace ltsc::core {
+
+/// Read-only window onto a controlled plant, handed to controllers by
+/// the runtime (run_controlled / run_controlled_batch) for the duration
+/// of a run.  Reactive policies ignore it; predictive policies snapshot
+/// through it to seed model rollouts.  Nothing here can mutate the
+/// plant.
+class plant_access {
+public:
+    virtual ~plant_access() = default;
+
+    /// Snapshots the plant's complete dynamic state into `out`
+    /// (overwriting it; zero-allocation once `out` has capacity).
+    virtual void snapshot_into(sim::server_state& out) const = 0;
+
+    /// The plant's configuration (to build matching rollout lanes).
+    [[nodiscard]] virtual const sim::server_config& plant_config() const = 0;
+
+    /// The bound workload — the rollout's load preview — or nullptr.
+    [[nodiscard]] virtual const workload::loadgen* plant_workload() const = 0;
+};
 
 /// Observations available to a controller at a decision instant.
 struct controller_inputs {
@@ -63,6 +95,12 @@ public:
 
     /// Clears internal state between runs.
     virtual void reset() {}
+
+    /// Runtime hook: a read-only window onto the controlled plant,
+    /// attached for the duration of a run (and detached with nullptr
+    /// afterwards).  The default ignores it — only predictive policies
+    /// (rollout_controller) override.
+    virtual void attach_plant(const plant_access* plant) { static_cast<void>(plant); }
 };
 
 }  // namespace ltsc::core

@@ -48,6 +48,25 @@ void poll_and_actuate(Plant& plant, fan_controller& controller, const runtime_co
     }
 }
 
+/// Detaches controllers' plant windows on every exit path (including
+/// exception unwind), so a predictive controller can never be left
+/// dangling into a destroyed stack-allocated plant view.
+class plant_attachments {
+public:
+    explicit plant_attachments(std::vector<fan_controller*> controllers)
+        : controllers_(std::move(controllers)) {}
+    plant_attachments(const plant_attachments&) = delete;
+    plant_attachments& operator=(const plant_attachments&) = delete;
+    ~plant_attachments() {
+        for (fan_controller* c : controllers_) {
+            c->attach_plant(nullptr);
+        }
+    }
+
+private:
+    std::vector<fan_controller*> controllers_;
+};
+
 /// server_simulator's surface, re-addressed to one server_batch lane.
 struct lane_view {
     sim::server_batch& batch;
@@ -88,6 +107,12 @@ sim::run_metrics run_controlled(sim::server_simulator& sim, fan_controller& cont
     sim.force_cold_start();
     sim.set_all_fans(config.initial_rpm);
     sim.reset_fan_change_counter();
+    // Attach the read-only plant window before reset() so a predictive
+    // controller starts the run with a fresh view of the fresh binding;
+    // the guard detaches on every exit path (the view is stack-owned).
+    const simulator_plant_view plant(sim);
+    const plant_attachments attached({&controller});
+    controller.attach_plant(&plant);
     controller.reset();
 
     const double duration = profile.duration().value();
@@ -143,9 +168,19 @@ std::vector<sim::run_metrics> run_controlled_batch(
         batch.bind_workload(l, profiles[l]);
     }
     batch.force_cold_start();
+    // One plant window per lane (stable addresses for the whole run), so
+    // fleets of predictive controllers each see their own lane; the
+    // guard detaches every controller on any exit path.
+    std::vector<batch_lane_plant_view> plant_views;
+    plant_views.reserve(n);
+    for (std::size_t l = 0; l < n; ++l) {
+        plant_views.emplace_back(batch, l);
+    }
+    const plant_attachments attached(controllers);
     for (std::size_t l = 0; l < n; ++l) {
         batch.set_all_fans(l, config.initial_rpm);
         batch.reset_fan_change_counter(l);
+        controllers[l]->attach_plant(&plant_views[l]);
         controllers[l]->reset();
         period[l] = controllers[l]->polling_period().value();
     }

@@ -18,6 +18,47 @@
 
 namespace ltsc::core {
 
+/// plant_access over a scalar server_simulator (what run_controlled
+/// attaches; public so benches/tests can drive predictive controllers
+/// outside the runtime loop).
+class simulator_plant_view final : public plant_access {
+public:
+    explicit simulator_plant_view(const sim::server_simulator& sim) : sim_(&sim) {}
+
+    void snapshot_into(sim::server_state& out) const override { sim_->snapshot_state(out); }
+    [[nodiscard]] const sim::server_config& plant_config() const override {
+        return sim_->config();
+    }
+    [[nodiscard]] const workload::loadgen* plant_workload() const override {
+        return sim_->workload();
+    }
+
+private:
+    const sim::server_simulator* sim_;
+};
+
+/// plant_access over one server_batch lane (what run_controlled_batch
+/// attaches per lane, so fleets of predictive controllers work).
+class batch_lane_plant_view final : public plant_access {
+public:
+    batch_lane_plant_view(const sim::server_batch& batch, std::size_t lane)
+        : batch_(&batch), lane_(lane) {}
+
+    void snapshot_into(sim::server_state& out) const override {
+        batch_->snapshot_lane_state(lane_, out);
+    }
+    [[nodiscard]] const sim::server_config& plant_config() const override {
+        return batch_->config(lane_);
+    }
+    [[nodiscard]] const workload::loadgen* plant_workload() const override {
+        return batch_->workload(lane_);
+    }
+
+private:
+    const sim::server_batch* batch_;
+    std::size_t lane_;
+};
+
 /// Runtime tunables.
 struct runtime_config {
     util::seconds_t sim_dt{1.0};         ///< Plant integration step.

@@ -1,0 +1,130 @@
+#include "core/rollout_controller.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ltsc::core {
+
+rollout_controller::rollout_controller(std::unique_ptr<fan_controller> baseline,
+                                       const rollout_controller_config& config,
+                                       candidate_generator extra_candidates)
+    : baseline_(std::move(baseline)), config_(config), extra_(std::move(extra_candidates)) {
+    util::ensure(baseline_ != nullptr, "rollout_controller: null baseline");
+    util::ensure(config_.horizon.value() >= 0.0, "rollout_controller: negative horizon");
+    util::ensure(config_.sim_dt.value() > 0.0, "rollout_controller: non-positive sim_dt");
+    util::ensure(config_.lattice_radius == 0 || config_.lattice_step.value() > 0.0,
+                 "rollout_controller: non-positive lattice step");
+    util::ensure(config_.min_rpm.value() <= config_.max_rpm.value(),
+                 "rollout_controller: inverted RPM clamp");
+    const std::size_t lattice =
+        1 + (config_.include_hold ? 1 : 0) + 2 * config_.lattice_radius;
+    util::ensure(config_.max_candidates >= lattice,
+                 "rollout_controller: max_candidates smaller than the lattice");
+}
+
+util::seconds_t rollout_controller::polling_period() const {
+    return config_.decision_period.value() > 0.0 ? config_.decision_period
+                                                 : baseline_->polling_period();
+}
+
+std::string rollout_controller::name() const { return "Rollout(" + baseline_->name() + ")"; }
+
+void rollout_controller::reset() {
+    baseline_->reset();
+    bound_from_ = nullptr;
+    last_ = sim::rollout_result{};
+}
+
+void rollout_controller::attach_plant(const plant_access* plant) {
+    if (plant == plant_) {
+        return;
+    }
+    plant_ = plant;
+    bound_from_ = nullptr;
+    // The engine models the plant it was built from, so attaching a
+    // different window discards it — reusing one controller across
+    // differently-calibrated plants can never silently predict with the
+    // wrong model.  Rebuild cost is a K-lane server_batch construction,
+    // negligible against a run; a caller holding one window across many
+    // decide() calls (the decision benchmark) still pays it once.
+    if (plant != nullptr) {
+        engine_.reset();
+    }
+}
+
+void rollout_controller::build_candidates(const controller_inputs& in,
+                                          std::optional<util::rpm_t> baseline_cmd) {
+    std::size_t n = 0;
+    const auto add = [&](double rpm) {
+        rpm = std::min(std::max(rpm, config_.min_rpm.value()), config_.max_rpm.value());
+        for (std::size_t j = 0; j < n; ++j) {
+            if (candidates_[j].moves.size() == 1 && candidates_[j].moves[0].value() == rpm) {
+                return;  // lattice duplicate (clamping collapses the edges)
+            }
+        }
+        if (n == candidates_.size()) {
+            candidates_.emplace_back();
+        }
+        candidates_[n].moves.assign(1, util::rpm_t{rpm});
+        ++n;
+    };
+    // Baseline proposal first: ties in the rollout break to the lowest
+    // index, so "do what the wrapped controller would have done" wins
+    // unless an alternative is strictly better.
+    const double base = baseline_cmd.has_value() ? baseline_cmd->value() : in.current_rpm.value();
+    add(base);
+    if (config_.include_hold) {
+        add(in.current_rpm.value());
+    }
+    for (std::size_t i = 1; i <= config_.lattice_radius; ++i) {
+        const double offset = static_cast<double>(i) * config_.lattice_step.value();
+        add(base + offset);
+        add(base - offset);
+    }
+    candidates_.resize(n);
+    if (extra_) {
+        extra_(in, baseline_cmd, candidates_);
+    }
+}
+
+std::optional<util::rpm_t> rollout_controller::decide(const controller_inputs& in) {
+    // Empty unless this decision actually rolls out (capacity is kept,
+    // so clearing allocates nothing).
+    last_.best = 0;
+    last_.scores.clear();
+    // The baseline is consulted unconditionally so its internal state
+    // (hold timers, integrators) evolves exactly as it would alone.
+    std::optional<util::rpm_t> baseline_cmd = baseline_->decide(in);
+
+    const workload::loadgen* workload = plant_ != nullptr ? plant_->plant_workload() : nullptr;
+    if (plant_ == nullptr || workload == nullptr || config_.horizon.value() <= 0.0) {
+        return baseline_cmd;  // degenerate: bitwise the wrapped controller
+    }
+    build_candidates(in, baseline_cmd);
+    if (candidates_.size() == 1) {
+        return baseline_cmd;  // K = 1: the only candidate is the baseline's
+    }
+
+    if (engine_ == nullptr) {
+        engine_ = std::make_unique<sim::rollout_engine>(plant_->plant_config(),
+                                                        config_.max_candidates);
+    }
+    if (bound_from_ != workload) {
+        engine_->bind_workload(*workload);
+        bound_from_ = workload;
+    }
+    plant_->snapshot_into(snapshot_);
+
+    sim::rollout_options options;
+    options.horizon = config_.horizon;
+    options.epoch = polling_period();
+    options.sim_dt = config_.sim_dt;
+    options.guard_temp_c = config_.guard_temp_c;
+    options.guard_penalty_j = config_.guard_penalty_j;
+    options.overshoot_weight_j_per_k = config_.overshoot_weight_j_per_k;
+    last_ = engine_->evaluate(snapshot_, candidates_, options);
+    return candidates_[last_.best].moves.front();
+}
+
+}  // namespace ltsc::core

@@ -1,0 +1,108 @@
+// Receding-horizon rollout controller (Ogura et al. / Van Damme et al.
+// style MPC, specialized to fan-speed control).
+//
+// Wraps any reactive baseline policy (LUT, bang-bang, ...) and upgrades
+// it to a predictive one: at every decision epoch the controller asks
+// the baseline for its proposal, surrounds it with a lattice of
+// alternatives (hold the current speed, proposal, proposal +/- i*step),
+// rolls every candidate out over an H-second horizon on a private
+// sim::rollout_engine seeded with a bitwise snapshot of the live plant,
+// and commits the first move of the schedule with the lowest predicted
+// energy + constraint penalty.  The baseline is consulted (and its
+// internal state advanced) exactly once per epoch whether or not its
+// proposal wins, so the wrapped policy behaves as it would alone.
+//
+// Scope: the rollout searches *uniform* (all-pairs) fan schedules and
+// consults the baseline through its single-speed decide() surface.  A
+// baseline that overrides decide_zones (e.g. zone_lut_controller) has
+// its per-zone behavior collapsed through the default zone adapter —
+// wrap single-speed policies here; per-zone candidate schedules are a
+// ROADMAP follow-on.
+//
+// Degenerate contract, pinned by the rollout suite: with a zero
+// horizon, a single candidate (lattice_radius = 0, include_hold =
+// false), no attached plant, or no bound workload, decide() returns the
+// baseline's decision untouched — the whole closed-loop trajectory is
+// bitwise-identical to running the wrapped controller directly.  A
+// rollout decision is a pure function of (plant state, candidate set):
+// rollouts run on engine-owned lanes and never perturb the live plant.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "sim/rollout_engine.hpp"
+
+namespace ltsc::core {
+
+/// Tunables of the rollout controller.
+struct rollout_controller_config {
+    /// Decision cadence; 0 (the default) inherits the baseline's
+    /// polling period, which the degenerate-equivalence contract needs.
+    util::seconds_t decision_period{0.0};
+    util::seconds_t horizon{180.0};  ///< Lookahead H; 0 disables rollouts.
+    util::rpm_t lattice_step{300.0};  ///< Spacing of the candidate lattice.
+    std::size_t lattice_radius = 2;   ///< Candidates at proposal +/- 1..radius steps.
+    bool include_hold = true;         ///< Also try keeping the current speed.
+    util::rpm_t min_rpm{1800.0};      ///< Lattice clamp (legal fan range).
+    util::rpm_t max_rpm{4200.0};
+    /// Rollout integration/scoring knobs (epoch defaults to the
+    /// decision cadence; see rollout_options for the guard semantics).
+    util::seconds_t sim_dt{1.0};
+    double guard_temp_c = 85.0;
+    double guard_penalty_j = 1e9;
+    double overshoot_weight_j_per_k = 1e6;
+    /// Engine lane budget (extra user-supplied candidates beyond the
+    /// lattice must fit too; excess candidates are an error).
+    std::size_t max_candidates = 16;
+};
+
+/// Hook for user-supplied candidates: called once per decision with the
+/// observations and the baseline's proposal; append schedules to `out`
+/// (after the built-in lattice, so built-ins win ties).
+using candidate_generator = std::function<void(
+    const controller_inputs& in, std::optional<util::rpm_t> baseline_cmd,
+    std::vector<sim::fan_schedule>& out)>;
+
+/// Predictive fan controller: baseline proposal + lattice + rollout.
+class rollout_controller final : public fan_controller {
+public:
+    explicit rollout_controller(std::unique_ptr<fan_controller> baseline,
+                                const rollout_controller_config& config = {},
+                                candidate_generator extra_candidates = {});
+
+    [[nodiscard]] util::seconds_t polling_period() const override;
+    [[nodiscard]] std::optional<util::rpm_t> decide(const controller_inputs& in) override;
+    [[nodiscard]] std::string name() const override;
+    void reset() override;
+    void attach_plant(const plant_access* plant) override;
+
+    [[nodiscard]] const rollout_controller_config& config() const { return config_; }
+    [[nodiscard]] const fan_controller& baseline() const { return *baseline_; }
+    /// Scores of the most recent decision's rollout — empty when that
+    /// decision was degenerate (no rollout ran); benches report them
+    /// for ablation tables.
+    [[nodiscard]] const sim::rollout_result& last_rollout() const { return last_; }
+
+private:
+    void build_candidates(const controller_inputs& in, std::optional<util::rpm_t> baseline_cmd);
+
+    std::unique_ptr<fan_controller> baseline_;
+    rollout_controller_config config_;
+    candidate_generator extra_;
+
+    const plant_access* plant_ = nullptr;
+    std::unique_ptr<sim::rollout_engine> engine_;
+    const workload::loadgen* bound_from_ = nullptr;
+
+    // Per-decision scratch, reused so deciding does not allocate.
+    sim::server_state snapshot_;
+    std::vector<sim::fan_schedule> candidates_;
+    sim::rollout_result last_;
+};
+
+}  // namespace ltsc::core

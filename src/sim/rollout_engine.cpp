@@ -1,0 +1,109 @@
+#include "sim/rollout_engine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ltsc::sim {
+
+rollout_engine::rollout_engine(const server_config& config, std::size_t max_candidates)
+    : batch_(config, max_candidates) {
+    util::ensure(max_candidates >= 1, "rollout_engine: need at least one candidate lane");
+}
+
+void rollout_engine::bind_workload(const workload::loadgen& workload) {
+    for (std::size_t l = 0; l < batch_.lane_count(); ++l) {
+        batch_.bind_workload(l, workload);
+    }
+    workload_bound_ = true;
+}
+
+const rollout_result& rollout_engine::evaluate(const server_state& start,
+                                               const std::vector<fan_schedule>& candidates,
+                                               const rollout_options& options) {
+    const std::size_t k = candidates.size();
+    util::ensure(k >= 1, "rollout_engine::evaluate: no candidates");
+    util::ensure(k <= batch_.lane_count(), "rollout_engine::evaluate: more candidates than lanes");
+    util::ensure(workload_bound_, "rollout_engine::evaluate: no workload bound");
+    util::ensure(options.horizon.value() > 0.0, "rollout_engine::evaluate: non-positive horizon");
+    util::ensure(options.epoch.value() > 0.0, "rollout_engine::evaluate: non-positive epoch");
+    util::ensure(options.sim_dt.value() > 0.0, "rollout_engine::evaluate: non-positive sim_dt");
+    for (const fan_schedule& c : candidates) {
+        util::ensure(!c.moves.empty(), "rollout_engine::evaluate: empty candidate schedule");
+    }
+
+    // Clone the plant across the candidate lanes; park the rest.
+    for (std::size_t l = 0; l < k; ++l) {
+        batch_.load_lane_state(l, start);
+    }
+    for (std::size_t l = k; l < batch_.lane_count(); ++l) {
+        batch_.set_lane_active(l, false);
+    }
+
+    rollout_result& out = result_;
+    out.best = 0;
+    out.scores.assign(k, candidate_score{});
+
+    const double dt = options.sim_dt.value();
+    const double horizon = options.horizon.value();
+    const double epoch = options.epoch.value();
+    // Same loop shape as run_controlled: step until the horizon has
+    // elapsed, applying the next schedule move at each epoch boundary.
+    double elapsed = 0.0;
+    double next_move_at = 0.0;
+    std::size_t move_idx = 0;
+    std::size_t live = k;
+    while (elapsed < horizon - 1e-9 && live > 0) {
+        if (elapsed + 1e-9 >= next_move_at) {
+            for (std::size_t l = 0; l < k; ++l) {
+                if (out.scores[l].guarded) {
+                    continue;
+                }
+                const std::vector<util::rpm_t>& moves = candidates[l].moves;
+                batch_.set_all_fans(l, moves[std::min(move_idx, moves.size() - 1)]);
+            }
+            ++move_idx;
+            next_move_at += epoch;
+        }
+        batch_.step(util::seconds_t{dt});
+        elapsed += dt;
+        for (std::size_t l = 0; l < k; ++l) {
+            candidate_score& sc = out.scores[l];
+            if (sc.guarded) {
+                continue;
+            }
+            ++sc.steps;
+            const double t_max = std::max(batch_.true_cpu_temp(l, 0).value(),
+                                          batch_.true_cpu_temp(l, 1).value());
+            sc.peak_temp_c = std::max(sc.peak_temp_c, t_max);
+            if (t_max > options.guard_temp_c) {
+                // Disqualified: stop spending substeps on this lane.
+                sc.guarded = true;
+                batch_.set_lane_active(l, false);
+                --live;
+            }
+        }
+    }
+
+    for (std::size_t l = 0; l < k; ++l) {
+        candidate_score& sc = out.scores[l];
+        const util::column_view power = batch_.trace(l).total_power();
+        double energy = 0.0;
+        for (std::size_t i = 0; i < power.size(); ++i) {
+            energy += power.v(i) * dt;
+        }
+        sc.energy_j = energy;
+        sc.score_j = energy;
+        if (sc.guarded) {
+            sc.score_j += options.guard_penalty_j +
+                          options.overshoot_weight_j_per_k *
+                              (sc.peak_temp_c - options.guard_temp_c);
+        }
+        if (sc.score_j < out.scores[out.best].score_j) {
+            out.best = l;
+        }
+    }
+    return out;
+}
+
+}  // namespace ltsc::sim

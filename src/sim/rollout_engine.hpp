@@ -1,0 +1,110 @@
+// Batched receding-horizon rollout evaluation.
+//
+// A rollout_engine answers one question: *given the live plant's state,
+// which of K candidate fan schedules costs the least energy over the
+// next H seconds?*  It owns a dedicated K-lane server_batch built from
+// the plant's configuration; every evaluation clones the snapshot
+// across the candidate lanes (server_batch::load_lane_state), applies
+// each candidate's moves at the decision-epoch cadence, integrates all
+// candidates together through the batched thermal kernel, and scores
+// each lane by predicted energy plus a constraint penalty.  Lanes whose
+// predicted die temperature trips the guard terminate early through the
+// per-lane active masks (the ragged-fleet machinery) — a doomed
+// candidate stops consuming substeps the moment it disqualifies.
+//
+// Because the rollout lanes are bitwise twins of the plant (snapshot
+// round-trip contract) and the workload preview is the plant's own
+// loadgen, the prediction for the schedule that is ultimately committed
+// is exactly the trajectory the plant will realize.  Evaluation is a
+// pure function of (state, candidates, options): it touches only
+// engine-owned lanes, never the live plant, and allocates nothing after
+// the first call (trace arena and snapshot buffers are reused).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/server_batch.hpp"
+#include "sim/server_config.hpp"
+#include "sim/server_state.hpp"
+#include "util/units.hpp"
+#include "workload/loadgen.hpp"
+
+namespace ltsc::sim {
+
+/// One candidate fan schedule: the speed commanded at each decision
+/// epoch of the horizon (all pairs together).  moves[0] is the move a
+/// controller commits if the schedule wins; a schedule shorter than the
+/// horizon holds its last speed.
+struct fan_schedule {
+    std::vector<util::rpm_t> moves;
+};
+
+/// Per-evaluation tunables.
+struct rollout_options {
+    util::seconds_t horizon{180.0};  ///< Lookahead H (> 0).
+    util::seconds_t epoch{30.0};     ///< Cadence at which schedule moves apply.
+    util::seconds_t sim_dt{1.0};     ///< Rollout integration step.
+    /// Predicted-temperature guard: a lane whose max *true* die
+    /// temperature exceeds this terminates early and is penalized.
+    double guard_temp_c = 85.0;
+    /// Penalty added to a guarded lane's score [J]; large enough that
+    /// any guarded candidate loses to any unguarded one.
+    double guard_penalty_j = 1e9;
+    /// Additional penalty per degC of peak overshoot [J/K], so among
+    /// all-guarded candidate sets the least-violating one wins.
+    double overshoot_weight_j_per_k = 1e6;
+};
+
+/// Outcome of one candidate's rollout.
+struct candidate_score {
+    double score_j = 0.0;    ///< energy_j + guard penalties (the ranking key).
+    double energy_j = 0.0;   ///< Predicted wall energy over the steps taken.
+    double peak_temp_c = 0.0;  ///< Peak predicted true die temperature.
+    long steps = 0;          ///< Steps integrated (horizon steps unless guarded).
+    bool guarded = false;    ///< Tripped the temperature guard.
+};
+
+/// Result of one decision epoch's evaluation.
+struct rollout_result {
+    std::size_t best = 0;  ///< Argmin score; ties break to the lowest index.
+    std::vector<candidate_score> scores;  ///< One per candidate, in order.
+};
+
+/// K-lane rollout evaluator over one plant configuration.
+class rollout_engine {
+public:
+    /// Builds the candidate lanes.  `config` must equal the controlled
+    /// plant's configuration (the snapshot APIs validate the shapes).
+    rollout_engine(const server_config& config, std::size_t max_candidates);
+
+    [[nodiscard]] std::size_t max_candidates() const { return batch_.lane_count(); }
+
+    /// Installs the workload preview every rollout lane steps against
+    /// (the plant's own loadgen — the paper's profiles are known in
+    /// advance, so the preview is perfect).  Call once per run; the
+    /// binding persists across evaluations.
+    void bind_workload(const workload::loadgen& workload);
+    [[nodiscard]] bool workload_bound() const { return workload_bound_; }
+
+    /// Rolls every candidate out from `start` and scores it.  Requires
+    /// 1 <= candidates.size() <= max_candidates(), a bound workload,
+    /// and positive horizon/epoch/sim_dt.  Deterministic: same
+    /// (state, candidates, options) in, same result out, on any thread.
+    /// The returned reference is into engine-owned scratch (reused so
+    /// evaluation stays allocation-free at steady state) and is
+    /// overwritten by the next evaluate().
+    [[nodiscard]] const rollout_result& evaluate(const server_state& start,
+                                                 const std::vector<fan_schedule>& candidates,
+                                                 const rollout_options& options);
+
+    /// The lane batch (tests inspect traces of the last evaluation).
+    [[nodiscard]] const server_batch& lanes() const { return batch_; }
+
+private:
+    server_batch batch_;
+    bool workload_bound_ = false;
+    rollout_result result_;  ///< Reused per-evaluation scratch.
+};
+
+}  // namespace ltsc::sim

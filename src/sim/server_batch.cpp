@@ -255,6 +255,47 @@ util::celsius_t server_batch::ambient(std::size_t lane) const {
     return batch_.ambient(lane);
 }
 
+void server_batch::snapshot_lane_state(std::size_t lane, server_state& out) const {
+    const lane_state& ln = at(lane);
+    out.now_s = ln.now_s;
+    out.imbalance = ln.imbalance;
+    out.fan_changes = ln.fan_changes;
+    out.fan_rpm.resize(ln.fans.pair_count());
+    for (std::size_t i = 0; i < ln.fans.pair_count(); ++i) {
+        out.fan_rpm[i] = ln.fans.speed(i).value();
+    }
+    out.rng = ln.rng;
+    batch_.save_lane_state(lane, out.thermal);
+    out.sensor_reads = ln.last_cpu_sensor_reads;
+    out.telemetry_last_poll_s = ln.telemetry.last_poll_time();
+    out.telemetry_polled = ln.telemetry.ever_polled();
+}
+
+void server_batch::load_lane_state(std::size_t lane, const server_state& state) {
+    lane_state& ln = at(lane);
+    util::ensure(state.fan_rpm.size() == ln.fans.pair_count(),
+                 "server_batch::load_lane_state: fan pair count mismatch");
+    util::ensure(state.sensor_reads.size() == ln.last_cpu_sensor_reads.size(),
+                 "server_batch::load_lane_state: sensor count mismatch");
+    ln.now_s = state.now_s;
+    ln.imbalance = state.imbalance;
+    ln.fan_changes = state.fan_changes;
+    ln.rng = state.rng;
+    for (std::size_t i = 0; i < ln.fans.pair_count(); ++i) {
+        ln.fans.set_speed(i, util::rpm_t{state.fan_rpm[i]});
+    }
+    // Recompute airflow-derived conductances/stream capacity from the
+    // restored speeds (bitwise-identical to the snapshot's), then reload
+    // the thermal lane on top.
+    apply_airflow(lane);
+    batch_.load_lane_state(lane, state.thermal);
+    ln.last_cpu_sensor_reads = state.sensor_reads;
+    clear_trace(lane);
+    ln.telemetry.reset();
+    ln.telemetry.restore_poll_clock(state.telemetry_last_poll_s, state.telemetry_polled);
+    set_lane_active(lane, true);
+}
+
 power::power_breakdown server_batch::breakdown_at(std::size_t lane, double u_inst) const {
     const lane_state& ln = *lanes_[lane];
     power::power_breakdown out;

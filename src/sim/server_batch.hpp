@@ -29,6 +29,7 @@
 #include "sim/batch_trace.hpp"
 #include "sim/server_config.hpp"
 #include "sim/server_simulator.hpp"
+#include "sim/server_state.hpp"
 #include "sim/simulation_trace.hpp"
 #include "telemetry/harness.hpp"
 #include "thermal/rc_batch.hpp"
@@ -92,6 +93,27 @@ public:
     /// setpoint drift).
     void set_ambient(std::size_t lane, util::celsius_t t);
     [[nodiscard]] util::celsius_t ambient(std::size_t lane) const;
+
+    // --- lane state save/restore --------------------------------------------
+    /// Writes one lane's complete dynamic state into `out` (overwriting
+    /// it).  Pure read; interchangeable with
+    /// server_simulator::snapshot_state for same-config plants.
+    void snapshot_lane_state(std::size_t lane, server_state& out) const;
+
+    /// Clones a snapshot (from a scalar plant or any same-config lane)
+    /// into one lane: the rollout primitive.  The lane's workload
+    /// binding is left as-is — bind first, load after, since binding
+    /// resets the clock this call sets.  The lane's trace and telemetry
+    /// histories clear (recording restarts at the snapshot instant) and
+    /// the lane reactivates if it was inert.  Subsequent stepping is
+    /// bitwise-identical to the snapshot's source plant.
+    void load_lane_state(std::size_t lane, const server_state& state);
+
+    /// The lane's bound workload, or nullptr before any bind_workload.
+    [[nodiscard]] const workload::loadgen* workload(std::size_t lane) const {
+        const auto& w = at(lane).workload;
+        return w ? &*w : nullptr;
+    }
 
     // --- time ---------------------------------------------------------------
     /// Advances every *active* lane by `dt` through the batched thermal

@@ -234,6 +234,50 @@ util::watts_t server_simulator::idle_power(util::rpm_t fan_rpm) const {
 
 void server_simulator::set_ambient(util::celsius_t t) { thermal_.set_ambient(t); }
 
+void server_simulator::snapshot_state(server_state& out) const {
+    out.now_s = now_s_;
+    out.imbalance = imbalance_;
+    out.fan_changes = fan_changes_;
+    out.fan_rpm.resize(fans_.pair_count());
+    for (std::size_t i = 0; i < fans_.pair_count(); ++i) {
+        out.fan_rpm[i] = fans_.speed(i).value();
+    }
+    out.rng = rng_;
+    thermal_.save_state(out.thermal);
+    out.sensor_reads = last_cpu_sensor_reads_;
+    out.telemetry_last_poll_s = telemetry_.last_poll_time();
+    out.telemetry_polled = telemetry_.ever_polled();
+}
+
+server_state server_simulator::snapshot_state() const {
+    server_state out;
+    snapshot_state(out);
+    return out;
+}
+
+void server_simulator::restore_state(const server_state& state) {
+    util::ensure(state.fan_rpm.size() == fans_.pair_count(),
+                 "server_simulator::restore_state: fan pair count mismatch");
+    util::ensure(state.sensor_reads.size() == last_cpu_sensor_reads_.size(),
+                 "server_simulator::restore_state: sensor count mismatch");
+    now_s_ = state.now_s;
+    imbalance_ = state.imbalance;
+    fan_changes_ = state.fan_changes;
+    rng_ = state.rng;
+    for (std::size_t i = 0; i < fans_.pair_count(); ++i) {
+        fans_.set_speed(i, util::rpm_t{state.fan_rpm[i]});
+    }
+    // Airflow-derived conductances recompute from the restored speeds to
+    // the exact values the snapshot carries; restore_state then reloads
+    // them (a no-op value-wise) along with temperatures and powers.
+    apply_airflow();
+    thermal_.restore_state(state.thermal);
+    last_cpu_sensor_reads_ = state.sensor_reads;
+    clear_trace();
+    telemetry_.reset();
+    telemetry_.restore_poll_clock(state.telemetry_last_poll_s, state.telemetry_polled);
+}
+
 util::watts_t steady_idle_power(const server_config& config, util::rpm_t fan_rpm) {
     // Build a scratch plant so the query does not disturb any live one.
     const power::leakage_model leakage(config.leakage);

@@ -17,6 +17,7 @@
 #include "power/leakage_model.hpp"
 #include "power/server_power_model.hpp"
 #include "sim/server_config.hpp"
+#include "sim/server_state.hpp"
 #include "sim/simulation_trace.hpp"
 #include "telemetry/harness.hpp"
 #include "thermal/sensors.hpp"
@@ -118,6 +119,29 @@ public:
     /// drift studies mutate this while a run is in flight).
     void set_ambient(util::celsius_t t);
     [[nodiscard]] util::celsius_t ambient() const { return thermal_.ambient(); }
+
+    // --- state save/restore --------------------------------------------------
+    /// Writes the plant's complete dynamic state into `out` (overwriting
+    /// it; see server_state for exactly what that covers).  Pure read:
+    /// the plant is left untouched, so interleaving snapshots with
+    /// stepping cannot perturb a run.
+    void snapshot_state(server_state& out) const;
+    [[nodiscard]] server_state snapshot_state() const;
+
+    /// Rewinds the plant to a snapshot taken from this simulator (or any
+    /// plant built from the same configuration).  The workload binding
+    /// is left as-is — bind the matching workload first; restore after,
+    /// since binding resets the clock this call sets.  Recording
+    /// restarts: the trace and telemetry histories clear and refill from
+    /// the snapshot instant.  Subsequent stepping is bitwise-identical
+    /// to the source plant's (snapshot_roundtrip suite).
+    void restore_state(const server_state& state);
+
+    /// The bound workload, or nullptr before any bind_workload call
+    /// (read-only; predictive controllers use it as the rollout preview).
+    [[nodiscard]] const workload::loadgen* workload() const {
+        return workload_ ? &*workload_ : nullptr;
+    }
 
     // --- recording -----------------------------------------------------------
     [[nodiscard]] const simulation_trace& trace() const { return trace_; }

@@ -1,0 +1,48 @@
+// Complete dynamic state of one simulated server.
+//
+// A server_state is everything a plant needs to continue stepping
+// bitwise-identically from a point in time: simulation clock, workload
+// split, fan commands, the sensor RNG stream, the thermal network state,
+// the last sensor readings the controllers saw, and the telemetry poll
+// clock.  It deliberately excludes three things:
+//  * the configuration — states only move between plants built from the
+//    same server_config (the snapshot APIs validate the shapes);
+//  * the workload binding — the profile is immutable during a run, so
+//    receivers bind it once (see rollout_engine) instead of copying it
+//    into every snapshot;
+//  * the recordings (trace, telemetry histories) — those describe the
+//    past, not the dynamics; a restored plant records a fresh trace
+//    from the snapshot instant.
+//
+// Snapshots are the substrate of the receding-horizon rollout family:
+// server_simulator::snapshot_state / server_batch::snapshot_lane_state
+// save a live plant, server_batch::load_lane_state clones it across the
+// candidate lanes of a rollout batch, and
+// server_simulator::restore_state rewinds a scalar plant (round-trip
+// pinned bitwise by the snapshot_roundtrip suite).  A server_state is
+// reusable: saving overwrites in place, so a per-epoch scratch snapshot
+// amortizes to zero allocations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "thermal/rc_network.hpp"
+#include "util/rng.hpp"
+
+namespace ltsc::sim {
+
+/// Everything needed to resume a server bitwise from an instant.
+struct server_state {
+    double now_s = 0.0;              ///< Simulation clock [s].
+    double imbalance = 0.5;          ///< Socket-0 share of the CPU load.
+    std::size_t fan_changes = 0;     ///< Counted fan-speed changes so far.
+    std::vector<double> fan_rpm;     ///< Commanded speed per fan pair.
+    util::pcg32 rng;                 ///< Sensor-noise stream, mid-sequence.
+    thermal::rc_state thermal;       ///< Node temps/powers, edge g, ambient.
+    std::vector<double> sensor_reads;  ///< Last CPU sensor readings [degC].
+    double telemetry_last_poll_s = -1.0;  ///< Telemetry poll clock.
+    bool telemetry_polled = false;        ///< Whether a poll ever happened.
+};
+
+}  // namespace ltsc::sim

@@ -64,6 +64,11 @@ void harness::reset() {
     polled_once_ = false;
 }
 
+void harness::restore_poll_clock(double last_poll_s, bool ever_polled) {
+    last_poll_ = last_poll_s;
+    polled_once_ = ever_polled;
+}
+
 const channel& harness::by_name(const std::string& name) const {
     for (const auto& ch : channels_) {
         if (ch->name() == name) {

@@ -51,6 +51,19 @@ public:
     /// harness can record a fresh run starting from t = 0.
     void reset();
 
+    // --- poll-clock save/restore -------------------------------------------
+    // Cloning a live plant (rollout snapshots) must reproduce *when* the
+    // next telemetry poll fires, because polling reads the sensors and
+    // advances their RNG stream.  The clock is exposed as (last poll
+    // time, ever-polled) so a restored plant polls on the same schedule
+    // as the original; histories are not part of the dynamic state.
+    [[nodiscard]] double last_poll_time() const { return last_poll_; }
+    [[nodiscard]] bool ever_polled() const { return polled_once_; }
+
+    /// Overwrites the poll clock without sampling or touching histories
+    /// (callers wanting a clean recording call reset() first).
+    void restore_poll_clock(double last_poll_s, bool ever_polled);
+
     [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
     [[nodiscard]] util::seconds_t period() const { return period_; }
 

@@ -84,6 +84,37 @@ double rc_batch::conductance(edge_id e, std::size_t lane) const {
     return edge_g_[e.index * lanes_ + lane];
 }
 
+void rc_batch::save_lane_state(std::size_t lane, rc_state& out) const {
+    util::ensure(lane < lanes_, "rc_batch::save_lane_state: lane out of range");
+    out.temps.resize(nodes_);
+    out.powers.resize(nodes_);
+    for (std::size_t i = 0; i < nodes_; ++i) {
+        out.temps[i] = temps_[i * lanes_ + lane];
+        out.powers[i] = powers_[i * lanes_ + lane];
+    }
+    const std::size_t edges = topo_.edge_count();
+    out.edge_g.resize(edges);
+    for (std::size_t e = 0; e < edges; ++e) {
+        out.edge_g[e] = edge_g_[e * lanes_ + lane];
+    }
+    out.ambient_c = ambient_[lane];
+}
+
+void rc_batch::load_lane_state(std::size_t lane, const rc_state& state) {
+    util::ensure(lane < lanes_, "rc_batch::load_lane_state: lane out of range");
+    util::ensure(state.temps.size() == nodes_ && state.powers.size() == nodes_ &&
+                     state.edge_g.size() == topo_.edge_count(),
+                 "rc_batch::load_lane_state: state does not match topology");
+    for (std::size_t i = 0; i < nodes_; ++i) {
+        set_temperature(node_id{i}, lane, util::celsius_t{state.temps[i]});
+        set_power(node_id{i}, lane, util::watts_t{state.powers[i]});
+    }
+    for (std::size_t e = 0; e < state.edge_g.size(); ++e) {
+        set_conductance(edge_id{e}, lane, state.edge_g[e]);
+    }
+    set_ambient(lane, util::celsius_t{state.ambient_c});
+}
+
 void rc_batch::refresh_lane_cache(std::size_t lane) const {
     if (!lane_dirty_[lane]) {
         return;

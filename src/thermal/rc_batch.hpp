@@ -98,6 +98,19 @@ public:
     void set_validate_steps(bool on) { validate_ = on; }
     [[nodiscard]] bool validate_steps() const { return validate_; }
 
+    // --- lane state save/restore -------------------------------------------
+    /// Writes one lane's complete dynamic state into `out` (same layout
+    /// as rc_network::save_state over the shared topology), overwriting
+    /// its contents.
+    void save_lane_state(std::size_t lane, rc_state& out) const;
+
+    /// Restores a state (saved from any lane of a same-topology batch,
+    /// or from a scalar rc_network) into one lane.  Only conductances
+    /// and capacities that actually change dirty the lane's cached
+    /// diagonal/stable-dt, so reloading a lane at its current operating
+    /// point is cache-neutral.
+    void load_lane_state(std::size_t lane, const rc_state& state);
+
 private:
     static constexpr bool default_validate() {
 #ifdef NDEBUG

@@ -107,6 +107,30 @@ void rc_network::set_temperatures(const std::vector<double>& temps) {
     temps_ = temps;
 }
 
+void rc_network::save_state(rc_state& out) const {
+    out.temps.assign(temps_.begin(), temps_.end());
+    out.powers.assign(powers_.begin(), powers_.end());
+    out.edge_g.resize(edges_.size());
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+        out.edge_g[e] = edges_[e].conductance;
+    }
+    out.ambient_c = ambient_;
+}
+
+void rc_network::restore_state(const rc_state& state) {
+    util::ensure(state.temps.size() == temps_.size() && state.powers.size() == powers_.size() &&
+                     state.edge_g.size() == edges_.size(),
+                 "rc_network::restore_state: state does not match topology");
+    set_temperatures(state.temps);
+    for (std::size_t i = 0; i < powers_.size(); ++i) {
+        set_power(node_id{i}, util::watts_t{state.powers[i]});
+    }
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+        set_conductance(edge_id{e}, state.edge_g[e]);
+    }
+    set_ambient(util::celsius_t{state.ambient_c});
+}
+
 void rc_network::adopt_temperatures(std::vector<double>& temps) {
     util::ensure(temps.size() == temps_.size(), "rc_network::adopt_temperatures: size mismatch");
     temps_.swap(temps);

@@ -37,6 +37,21 @@ struct edge_id {
     friend bool operator!=(edge_id a, edge_id b) { return !(a == b); }
 };
 
+/// Complete dynamic state of one thermal plant over a fixed topology:
+/// node temperatures and power injections (node order), edge
+/// conductances (insertion order), and the ambient temperature.  The
+/// unit of the save/restore API shared by rc_network (scalar) and
+/// rc_batch (one lane) — a state saved from either side restores into
+/// the other bitwise, which is what lets a rollout engine clone a live
+/// plant across candidate lanes.  Reusable: save_state overwrites in
+/// place, so a scratch rc_state amortizes to zero allocations.
+struct rc_state {
+    std::vector<double> temps;   ///< Node temperatures [degC], node order.
+    std::vector<double> powers;  ///< Node power injections [W], node order.
+    std::vector<double> edge_g;  ///< Edge conductances [W/K], insertion order.
+    double ambient_c = 0.0;      ///< Ambient temperature [degC].
+};
+
 /// Lumped thermal network with mutable conductances and power injections.
 class rc_network {
 public:
@@ -160,6 +175,18 @@ public:
     /// Monotonically increasing revision counter bumped whenever topology
     /// or a conductance changes; solvers use it to invalidate caches.
     [[nodiscard]] std::uint64_t structure_revision() const { return revision_; }
+
+    // --- state save/restore ------------------------------------------------
+    /// Writes the complete dynamic state (temperatures, powers, edge
+    /// conductances, ambient) into `out`, overwriting its contents.
+    void save_state(rc_state& out) const;
+
+    /// Restores a state previously saved from this network (or from an
+    /// rc_batch lane over the same topology).  Vector sizes must match
+    /// the topology.  Only conductances that actually change bump the
+    /// structure revision, so restoring a state captured at the current
+    /// conductances leaves the assembly cache intact.
+    void restore_state(const rc_state& state);
 
     // --- batch entry points (structure-of-arrays lanes) --------------------
     //

@@ -80,6 +80,15 @@ public:
     /// Resets all node temperatures to ambient (cold start).
     void reset();
 
+    /// Saves / restores the underlying network's dynamic state (node
+    /// temperatures and powers, edge conductances, ambient).  The heat
+    /// inputs (set_cpu_heat / set_dimm_heat / set_other_heat) and zone
+    /// airflow remain the caller's per-step responsibility, exactly as
+    /// in normal stepping — the simulator reapplies both before the
+    /// first step after a restore.
+    void save_state(rc_state& out) const { net_.save_state(out); }
+    void restore_state(const rc_state& state) { net_.restore_state(state); }
+
     // Inline: the telemetry channels, leakage model, and trace recorder
     // read these every simulation step.
     [[nodiscard]] util::celsius_t cpu_die_temp(std::size_t s) const {

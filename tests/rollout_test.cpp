@@ -1,0 +1,337 @@
+// Receding-horizon rollout controller: degenerate equivalence (H=0 /
+// K=1 is bitwise the wrapped controller), decision determinism (same
+// state + candidates => same decision, on any thread count), guard
+// semantics, and MPC fleets through run_controlled_batch.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/bang_bang_controller.hpp"
+#include "core/controller_runtime.hpp"
+#include "core/rollout_controller.hpp"
+#include "sim/metrics.hpp"
+#include "sim/parallel_runner.hpp"
+#include "sim/rollout_engine.hpp"
+#include "sim/server_batch.hpp"
+#include "sim/server_simulator.hpp"
+#include "util/error.hpp"
+#include "workload/paper_tests.hpp"
+#include "workload/profile.hpp"
+
+namespace {
+
+using namespace ltsc;
+using namespace ltsc::util::literals;
+
+// A 20-minute workout with both sudden and gradual changes; long enough
+// for dozens of decision epochs, short enough for sanitizer runs.
+workload::utilization_profile short_profile() {
+    workload::utilization_profile p("rollout-short");
+    p.idle(120_s).constant(80.0, 300_s).constant(30.0, 240_s).ramp(30.0, 100.0, 240_s)
+        .constant(100.0, 180_s).idle(120_s);
+    return p;
+}
+
+void expect_traces_identical(const sim::trace_view& a, const sim::trace_view& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t c = 0; c < sim::trace_channel_count; ++c) {
+        SCOPED_TRACE(sim::trace_channel_name(static_cast<sim::trace_channel>(c)));
+        const util::column_view ca = a.channel(static_cast<sim::trace_channel>(c));
+        const util::column_view cb = b.channel(static_cast<sim::trace_channel>(c));
+        for (std::size_t j = 0; j < ca.size(); ++j) {
+            ASSERT_EQ(ca.t(j), cb.t(j)) << "time diverged at row " << j;
+            ASSERT_EQ(ca.v(j), cb.v(j)) << "value diverged at row " << j;
+        }
+    }
+}
+
+void expect_metrics_identical(const sim::run_metrics& a, const sim::run_metrics& b) {
+    EXPECT_EQ(a.energy_kwh, b.energy_kwh);
+    EXPECT_EQ(a.peak_power_w, b.peak_power_w);
+    EXPECT_EQ(a.max_temp_c, b.max_temp_c);
+    EXPECT_EQ(a.fan_changes, b.fan_changes);
+    EXPECT_EQ(a.avg_rpm, b.avg_rpm);
+    EXPECT_EQ(a.avg_cpu_temp_c, b.avg_cpu_temp_c);
+}
+
+TEST(Rollout, ZeroHorizonIsBitwiseTheWrappedController) {
+    const auto profile = short_profile();
+    sim::server_simulator s_base;
+    sim::server_simulator s_roll;
+    core::bang_bang_controller bang;
+    core::rollout_controller_config cfg;
+    cfg.horizon = 0_s;  // degenerate: never rolls out
+    core::rollout_controller roll(std::make_unique<core::bang_bang_controller>(), cfg);
+
+    const auto m_base = core::run_controlled(s_base, bang, profile);
+    const auto m_roll = core::run_controlled(s_roll, roll, profile);
+    expect_traces_identical(s_base.trace(), s_roll.trace());
+    expect_metrics_identical(m_base, m_roll);
+    EXPECT_EQ(m_roll.controller_name, "Rollout(Bang)");
+}
+
+TEST(Rollout, SingleCandidateIsBitwiseTheWrappedController) {
+    const auto profile = short_profile();
+    sim::server_simulator s_base;
+    sim::server_simulator s_roll;
+    core::bang_bang_controller bang;
+    core::rollout_controller_config cfg;
+    cfg.horizon = 120_s;
+    cfg.lattice_radius = 0;    // K = 1: the only candidate is the
+    cfg.include_hold = false;  // baseline's own proposal
+    core::rollout_controller roll(std::make_unique<core::bang_bang_controller>(), cfg);
+
+    const auto m_base = core::run_controlled(s_base, bang, profile);
+    const auto m_roll = core::run_controlled(s_roll, roll, profile);
+    expect_traces_identical(s_base.trace(), s_roll.trace());
+    expect_metrics_identical(m_base, m_roll);
+}
+
+TEST(Rollout, UnattachedControllerFallsBackToBaseline) {
+    core::rollout_controller roll(std::make_unique<core::bang_bang_controller>());
+    core::bang_bang_controller bang;
+    core::controller_inputs in;
+    in.max_cpu_temp = 78_degC;  // band: step up
+    in.current_rpm = 2400_rpm;
+    EXPECT_EQ(roll.decide(in), bang.decide(in));
+    EXPECT_EQ(roll.polling_period().value(), bang.polling_period().value());
+    EXPECT_EQ(roll.name(), "Rollout(Bang)");
+}
+
+TEST(Rollout, ControlledRunsAreBitwiseRepeatable) {
+    const auto profile = short_profile();
+    sim::run_metrics m[2];
+    sim::server_simulator s0;
+    sim::server_simulator s1;
+    sim::server_simulator* sims[2] = {&s0, &s1};
+    for (int r = 0; r < 2; ++r) {
+        core::rollout_controller roll(std::make_unique<core::bang_bang_controller>());
+        m[r] = core::run_controlled(*sims[r], roll, profile);
+    }
+    expect_traces_identical(s0.trace(), s1.trace());
+    expect_metrics_identical(m[0], m[1]);
+}
+
+TEST(Rollout, EvaluationIsAPureFunctionOfStateAndCandidates) {
+    const auto profile = short_profile();
+    sim::server_simulator s;
+    s.bind_workload(profile);
+    s.force_cold_start();
+    s.advance(400_s);
+    const sim::server_state snap = s.snapshot_state();
+
+    const std::vector<sim::fan_schedule> candidates = {
+        {{2400_rpm}}, {{1800_rpm}}, {{3600_rpm, 3000_rpm}}};
+    sim::rollout_options opt;
+    opt.horizon = 90_s;
+    opt.epoch = 30_s;
+
+    sim::rollout_engine e1(s.config(), 4);
+    sim::rollout_engine e2(s.config(), 4);
+    e1.bind_workload(*s.workload());
+    e2.bind_workload(*s.workload());
+    const sim::rollout_result r1 = e1.evaluate(snap, candidates, opt);
+    const sim::rollout_result r2 = e1.evaluate(snap, candidates, opt);  // same engine again
+    const sim::rollout_result r3 = e2.evaluate(snap, candidates, opt);  // fresh engine
+    ASSERT_EQ(r1.scores.size(), 3U);
+    for (const sim::rollout_result* r : {&r2, &r3}) {
+        EXPECT_EQ(r1.best, r->best);
+        for (std::size_t i = 0; i < r1.scores.size(); ++i) {
+            EXPECT_EQ(r1.scores[i].score_j, r->scores[i].score_j);
+            EXPECT_EQ(r1.scores[i].energy_j, r->scores[i].energy_j);
+            EXPECT_EQ(r1.scores[i].peak_temp_c, r->scores[i].peak_temp_c);
+            EXPECT_EQ(r1.scores[i].steps, r->scores[i].steps);
+            EXPECT_EQ(r1.scores[i].guarded, r->scores[i].guarded);
+        }
+    }
+    // And the probed plant was never perturbed: its state still equals
+    // the snapshot.
+    const sim::server_state after = s.snapshot_state();
+    EXPECT_EQ(after.thermal.temps, snap.thermal.temps);
+    EXPECT_EQ(after.now_s, snap.now_s);
+}
+
+TEST(Rollout, PrefersCheaperCandidateWhenGuardIsSafe) {
+    workload::utilization_profile idle("idle");
+    idle.idle(3600_s);
+    sim::server_simulator s;
+    s.bind_workload(idle);
+    s.force_cold_start();
+    s.set_all_fans(4200_rpm);
+    s.advance(120_s);
+
+    sim::rollout_engine engine(s.config(), 2);
+    engine.bind_workload(*s.workload());
+    sim::rollout_options opt;
+    opt.horizon = 120_s;
+    opt.epoch = 30_s;
+    const std::vector<sim::fan_schedule> candidates = {{{4200_rpm}}, {{1800_rpm}}};
+    const sim::rollout_result r = engine.evaluate(s.snapshot_state(), candidates, opt);
+    EXPECT_EQ(r.best, 1U);  // idle machine: slow fans win on energy
+    EXPECT_FALSE(r.scores[0].guarded);
+    EXPECT_FALSE(r.scores[1].guarded);
+    EXPECT_LT(r.scores[1].energy_j, r.scores[0].energy_j);
+}
+
+TEST(Rollout, GuardTerminatesHotCandidatesEarlyAndPenalizesThem) {
+    workload::utilization_profile hot("hot");
+    hot.constant(100.0, 3600_s);
+    sim::server_simulator s;
+    s.bind_workload(hot);
+    s.force_cold_start();
+    s.set_all_fans(3600_rpm);
+    s.advance(600_s);
+
+    sim::rollout_engine engine(s.config(), 2);
+    engine.bind_workload(*s.workload());
+    sim::rollout_options opt;
+    opt.horizon = 600_s;
+    opt.epoch = 60_s;
+    // At 100% load, minimum fans push the dies well past 70 degC while
+    // maximum fans hold them under it.
+    opt.guard_temp_c = 70.0;
+    const std::vector<sim::fan_schedule> candidates = {{{1800_rpm}}, {{4200_rpm}}};
+    const sim::rollout_result r = engine.evaluate(s.snapshot_state(), candidates, opt);
+    EXPECT_TRUE(r.scores[0].guarded);
+    EXPECT_LT(r.scores[0].steps, 600);  // terminated before the horizon
+    EXPECT_FALSE(r.scores[1].guarded);
+    EXPECT_EQ(r.scores[1].steps, 600);
+    EXPECT_EQ(r.best, 1U);  // penalty dominates the fan-power difference
+    EXPECT_GT(r.scores[0].score_j, r.scores[1].score_j);
+    EXPECT_GT(r.scores[0].score_j, opt.guard_penalty_j);
+}
+
+TEST(Rollout, TiesBreakToTheLowestCandidateIndex) {
+    workload::utilization_profile idle("idle");
+    idle.idle(1200_s);
+    sim::server_simulator s;
+    s.bind_workload(idle);
+    s.force_cold_start();
+    s.advance(60_s);
+    sim::rollout_engine engine(s.config(), 2);
+    engine.bind_workload(*s.workload());
+    sim::rollout_options opt;
+    opt.horizon = 60_s;
+    const std::vector<sim::fan_schedule> twins = {{{2400_rpm}}, {{2400_rpm}}};
+    const sim::rollout_result r = engine.evaluate(s.snapshot_state(), twins, opt);
+    EXPECT_EQ(r.scores[0].score_j, r.scores[1].score_j);
+    EXPECT_EQ(r.best, 0U);
+}
+
+TEST(Rollout, EngineRejectsBadInputs) {
+    sim::server_simulator s;
+    workload::utilization_profile idle("idle");
+    idle.idle(600_s);
+    s.bind_workload(idle);
+    s.force_cold_start();
+    const sim::server_state snap = s.snapshot_state();
+    sim::rollout_engine engine(s.config(), 2);
+    sim::rollout_options opt;
+
+    // No workload bound yet.
+    EXPECT_THROW(static_cast<void>(engine.evaluate(snap, {{{2400_rpm}}}, opt)),
+                 util::precondition_error);
+    engine.bind_workload(*s.workload());
+    // Empty candidate set / over budget / empty schedule / bad knobs.
+    EXPECT_THROW(static_cast<void>(engine.evaluate(snap, {}, opt)), util::precondition_error);
+    EXPECT_THROW(static_cast<void>(
+                     engine.evaluate(snap, {{{2400_rpm}}, {{2400_rpm}}, {{2400_rpm}}}, opt)),
+                 util::precondition_error);
+    EXPECT_THROW(static_cast<void>(engine.evaluate(snap, {sim::fan_schedule{}}, opt)),
+                 util::precondition_error);
+    opt.horizon = 0_s;
+    EXPECT_THROW(static_cast<void>(engine.evaluate(snap, {{{2400_rpm}}}, opt)),
+                 util::precondition_error);
+}
+
+TEST(Rollout, FleetOfRolloutControllersMatchesScalarRuns) {
+    // Two MPC-controlled lanes through run_controlled_batch must be
+    // bitwise what two independent scalar MPC runs produce: the lane
+    // plant_access windows and per-lane engines cannot cross-talk.
+    const auto p1 = short_profile();
+    auto p2 = workload::utilization_profile("rollout-short-2");
+    p2.constant(60.0, 600_s).constant(15.0, 300_s).constant(95.0, 300_s);
+
+    const auto make = [] {
+        core::rollout_controller_config cfg;
+        cfg.horizon = 60_s;
+        cfg.lattice_radius = 1;
+        return std::make_unique<core::rollout_controller>(
+            std::make_unique<core::bang_bang_controller>(), cfg);
+    };
+
+    sim::server_batch batch(sim::paper_server(), 2);
+    const auto c0 = make();
+    const auto c1 = make();
+    const auto fleet = core::run_controlled_batch(batch, {c0.get(), c1.get()}, {p1, p2});
+
+    sim::server_simulator s1;
+    sim::server_simulator s2;
+    const auto r1 = core::run_controlled(s1, *make(), p1);
+    const auto r2 = core::run_controlled(s2, *make(), p2);
+    expect_traces_identical(batch.trace(0), s1.trace());
+    expect_traces_identical(batch.trace(1), s2.trace());
+    expect_metrics_identical(fleet[0], r1);
+    expect_metrics_identical(fleet[1], r2);
+}
+
+TEST(Rollout, ParallelRunnerIsThreadCountInvariant) {
+    const auto run = [](std::size_t threads) {
+        sim::parallel_runner runner(threads);
+        return runner.map<sim::run_metrics>(4, [](std::size_t i) {
+            workload::utilization_profile p("cell");
+            p.constant(20.0 * static_cast<double>(i + 1), 600_s).idle(120_s);
+            sim::server_simulator s;
+            core::rollout_controller_config cfg;
+            cfg.horizon = 60_s;
+            cfg.lattice_radius = 1;
+            core::rollout_controller roll(std::make_unique<core::bang_bang_controller>(), cfg);
+            return core::run_controlled(s, roll, p);
+        });
+    };
+    const auto serial = run(1);
+    const auto threaded = run(4);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        expect_metrics_identical(serial[i], threaded[i]);
+    }
+}
+
+TEST(Rollout, CommitsTheFirstMoveOfTheWinningSchedule) {
+    const auto profile = short_profile();
+    sim::server_simulator s;
+    core::rollout_controller_config cfg;
+    cfg.horizon = 90_s;
+    cfg.lattice_radius = 2;
+    core::rollout_controller roll(std::make_unique<core::bang_bang_controller>(), cfg);
+    static_cast<void>(core::run_controlled(s, roll, profile));
+    // After a run with rollouts enabled, the last decision's scores are
+    // exposed and the winner is inside the candidate set.
+    const sim::rollout_result& last = roll.last_rollout();
+    ASSERT_FALSE(last.scores.empty());
+    EXPECT_LT(last.best, last.scores.size());
+}
+
+TEST(Rollout, UserCandidateGeneratorExtendsTheLattice) {
+    const auto profile = short_profile();
+    sim::server_simulator s;
+    core::rollout_controller_config cfg;
+    cfg.horizon = 60_s;
+    cfg.lattice_radius = 0;
+    cfg.include_hold = false;
+    bool called = false;
+    core::rollout_controller roll(
+        std::make_unique<core::bang_bang_controller>(), cfg,
+        [&called](const core::controller_inputs&, std::optional<util::rpm_t>,
+                  std::vector<sim::fan_schedule>& out) {
+            called = true;
+            out.push_back({{1800_rpm, 2400_rpm}});  // a two-move schedule
+        });
+    static_cast<void>(core::run_controlled(s, roll, profile));
+    EXPECT_TRUE(called);
+    ASSERT_FALSE(roll.last_rollout().scores.empty());
+    EXPECT_EQ(roll.last_rollout().scores.size(), 2U);
+}
+
+}  // namespace

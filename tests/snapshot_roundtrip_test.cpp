@@ -1,0 +1,289 @@
+// Snapshot/restore round trips: a server_state saved from a live plant
+// and restored — into the same scalar simulator, a fresh one, or a
+// server_batch lane — must continue stepping bitwise-identically to the
+// source.  This contract is what makes rollout predictions exact and is
+// the foundation under core::rollout_controller.
+#include <gtest/gtest.h>
+
+#include "sim/server_batch.hpp"
+#include "sim/server_simulator.hpp"
+#include "sim/server_state.hpp"
+#include "thermal/rc_batch.hpp"
+#include "thermal/rc_network.hpp"
+#include "thermal/transient_solver.hpp"
+#include "util/error.hpp"
+#include "workload/paper_tests.hpp"
+#include "workload/profile.hpp"
+
+namespace {
+
+using namespace ltsc;
+using namespace ltsc::util::literals;
+
+// A workload with load swings and PWM structure so the snapshot lands
+// mid-transient, mid-PWM-period, and mid-telemetry-interval.
+workload::utilization_profile busy_profile() {
+    workload::utilization_profile p("snapshot");
+    p.constant(70.0, 300_s).constant(20.0, 300_s).ramp(20.0, 90.0, 300_s).constant(90.0, 300_s);
+    return p;
+}
+
+// Drives the plant through a deterministic schedule with a mid-stream
+// fan change and ambient nudge, exercising every snapshotted subsystem.
+template <typename StepFn, typename FanFn, typename AmbientFn>
+void drive(int steps, int t0, StepFn step, FanFn set_fans, AmbientFn set_ambient) {
+    for (int k = 0; k < steps; ++k) {
+        const int t = t0 + k;
+        if (t == 120) {
+            set_fans(util::rpm_t{2400.0});
+        }
+        if (t == 260) {
+            set_ambient(util::celsius_t{27.0});
+        }
+        if (t == 470) {
+            set_fans(util::rpm_t{3000.0});
+        }
+        step();
+    }
+}
+
+void expect_rows_identical(const sim::trace_view& a, std::size_t a_offset,
+                           const sim::trace_view& b) {
+    ASSERT_EQ(a.size(), a_offset + b.size());
+    for (std::size_t c = 0; c < sim::trace_channel_count; ++c) {
+        SCOPED_TRACE(sim::trace_channel_name(static_cast<sim::trace_channel>(c)));
+        const util::column_view ca = a.channel(static_cast<sim::trace_channel>(c));
+        const util::column_view cb = b.channel(static_cast<sim::trace_channel>(c));
+        for (std::size_t j = 0; j < cb.size(); ++j) {
+            ASSERT_EQ(ca.t(a_offset + j), cb.t(j)) << "time diverged at row " << j;
+            ASSERT_EQ(ca.v(a_offset + j), cb.v(j)) << "value diverged at row " << j;
+        }
+    }
+}
+
+TEST(SnapshotRoundtrip, ScalarRestoreResumesBitwise) {
+    const auto profile = busy_profile();
+    sim::server_simulator a;
+    a.bind_workload(profile);
+    a.force_cold_start();
+    a.set_all_fans(3300_rpm);
+
+    const auto step_a = [&] { a.step(1_s); };
+    const auto fans_a = [&](util::rpm_t r) { a.set_all_fans(r); };
+    const auto amb_a = [&](util::celsius_t t) { a.set_ambient(t); };
+    drive(400, 0, step_a, fans_a, amb_a);
+
+    const sim::server_state snap = a.snapshot_state();
+    EXPECT_EQ(snap.now_s, 400.0);
+
+    drive(300, 400, step_a, fans_a, amb_a);
+
+    sim::server_simulator b;
+    b.bind_workload(profile);
+    b.restore_state(snap);
+    EXPECT_EQ(b.now().value(), 400.0);
+    EXPECT_EQ(b.fan_change_count(), snap.fan_changes);
+    const auto step_b = [&] { b.step(1_s); };
+    const auto fans_b = [&](util::rpm_t r) { b.set_all_fans(r); };
+    const auto amb_b = [&](util::celsius_t t) { b.set_ambient(t); };
+    drive(300, 400, step_b, fans_b, amb_b);
+
+    // The restored plant's fresh trace must equal the source's tail
+    // bitwise — including the sensor-noise channel (RNG stream) and the
+    // telemetry-poll cadence baked into max_sensor_temp.
+    expect_rows_identical(a.trace(), 400, b.trace());
+    for (std::size_t s = 0; s < 2; ++s) {
+        EXPECT_EQ(a.true_cpu_temp(s).value(), b.true_cpu_temp(s).value());
+    }
+    EXPECT_EQ(a.true_dimm_temp().value(), b.true_dimm_temp().value());
+    EXPECT_EQ(a.system_power_reading().value(), b.system_power_reading().value());
+    EXPECT_EQ(a.max_cpu_sensor_temp().value(), b.max_cpu_sensor_temp().value());
+    EXPECT_EQ(a.measured_utilization(240_s), b.measured_utilization(240_s));
+    EXPECT_EQ(a.fan_change_count(), b.fan_change_count());
+}
+
+TEST(SnapshotRoundtrip, SnapshotIsPureRead) {
+    const auto profile = busy_profile();
+    sim::server_simulator plain;
+    sim::server_simulator probed;
+    for (sim::server_simulator* s : {&plain, &probed}) {
+        s->bind_workload(profile);
+        s->force_cold_start();
+        s->set_all_fans(3300_rpm);
+    }
+    sim::server_state scratch;
+    for (int k = 0; k < 300; ++k) {
+        plain.step(1_s);
+        probed.snapshot_state(scratch);  // every step: must not perturb
+        probed.step(1_s);
+    }
+    expect_rows_identical(plain.trace(), 0, probed.trace());
+}
+
+TEST(SnapshotRoundtrip, ScalarSnapshotLoadsIntoBatchLane) {
+    const auto profile = busy_profile();
+    sim::server_simulator a;
+    a.bind_workload(profile);
+    a.force_cold_start();
+    a.set_all_fans(3300_rpm);
+    const auto step_a = [&] { a.step(1_s); };
+    const auto fans_a = [&](util::rpm_t r) { a.set_all_fans(r); };
+    const auto amb_a = [&](util::celsius_t t) { a.set_ambient(t); };
+    drive(400, 0, step_a, fans_a, amb_a);
+    const sim::server_state snap = a.snapshot_state();
+    drive(300, 400, step_a, fans_a, amb_a);
+
+    // Clone into the middle lane of a running fleet; neighbours keep
+    // their own (cold-started) trajectories.
+    sim::server_batch batch(sim::paper_server(), 3);
+    for (std::size_t l = 0; l < 3; ++l) {
+        batch.bind_workload(l, profile);
+    }
+    batch.force_cold_start();
+    batch.set_lane_active(1, false);  // load must reactivate
+    batch.load_lane_state(1, snap);
+    EXPECT_TRUE(batch.lane_active(1));
+    EXPECT_EQ(batch.now(1).value(), 400.0);
+
+    const auto step_b = [&] { batch.step(1_s); };
+    const auto fans_b = [&](util::rpm_t r) { batch.set_all_fans(1, r); };
+    const auto amb_b = [&](util::celsius_t t) { batch.set_ambient(1, t); };
+    drive(300, 400, step_b, fans_b, amb_b);
+
+    expect_rows_identical(a.trace(), 400, batch.trace(1));
+    for (std::size_t s = 0; s < 2; ++s) {
+        EXPECT_EQ(a.true_cpu_temp(s).value(), batch.true_cpu_temp(1, s).value());
+    }
+    EXPECT_EQ(a.max_cpu_sensor_temp().value(), batch.max_cpu_sensor_temp(1).value());
+    EXPECT_EQ(a.fan_change_count(), batch.fan_change_count(1));
+}
+
+TEST(SnapshotRoundtrip, BatchLaneSnapshotLoadsIntoScalar) {
+    const auto profile = busy_profile();
+    sim::server_batch batch(sim::paper_server(), 2);
+    for (std::size_t l = 0; l < 2; ++l) {
+        batch.bind_workload(l, profile);
+    }
+    batch.force_cold_start();
+    batch.set_all_fans(0, 3300_rpm);
+    batch.set_all_fans(1, 2400_rpm);  // lane 1 diverges from lane 0
+    for (int k = 0; k < 350; ++k) {
+        batch.step(1_s);
+    }
+    sim::server_state snap;
+    batch.snapshot_lane_state(1, snap);
+
+    sim::server_simulator scalar;
+    scalar.bind_workload(profile);
+    scalar.restore_state(snap);
+    for (int k = 0; k < 200; ++k) {
+        batch.step(1_s);
+        scalar.step(1_s);
+    }
+    expect_rows_identical(batch.trace(1), 350, scalar.trace());
+    EXPECT_EQ(batch.true_avg_cpu_temp(1).value(), scalar.true_avg_cpu_temp().value());
+    EXPECT_EQ(batch.system_power_reading(1).value(), scalar.system_power_reading().value());
+}
+
+TEST(SnapshotRoundtrip, RcNetworkSaveRestoreRoundTrip) {
+    const auto build = [] {
+        thermal::rc_network net(24_degC);
+        const auto n0 = net.add_node("hot", 50.0);
+        const auto n1 = net.add_node("sink", 400.0);
+        net.add_edge(n0, n1, 8.0);
+        net.add_ambient_edge(n1, 3.0);
+        net.set_power(n0, 120_W);
+        return net;
+    };
+    thermal::rc_network a = build();
+    thermal::transient_solver solver_a(thermal::integration_scheme::rk4);
+    for (int k = 0; k < 50; ++k) {
+        solver_a.step(a, 1_s);
+    }
+    a.set_conductance(thermal::edge_id{1}, 4.5);
+    a.set_power(thermal::node_id{0}, 95_W);
+
+    thermal::rc_state st;
+    a.save_state(st);
+
+    thermal::rc_network b = build();
+    b.restore_state(st);
+    for (std::size_t i = 0; i < a.node_count(); ++i) {
+        EXPECT_EQ(a.temperature(thermal::node_id{i}).value(),
+                  b.temperature(thermal::node_id{i}).value());
+        EXPECT_EQ(a.power(thermal::node_id{i}).value(), b.power(thermal::node_id{i}).value());
+    }
+    EXPECT_EQ(a.conductance(thermal::edge_id{0}), b.conductance(thermal::edge_id{0}));
+    EXPECT_EQ(a.conductance(thermal::edge_id{1}), b.conductance(thermal::edge_id{1}));
+    EXPECT_EQ(a.ambient().value(), b.ambient().value());
+
+    thermal::transient_solver solver_b(thermal::integration_scheme::rk4);
+    for (int k = 0; k < 50; ++k) {
+        solver_a.step(a, 1_s);
+        solver_b.step(b, 1_s);
+    }
+    for (std::size_t i = 0; i < a.node_count(); ++i) {
+        EXPECT_EQ(a.temperature(thermal::node_id{i}).value(),
+                  b.temperature(thermal::node_id{i}).value());
+    }
+}
+
+TEST(SnapshotRoundtrip, RcStateMovesBetweenNetworkAndBatchLane) {
+    thermal::rc_network proto(24_degC);
+    const auto n0 = proto.add_node("hot", 50.0);
+    const auto n1 = proto.add_node("sink", 400.0);
+    proto.add_edge(n0, n1, 8.0);
+    proto.add_ambient_edge(n1, 3.0);
+
+    thermal::rc_network scalar = proto;
+    scalar.set_power(n0, 120_W);
+    thermal::transient_solver solver(thermal::integration_scheme::rk4);
+    for (int k = 0; k < 40; ++k) {
+        solver.step(scalar, 1_s);
+    }
+    thermal::rc_state st;
+    scalar.save_state(st);
+
+    thermal::rc_batch batch(proto, 3);
+    batch.load_lane_state(2, st);
+    for (std::size_t i = 0; i < proto.node_count(); ++i) {
+        EXPECT_EQ(scalar.temperature(thermal::node_id{i}).value(),
+                  batch.temperature(thermal::node_id{i}, 2).value());
+    }
+    for (int k = 0; k < 40; ++k) {
+        solver.step(scalar, 1_s);
+        batch.step(1_s);
+    }
+    for (std::size_t i = 0; i < proto.node_count(); ++i) {
+        EXPECT_EQ(scalar.temperature(thermal::node_id{i}).value(),
+                  batch.temperature(thermal::node_id{i}, 2).value());
+    }
+
+    // And back out: the lane's saved state matches the scalar's.
+    thermal::rc_state back;
+    batch.save_lane_state(2, back);
+    thermal::rc_state scalar_now;
+    scalar.save_state(scalar_now);
+    EXPECT_EQ(back.temps, scalar_now.temps);
+    EXPECT_EQ(back.powers, scalar_now.powers);
+    EXPECT_EQ(back.edge_g, scalar_now.edge_g);
+    EXPECT_EQ(back.ambient_c, scalar_now.ambient_c);
+}
+
+TEST(SnapshotRoundtrip, ShapeMismatchesAreRejected) {
+    sim::server_simulator s;
+    sim::server_state snap = s.snapshot_state();
+    snap.fan_rpm.push_back(3000.0);
+    EXPECT_THROW(s.restore_state(snap), util::precondition_error);
+    snap = s.snapshot_state();
+    snap.thermal.temps.pop_back();
+    EXPECT_THROW(s.restore_state(snap), util::precondition_error);
+
+    sim::server_batch batch(sim::paper_server(), 1);
+    snap = s.snapshot_state();
+    snap.sensor_reads.clear();
+    EXPECT_THROW(batch.load_lane_state(0, snap), util::precondition_error);
+    EXPECT_THROW(batch.load_lane_state(7, s.snapshot_state()), util::precondition_error);
+}
+
+}  // namespace
