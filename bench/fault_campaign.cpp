@@ -1,0 +1,89 @@
+// Chaos sweep over randomized fault campaigns.
+//
+//   $ ./fault_campaign [campaigns] [base_seed]
+//
+// Runs `campaigns` seeded random fault campaigns (default 100, seeds
+// base_seed..base_seed+campaigns-1) through sim::run_fault_campaign —
+// each a healthy/faulted twin pair under Failsafe(Bang) — across
+// parallel_runner's worker pool (LTSC_THREADS honored), and reports per
+// campaign the schedule size, fault mix, max true die temperature of
+// both twins, and the energy regret.  Exits nonzero if any campaign
+// violates the calibrated invariants (thermal envelope, bounded energy
+// regret) — the CI chaos gate.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/fault_campaign.hpp"
+#include "sim/parallel_runner.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace ltsc;
+
+long arg_or(int argc, char** argv, int index, long fallback) {
+    if (argc <= index) {
+        return fallback;
+    }
+    char* end = nullptr;
+    const long v = std::strtol(argv[index], &end, 10);
+    if (end == argv[index] || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "fault_campaign: bad argument '%s'\n", argv[index]);
+        std::exit(2);
+    }
+    return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    util::set_log_level(util::log_level::warn);
+    const long campaigns = arg_or(argc, argv, 1, 100);
+    const long base_seed = arg_or(argc, argv, 2, 1);
+
+    sim::parallel_runner runner(sim::parallel_runner::threads_from_env());
+    std::printf("# chaos sweep: %ld campaigns, seeds %ld..%ld, %zu threads\n", campaigns,
+                base_seed, base_seed + campaigns - 1, runner.thread_count());
+    const std::vector<sim::fault_campaign_result> results =
+        runner.map<sim::fault_campaign_result>(
+            static_cast<std::size_t>(campaigns), [&](std::size_t i) {
+                return sim::run_fault_campaign(
+                    static_cast<std::uint64_t>(base_seed + static_cast<long>(i)));
+            });
+
+    const sim::fault_campaign_limits limits;
+    std::printf("%8s %7s %9s %14s %14s %12s %s\n", "seed", "events", "fan_fault",
+                "healthy_max_C", "faulted_max_C", "energy_ratio", "verdict");
+    long violations = 0;
+    double worst_no_fan = 0.0;
+    double worst_fan = 0.0;
+    double worst_ratio = 0.0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const sim::fault_campaign_result& r = results[i];
+        const auto violation = sim::campaign_violation(r, limits);
+        if (violation.has_value()) {
+            ++violations;
+        }
+        (r.fan_fault ? worst_fan : worst_no_fan) =
+            std::max(r.fan_fault ? worst_fan : worst_no_fan, r.faulted_max_die_c);
+        worst_ratio = std::max(worst_ratio, r.energy_ratio);
+        std::printf("%8ld %7zu %9s %14.3f %14.3f %12.4f %s\n",
+                    base_seed + static_cast<long>(i), r.schedule.size(),
+                    r.fan_fault ? "yes" : "no", r.healthy_max_die_c, r.faulted_max_die_c,
+                    r.energy_ratio, violation.has_value() ? violation->c_str() : "ok");
+    }
+    std::printf("# worst max die temp: %.3f degC (no fan fault, cap %.1f), "
+                "%.3f degC (fan fault, cap %.1f)\n",
+                worst_no_fan, limits.envelope_c, worst_fan, limits.fan_fault_envelope_c);
+    std::printf("# worst energy ratio: %.4f (cap %.2f)\n", worst_ratio, limits.max_energy_ratio);
+    if (violations > 0) {
+        std::printf("# FAIL: %ld of %ld campaigns violated the invariants\n", violations,
+                    campaigns);
+        return 1;
+    }
+    std::printf("# OK: all %ld campaigns inside the envelope\n", campaigns);
+    return 0;
+}

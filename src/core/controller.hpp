@@ -21,6 +21,7 @@
 namespace ltsc::sim {
 struct server_state;
 struct server_config;
+class fault_schedule;
 }  // namespace ltsc::sim
 
 namespace ltsc::workload {
@@ -47,6 +48,14 @@ public:
 
     /// The bound workload — the rollout's load preview — or nullptr.
     [[nodiscard]] virtual const workload::loadgen* plant_workload() const = 0;
+
+    /// The plant's bound fault campaign, or nullptr when healthy.  Like
+    /// the workload preview, a predictive controller binds it to its
+    /// rollout lanes so the lookahead replays the scheduled faults the
+    /// committed trajectory will hit.
+    [[nodiscard]] virtual const sim::fault_schedule* plant_fault_schedule() const {
+        return nullptr;
+    }
 };
 
 /// Observations available to a controller at a decision instant.
@@ -56,6 +65,11 @@ struct controller_inputs {
     util::celsius_t max_cpu_temp{0.0};   ///< Max CPU sensor reading (CSTH).
     util::rpm_t current_rpm{0.0};        ///< Currently commanded speed (mean).
     util::watts_t system_power{0.0};     ///< Wall power reading (CSTH).
+    /// Age of the newest CSTH poll behind the sensor readings [s]
+    /// (+infinity before the first poll).  Healthy runs see at most one
+    /// poll period; under telemetry loss it grows without bound — the
+    /// failsafe controller's staleness trigger.
+    double sensor_age_s = 0.0;
 
     // Per-zone observability (the extension surface for differential
     // control; single-speed controllers ignore these).

@@ -23,6 +23,7 @@ void poll_and_actuate(Plant& plant, fan_controller& controller, const runtime_co
     in.max_cpu_temp = plant.max_cpu_sensor_temp();
     in.current_rpm = plant.average_fan_rpm();
     in.system_power = plant.system_power_reading();
+    in.sensor_age_s = plant.telemetry_age_s();
     const std::vector<double> sensors = plant.cpu_sensor_temps();
     for (std::size_t s = 0; s < 2; ++s) {
         in.socket_util_pct[s] = plant.measured_socket_utilization(s, config.util_window);
@@ -89,6 +90,7 @@ struct lane_view {
     [[nodiscard]] double measured_socket_utilization(std::size_t s, util::seconds_t w) const {
         return batch.measured_socket_utilization(lane, s, w);
     }
+    [[nodiscard]] double telemetry_age_s() const { return batch.telemetry_age_s(lane); }
     [[nodiscard]] const sim::server_config& config() const { return batch.config(lane); }
     [[nodiscard]] util::rpm_t fan_speed(std::size_t z) const { return batch.fan_speed(lane, z); }
     void set_all_fans(util::rpm_t rpm) { batch.set_all_fans(lane, rpm); }

@@ -32,6 +32,9 @@ public:
     [[nodiscard]] const workload::loadgen* plant_workload() const override {
         return sim_->workload();
     }
+    [[nodiscard]] const sim::fault_schedule* plant_fault_schedule() const override {
+        return sim_->bound_fault_schedule();
+    }
 
 private:
     const sim::server_simulator* sim_;
@@ -52,6 +55,9 @@ public:
     }
     [[nodiscard]] const workload::loadgen* plant_workload() const override {
         return batch_->workload(lane_);
+    }
+    [[nodiscard]] const sim::fault_schedule* plant_fault_schedule() const override {
+        return batch_->bound_fault_schedule(lane_);
     }
 
 private:

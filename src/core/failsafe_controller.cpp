@@ -1,0 +1,44 @@
+#include "core/failsafe_controller.hpp"
+
+#include "util/error.hpp"
+
+namespace ltsc::core {
+
+failsafe_controller::failsafe_controller(std::unique_ptr<fan_controller> baseline,
+                                         const failsafe_config& config)
+    : baseline_(std::move(baseline)), config_(config) {
+    util::ensure(baseline_ != nullptr, "failsafe_controller: null baseline");
+    util::ensure(config_.stale_after_s > 0.0,
+                 "failsafe_controller: non-positive staleness budget");
+    util::ensure(config_.failsafe_rpm.value() > 0.0,
+                 "failsafe_controller: non-positive failsafe speed");
+}
+
+util::seconds_t failsafe_controller::polling_period() const {
+    return baseline_->polling_period();
+}
+
+std::string failsafe_controller::name() const { return "Failsafe(" + baseline_->name() + ")"; }
+
+void failsafe_controller::reset() {
+    baseline_->reset();
+    engaged_ = false;
+}
+
+void failsafe_controller::attach_plant(const plant_access* plant) {
+    baseline_->attach_plant(plant);
+}
+
+std::optional<util::rpm_t> failsafe_controller::decide(const controller_inputs& in) {
+    // The baseline always sees the observations (stale or not) so its
+    // internal state tracks the run; only its command is overridden.
+    const std::optional<util::rpm_t> baseline_cmd = baseline_->decide(in);
+    if (in.sensor_age_s > config_.stale_after_s) {
+        engaged_ = true;
+        return config_.failsafe_rpm;
+    }
+    engaged_ = false;
+    return baseline_cmd;
+}
+
+}  // namespace ltsc::core

@@ -1,0 +1,72 @@
+// Sensor-loss failsafe wrapper: fall back to maximum fans when the
+// telemetry behind the observations goes stale.
+//
+// Every policy in this repo steers off CSTH sensor readings.  When the
+// poller dies (telemetry_loss faults), those readings freeze while the
+// plant keeps heating — a controller trusting them can idle the fans
+// through a thermal excursion it cannot see.  The paper's DLC-PC answer
+// (and every production BMC's) is a watchdog: if the newest poll behind
+// the observations is older than a staleness budget, stop optimizing
+// and command maximum cooling until data returns.
+//
+// This wrapper implements that watchdog around any baseline policy.
+// The baseline is consulted on every decision whether or not the
+// failsafe overrides it, so its internal state (hold timers,
+// integrators) evolves exactly as it would alone and control hands back
+// seamlessly when telemetry recovers.  With fresh telemetry the wrapper
+// is transparent: decisions are bitwise the baseline's.
+//
+// Scope: wraps the single-speed decide() surface (like
+// rollout_controller); the default zone adapter replicates the failsafe
+// speed across pairs.
+//
+// Known limitation, tested in FaultInjection.NegativeBiasDefeatsTheGuard:
+// staleness catches *absent* data, not *lying* data.  A sensor stuck low
+// or biased cold looks fresh and healthy, so no sensor-driven policy —
+// failsafe, bang-bang guard, or rollout — can react to the excursion it
+// hides.  The chaos sweep therefore asserts the thermal envelope only
+// while every die keeps at least one truthful sensor.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/controller.hpp"
+
+namespace ltsc::core {
+
+/// Tunables of the sensor-loss failsafe.
+struct failsafe_config {
+    /// Staleness budget: override when the newest poll is older than
+    /// this.  The default is 2.5 CSTH periods — one missed poll is
+    /// scheduling jitter, two is an outage.
+    double stale_after_s = 25.0;
+    /// Speed commanded while engaged (maximum cooling).
+    util::rpm_t failsafe_rpm{4200.0};
+};
+
+/// Failsafe wrapper around any baseline fan controller.
+class failsafe_controller final : public fan_controller {
+public:
+    explicit failsafe_controller(std::unique_ptr<fan_controller> baseline,
+                                 const failsafe_config& config = {});
+
+    [[nodiscard]] util::seconds_t polling_period() const override;
+    [[nodiscard]] std::optional<util::rpm_t> decide(const controller_inputs& in) override;
+    [[nodiscard]] std::string name() const override;
+    void reset() override;
+    void attach_plant(const plant_access* plant) override;
+
+    [[nodiscard]] const failsafe_config& config() const { return config_; }
+    [[nodiscard]] const fan_controller& baseline() const { return *baseline_; }
+    /// Whether the last decision was a failsafe override.
+    [[nodiscard]] bool engaged() const { return engaged_; }
+
+private:
+    std::unique_ptr<fan_controller> baseline_;
+    failsafe_config config_;
+    bool engaged_ = false;
+};
+
+}  // namespace ltsc::core

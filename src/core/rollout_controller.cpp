@@ -33,6 +33,7 @@ std::string rollout_controller::name() const { return "Rollout(" + baseline_->na
 void rollout_controller::reset() {
     baseline_->reset();
     bound_from_ = nullptr;
+    fault_sync_valid_ = false;
     last_ = sim::rollout_result{};
 }
 
@@ -42,6 +43,7 @@ void rollout_controller::attach_plant(const plant_access* plant) {
     }
     plant_ = plant;
     bound_from_ = nullptr;
+    fault_sync_valid_ = false;
     // The engine models the plant it was built from, so attaching a
     // different window discards it — reusing one controller across
     // differently-calibrated plants can never silently predict with the
@@ -106,6 +108,18 @@ std::optional<util::rpm_t> rollout_controller::decide(const controller_inputs& i
         return baseline_cmd;  // K = 1: the only candidate is the baseline's
     }
 
+    plant_->snapshot_into(snapshot_);
+    // Degrade under an active fault: a dead fan pair, a faulted sensor,
+    // or a telemetry outage means the optimization's energy margin is
+    // noise against the survival problem at hand — hand the decision to
+    // the wrapped reactive baseline (hardened by its own guard band /
+    // failsafe wrapper) until the plant is whole again.  *Scheduled*
+    // future faults are a different matter: those the rollout previews
+    // faithfully through the fault-campaign binding below.
+    if (snapshot_.fault.any_active(in.now.value())) {
+        return baseline_cmd;
+    }
+
     if (engine_ == nullptr) {
         engine_ = std::make_unique<sim::rollout_engine>(plant_->plant_config(),
                                                         config_.max_candidates);
@@ -114,7 +128,16 @@ std::optional<util::rpm_t> rollout_controller::decide(const controller_inputs& i
         engine_->bind_workload(*workload);
         bound_from_ = workload;
     }
-    plant_->snapshot_into(snapshot_);
+    const sim::fault_schedule* faults = plant_->plant_fault_schedule();
+    if (!fault_sync_valid_ || fault_bound_from_ != faults) {
+        if (faults != nullptr) {
+            engine_->bind_fault_schedule(*faults);
+        } else {
+            engine_->clear_fault_schedule();
+        }
+        fault_bound_from_ = faults;
+        fault_sync_valid_ = true;
+    }
 
     sim::rollout_options options;
     options.horizon = config_.horizon;

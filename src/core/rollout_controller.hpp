@@ -26,6 +26,14 @@
 // bitwise-identical to running the wrapped controller directly.  A
 // rollout decision is a pure function of (plant state, candidate set):
 // rollouts run on engine-owned lanes and never perturb the live plant.
+//
+// Fault handling, pinned by the fault-injection suite: while the plant
+// reports an *active* fault (dead fan pair, faulted sensor, telemetry
+// outage) the controller degrades to the wrapped baseline — survival
+// beats optimization until the plant is whole.  *Scheduled* future
+// faults are previewed: the plant's bound fault campaign is installed
+// on the rollout lanes, so the lookahead replays the faults the
+// committed trajectory will hit.
 #pragma once
 
 #include <functional>
@@ -98,6 +106,11 @@ private:
     const plant_access* plant_ = nullptr;
     std::unique_ptr<sim::rollout_engine> engine_;
     const workload::loadgen* bound_from_ = nullptr;
+    // Fault-campaign sync: which schedule (possibly nullptr = healthy)
+    // the engine lanes currently carry.  A separate validity flag keeps
+    // "synced to no campaign" distinct from "never synced".
+    const sim::fault_schedule* fault_bound_from_ = nullptr;
+    bool fault_sync_valid_ = false;
 
     // Per-decision scratch, reused so deciding does not allocate.
     sim::server_state snapshot_;

@@ -53,7 +53,7 @@ util::watts_t tabulated_fan_model::power(util::rpm_t rpm) const {
 }
 
 fan_bank::fan_bank(std::size_t pair_count, const fan_spec& spec, util::rpm_t initial)
-    : pair_(spec), speeds_(pair_count, util::rpm_t{0.0}) {
+    : pair_(spec), speeds_(pair_count, util::rpm_t{0.0}), failed_(pair_count, 0) {
     util::ensure(pair_count >= 1, "fan_bank: need at least one fan pair");
     set_all(initial);
 }
@@ -75,26 +75,61 @@ util::rpm_t fan_bank::speed(std::size_t pair_index) const {
     return speeds_[pair_index];
 }
 
+void fan_bank::set_failed(std::size_t pair_index, bool failed) {
+    util::ensure(pair_index < failed_.size(), "fan_bank::set_failed: pair index out of range");
+    failed_[pair_index] = failed ? 1 : 0;
+}
+
+bool fan_bank::failed(std::size_t pair_index) const {
+    util::ensure(pair_index < failed_.size(), "fan_bank::failed: pair index out of range");
+    return failed_[pair_index] != 0;
+}
+
+bool fan_bank::any_failed() const {
+    for (unsigned char f : failed_) {
+        if (f != 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+util::rpm_t fan_bank::effective_speed(std::size_t pair_index) const {
+    util::ensure(pair_index < speeds_.size(),
+                 "fan_bank::effective_speed: pair index out of range");
+    return failed_[pair_index] != 0 ? util::rpm_t{0.0} : speeds_[pair_index];
+}
+
+util::watts_t fan_bank::pair_power(std::size_t pair_index) const {
+    util::ensure(pair_index < speeds_.size(), "fan_bank::pair_power: pair index out of range");
+    return failed_[pair_index] != 0 ? util::watts_t{0.0} : pair_.power(speeds_[pair_index]);
+}
+
+util::cfm_t fan_bank::pair_airflow(std::size_t pair_index) const {
+    util::ensure(pair_index < speeds_.size(), "fan_bank::pair_airflow: pair index out of range");
+    return failed_[pair_index] != 0 ? util::cfm_t{0.0} : pair_.airflow(speeds_[pair_index]);
+}
+
 util::rpm_t fan_bank::average_speed() const {
     double acc = 0.0;
-    for (util::rpm_t s : speeds_) {
-        acc += s.value();
+    for (std::size_t i = 0; i < speeds_.size(); ++i) {
+        acc += effective_speed(i).value();
     }
     return util::rpm_t{acc / static_cast<double>(speeds_.size())};
 }
 
 util::watts_t fan_bank::total_power() const {
     util::watts_t acc{0.0};
-    for (util::rpm_t s : speeds_) {
-        acc += pair_.power(s);
+    for (std::size_t i = 0; i < speeds_.size(); ++i) {
+        acc += pair_power(i);
     }
     return acc;
 }
 
 util::cfm_t fan_bank::total_airflow() const {
     util::cfm_t acc{0.0};
-    for (util::rpm_t s : speeds_) {
-        acc += pair_.airflow(s);
+    for (std::size_t i = 0; i < speeds_.size(); ++i) {
+        acc += pair_airflow(i);
     }
     return acc;
 }

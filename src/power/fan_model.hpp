@@ -70,6 +70,16 @@ private:
 };
 
 /// The server's bank of 3 independently controllable fan pairs.
+///
+/// Each pair carries a failure flag (fault injection): a failed pair's
+/// rotor is stopped, so its *effective* speed, power, and airflow are
+/// zero while its commanded speed stays latched.  `speed()` always
+/// reports the commanded value — that is what snapshots must carry so a
+/// restore never re-clamps a stopped rotor — while `effective_speed()`
+/// and the aggregate queries report what the chassis physically does.
+/// With every flag clear (the default) the two surfaces coincide
+/// bitwise, which is what keeps healthy-plant runs pinned to the
+/// pre-fault goldens.
 class fan_bank {
 public:
     /// Builds a bank of `pair_count` identical pairs, all initially at
@@ -87,16 +97,32 @@ public:
     /// Commands all pairs to the same speed.
     void set_all(util::rpm_t rpm);
 
-    /// Current speed of one pair.
+    /// Commanded speed of one pair (unaffected by failure flags).
     [[nodiscard]] util::rpm_t speed(std::size_t pair_index) const;
 
-    /// Mean speed across pairs (the "Avg RPM" column of Table I).
+    /// Marks one pair (un)failed; the commanded speed is untouched.
+    void set_failed(std::size_t pair_index, bool failed);
+    [[nodiscard]] bool failed(std::size_t pair_index) const;
+    [[nodiscard]] bool any_failed() const;
+
+    /// Physical rotor speed: the commanded speed, or 0 when failed (what
+    /// a tachometer on the pair would read).
+    [[nodiscard]] util::rpm_t effective_speed(std::size_t pair_index) const;
+
+    /// Electrical power of one pair: 0 when failed.
+    [[nodiscard]] util::watts_t pair_power(std::size_t pair_index) const;
+
+    /// Airflow of one pair: 0 when failed.
+    [[nodiscard]] util::cfm_t pair_airflow(std::size_t pair_index) const;
+
+    /// Mean *effective* speed across pairs (the "Avg RPM" column of
+    /// Table I; a failed pair contributes 0).
     [[nodiscard]] util::rpm_t average_speed() const;
 
-    /// Total electrical power of the bank.
+    /// Total electrical power of the bank (failed pairs draw nothing).
     [[nodiscard]] util::watts_t total_power() const;
 
-    /// Total airflow through the chassis.
+    /// Total airflow through the chassis (failed pairs move nothing).
     [[nodiscard]] util::cfm_t total_airflow() const;
 
     [[nodiscard]] const fan_pair& pair() const { return pair_; }
@@ -104,6 +130,7 @@ public:
 private:
     fan_pair pair_;
     std::vector<util::rpm_t> speeds_;
+    std::vector<unsigned char> failed_;
 };
 
 /// The discrete RPM settings explored in the paper's characterization

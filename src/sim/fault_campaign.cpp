@@ -1,0 +1,99 @@
+#include "sim/fault_campaign.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "core/bang_bang_controller.hpp"
+#include "core/controller_runtime.hpp"
+#include "sim/server_simulator.hpp"
+#include "util/error.hpp"
+#include "workload/profile.hpp"
+
+namespace ltsc::sim {
+
+namespace {
+
+/// The sweep's workload: a 30/90 % square wave (150 s half-period) that
+/// keeps crossing the bang-bang band, so faults land on heating flanks,
+/// cooling flanks, and steady plateaus alike.
+workload::utilization_profile sweep_profile(double duration_s) {
+    workload::utilization_profile profile("FaultSweep");
+    const double cycle_s = 300.0;
+    const int cycles = static_cast<int>(duration_s / cycle_s);
+    if (cycles > 0) {
+        profile.square(90.0, 30.0, util::seconds_t{cycle_s / 2.0}, cycles);
+    }
+    const double remainder = duration_s - cycles * cycle_s;
+    if (remainder > 1e-9) {
+        profile.constant(90.0, util::seconds_t{remainder});
+    }
+    return profile;
+}
+
+/// One leg of the twin pair: fresh plant, fresh Failsafe(Bang), optional
+/// campaign bound, full run.  Returns the Table-I row plus the maximum
+/// *true* die temperature over the trace (the envelope is judged on
+/// physics, not on the possibly faulted sensors).
+std::pair<run_metrics, double> run_leg(const fault_campaign_options& options,
+                                       const fault_schedule* campaign, const char* label) {
+    server_config config;  // paper plant
+    config.seed = options.plant_seed;
+    server_simulator sim(config);
+    if (campaign != nullptr) {
+        sim.bind_fault_schedule(*campaign);
+    }
+    core::failsafe_controller controller(std::make_unique<core::bang_bang_controller>(),
+                                         options.failsafe);
+    const workload::utilization_profile profile = sweep_profile(options.duration_s);
+    run_metrics metrics = core::run_controlled(sim, controller, profile);
+    metrics.controller_name = label;
+    const trace_view trace = sim.trace().view();
+    const double max_die = std::max(trace.cpu0_temp().max(), trace.cpu1_temp().max());
+    return {std::move(metrics), max_die};
+}
+
+}  // namespace
+
+fault_campaign_result run_fault_campaign(std::uint64_t campaign_seed,
+                                         const fault_campaign_options& options) {
+    util::ensure(options.duration_s > 0.0, "run_fault_campaign: non-positive duration");
+    fault_campaign_config generator = options.faults;
+    generator.duration_s = options.duration_s;
+
+    fault_campaign_result result;
+    result.schedule = make_random_campaign(campaign_seed, generator);
+    for (const fault_event& event : result.schedule.events()) {
+        result.fan_fault = result.fan_fault || event.kind == fault_kind::fan_failure ||
+                           event.kind == fault_kind::fan_stuck_pwm;
+    }
+
+    std::tie(result.healthy, result.healthy_max_die_c) = run_leg(options, nullptr, "Healthy");
+    std::tie(result.faulted, result.faulted_max_die_c) =
+        run_leg(options, &result.schedule, "Faulted");
+    util::ensure(result.healthy.energy_kwh > 0.0, "run_fault_campaign: zero healthy energy");
+    result.energy_ratio = result.faulted.energy_kwh / result.healthy.energy_kwh;
+    return result;
+}
+
+std::optional<std::string> campaign_violation(const fault_campaign_result& result,
+                                              const fault_campaign_limits& limits) {
+    const double envelope =
+        result.fan_fault ? limits.fan_fault_envelope_c : limits.envelope_c;
+    std::ostringstream msg;
+    if (result.faulted_max_die_c > envelope) {
+        msg << "thermal envelope exceeded: max true die temp " << result.faulted_max_die_c
+            << " degC > " << envelope << " degC ("
+            << (result.fan_fault ? "fan-fault" : "no-fan-fault") << " cap)";
+        return msg.str();
+    }
+    if (result.energy_ratio > limits.max_energy_ratio) {
+        msg << "energy regret exceeded: faulted/healthy ratio " << result.energy_ratio << " > "
+            << limits.max_energy_ratio;
+        return msg.str();
+    }
+    return std::nullopt;
+}
+
+}  // namespace ltsc::sim

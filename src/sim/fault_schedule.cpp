@@ -1,0 +1,264 @@
+#include "sim/fault_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ltsc::sim {
+
+namespace {
+
+// Dedicated stream constant for campaign generation, distinct from the
+// plants' sensor-noise stream so a campaign seed can never correlate
+// with a plant seed.
+constexpr std::uint64_t k_campaign_stream = 0x9e3779b97f4a7c15ULL;
+
+bool takes_nan_value(fault_kind kind) {
+    return kind == fault_kind::fan_stuck_pwm || kind == fault_kind::sensor_stuck;
+}
+
+bool is_fan_kind(fault_kind kind) {
+    return kind == fault_kind::fan_failure || kind == fault_kind::fan_stuck_pwm ||
+           kind == fault_kind::fan_recover;
+}
+
+bool is_sensor_kind(fault_kind kind) {
+    return kind == fault_kind::sensor_stuck || kind == fault_kind::sensor_bias ||
+           kind == fault_kind::sensor_dropout || kind == fault_kind::sensor_recover;
+}
+
+}  // namespace
+
+const char* to_string(fault_kind kind) {
+    switch (kind) {
+        case fault_kind::fan_failure: return "fan_failure";
+        case fault_kind::fan_stuck_pwm: return "fan_stuck_pwm";
+        case fault_kind::fan_recover: return "fan_recover";
+        case fault_kind::sensor_stuck: return "sensor_stuck";
+        case fault_kind::sensor_bias: return "sensor_bias";
+        case fault_kind::sensor_dropout: return "sensor_dropout";
+        case fault_kind::sensor_recover: return "sensor_recover";
+        case fault_kind::telemetry_loss: return "telemetry_loss";
+    }
+    return "unknown";
+}
+
+fault_schedule::fault_schedule(std::vector<fault_event> events) : events_(std::move(events)) {
+    for (const fault_event& e : events_) {
+        util::ensure(std::isfinite(e.t_s) && e.t_s >= 0.0,
+                     "fault_schedule: event time must be finite and non-negative");
+        util::ensure(std::isfinite(e.duration_s) && e.duration_s >= 0.0,
+                     "fault_schedule: event duration must be finite and non-negative");
+        util::ensure(std::isfinite(e.value) || takes_nan_value(e.kind),
+                     "fault_schedule: non-finite event value (NaN is only the "
+                     "'at current' convention for the stuck kinds)");
+    }
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const fault_event& a, const fault_event& b) { return a.t_s < b.t_s; });
+}
+
+std::size_t fault_schedule::max_fan_target() const {
+    std::size_t out = 0;
+    for (const fault_event& e : events_) {
+        if (is_fan_kind(e.kind)) {
+            out = std::max(out, e.target);
+        }
+    }
+    return out;
+}
+
+std::size_t fault_schedule::max_sensor_target() const {
+    std::size_t out = 0;
+    for (const fault_event& e : events_) {
+        if (is_sensor_kind(e.kind)) {
+            out = std::max(out, e.target);
+        }
+    }
+    return out;
+}
+
+fault_schedule make_random_campaign(std::uint64_t seed, const fault_campaign_config& config) {
+    util::ensure(config.duration_s > 0.0, "make_random_campaign: non-positive duration");
+    util::ensure(config.fan_pairs >= 1, "make_random_campaign: need at least one fan pair");
+    util::ensure(config.cpu_sensors >= 1, "make_random_campaign: need at least one sensor");
+    util::ensure(config.max_faults >= 1, "make_random_campaign: need at least one fault");
+    util::ensure(config.min_fan_outage_s > 0.0 &&
+                     config.max_fan_outage_s >= config.min_fan_outage_s,
+                 "make_random_campaign: bad fan outage bounds");
+    util::ensure(config.max_sensor_outage_s > 0.0,
+                 "make_random_campaign: bad sensor outage bound");
+    util::ensure(config.max_telemetry_loss_s > 0.0,
+                 "make_random_campaign: bad telemetry loss bound");
+    util::ensure(config.max_bias_c >= 0.0, "make_random_campaign: negative bias bound");
+    util::ensure(config.max_concurrent_fan_faults >= 1 &&
+                     config.max_concurrent_fan_faults < config.fan_pairs,
+                 "make_random_campaign: concurrent fan faults must leave a healthy pair");
+    util::ensure(config.allow_fan_faults || config.allow_sensor_faults ||
+                     config.allow_telemetry_loss,
+                 "make_random_campaign: every fault class disabled");
+
+    util::pcg32 rng(seed, k_campaign_stream);
+    std::vector<fault_event> events;
+
+    // Walk onsets forward so the generator never has to back-patch: an
+    // effect's busy-until window is known the moment it is drawn, and
+    // eligibility at each later onset is a plain comparison.
+    std::vector<double> fan_busy_until(config.fan_pairs, 0.0);
+    std::vector<double> sensor_busy_until(config.cpu_sensors, 0.0);
+    double telemetry_busy_until = 0.0;
+
+    const double mean_gap = config.duration_s / static_cast<double>(config.max_faults + 1);
+    double t = 0.0;
+    for (std::size_t i = 0; i < config.max_faults; ++i) {
+        t += rng.uniform(0.5 * mean_gap, 1.5 * mean_gap);
+        if (t >= config.duration_s) {
+            break;
+        }
+
+        // Class selection draws run unconditionally so the stream layout
+        // stays simple; an ineligible class just skips this onset.
+        const double class_draw = rng.next_double();
+        const double sub_draw = rng.next_double();
+        const std::size_t target_draw = rng.next_u32();
+        const double span_draw = rng.next_double();
+        const double value_draw = rng.next_double();
+
+        double weight_fan = config.allow_fan_faults ? 1.0 : 0.0;
+        double weight_sensor = config.allow_sensor_faults ? 1.0 : 0.0;
+        double weight_tel = config.allow_telemetry_loss ? 1.0 : 0.0;
+        const double total = weight_fan + weight_sensor + weight_tel;
+        const double pick = class_draw * total;
+
+        if (pick < weight_fan) {
+            std::size_t active = 0;
+            std::vector<std::size_t> eligible;
+            for (std::size_t p = 0; p < config.fan_pairs; ++p) {
+                if (fan_busy_until[p] > t) {
+                    ++active;
+                } else {
+                    eligible.push_back(p);
+                }
+            }
+            if (eligible.empty() || active >= config.max_concurrent_fan_faults) {
+                continue;
+            }
+            const std::size_t pair = eligible[target_draw % eligible.size()];
+            const double outage =
+                config.min_fan_outage_s +
+                span_draw * (config.max_fan_outage_s - config.min_fan_outage_s);
+            fault_event onset;
+            onset.t_s = t;
+            onset.target = pair;
+            if (sub_draw < 0.5) {
+                onset.kind = fault_kind::fan_failure;
+            } else {
+                onset.kind = fault_kind::fan_stuck_pwm;
+                onset.value = std::numeric_limits<double>::quiet_NaN();  // stick at current
+            }
+            events.push_back(onset);
+            const double recover_at = t + outage;
+            if (recover_at < config.duration_s) {
+                events.push_back({recover_at, fault_kind::fan_recover, pair, 0.0, 0.0});
+                fan_busy_until[pair] = recover_at;
+            } else {
+                fan_busy_until[pair] = config.duration_s;  // persists to the end
+            }
+        } else if (pick < weight_fan + weight_sensor) {
+            // A die's sensors are 2s and 2s+1: faulting one requires its
+            // partner healthy so every die keeps a truthful reading.
+            std::vector<std::size_t> eligible;
+            for (std::size_t s = 0; s < config.cpu_sensors; ++s) {
+                const std::size_t partner = s ^ 1U;
+                const bool partner_busy =
+                    partner < config.cpu_sensors && sensor_busy_until[partner] > t;
+                if (sensor_busy_until[s] <= t && !partner_busy) {
+                    eligible.push_back(s);
+                }
+            }
+            if (eligible.empty()) {
+                continue;
+            }
+            const std::size_t sensor = eligible[target_draw % eligible.size()];
+            const double span = 10.0 + span_draw * (config.max_sensor_outage_s - 10.0);
+            fault_event onset;
+            onset.t_s = t;
+            onset.target = sensor;
+            bool needs_recover = true;
+            if (sub_draw < 1.0 / 3.0) {
+                onset.kind = fault_kind::sensor_stuck;
+                onset.value = std::numeric_limits<double>::quiet_NaN();  // freeze at current
+            } else if (sub_draw < 2.0 / 3.0) {
+                onset.kind = fault_kind::sensor_bias;
+                const double magnitude = value_draw * config.max_bias_c;
+                // sub_draw sits in [1/3, 2/3); its position inside that
+                // band doubles as the sign draw when negative bias is on.
+                const bool negative =
+                    config.allow_negative_bias && (sub_draw - 1.0 / 3.0) * 3.0 >= 0.5;
+                onset.value = negative ? -magnitude : magnitude;
+            } else {
+                onset.kind = fault_kind::sensor_dropout;
+                onset.duration_s = span;
+                needs_recover = false;  // dropout self-expires
+            }
+            events.push_back(onset);
+            const double recover_at = t + span;
+            if (needs_recover && recover_at < config.duration_s) {
+                events.push_back({recover_at, fault_kind::sensor_recover, sensor, 0.0, 0.0});
+                sensor_busy_until[sensor] = recover_at;
+            } else {
+                sensor_busy_until[sensor] = std::min(recover_at, config.duration_s);
+            }
+        } else {
+            if (telemetry_busy_until > t) {
+                continue;
+            }
+            const double span = 10.0 + span_draw * (config.max_telemetry_loss_s - 10.0);
+            events.push_back({t, fault_kind::telemetry_loss, 0, 0.0, span});
+            telemetry_busy_until = t + span;
+        }
+    }
+    return fault_schedule(std::move(events));
+}
+
+void fault_state::reset(std::size_t fan_pairs, std::size_t cpu_sensors) {
+    next_event = 0;
+    fan_mode.assign(fan_pairs, fan_ok);
+    fan_commanded_rpm.assign(fan_pairs, 0.0);
+    sensor_stuck.assign(cpu_sensors, 0);
+    sensor_stuck_c.assign(cpu_sensors, 0.0);
+    sensor_bias_c.assign(cpu_sensors, 0.0);
+    sensor_dropout_until_s.assign(cpu_sensors, 0.0);
+    telemetry_lost_until_s = 0.0;
+}
+
+bool fault_state::any_fan_fault() const {
+    for (unsigned char m : fan_mode) {
+        if (m != fan_ok) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool fault_state::sensor_faulted(std::size_t sensor, double now_s) const {
+    return sensor_stuck[sensor] != 0 || sensor_bias_c[sensor] != 0.0 ||
+           now_s < sensor_dropout_until_s[sensor] - 1e-9;
+}
+
+bool fault_state::any_sensor_fault(double now_s) const {
+    for (std::size_t s = 0; s < sensor_stuck.size(); ++s) {
+        if (sensor_faulted(s, now_s)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool fault_state::any_active(double now_s) const {
+    return any_fan_fault() || any_sensor_fault(now_s) || telemetry_lost(now_s);
+}
+
+}  // namespace ltsc::sim

@@ -1,9 +1,11 @@
 #include "sim/parallel_runner.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "sim/server_simulator.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace ltsc::sim {
 
@@ -13,11 +15,23 @@ std::size_t parallel_runner::thread_count() const { return pool_.thread_count();
 
 std::size_t parallel_runner::threads_from_env() {
     const char* env = std::getenv("LTSC_THREADS");
-    if (env == nullptr) {
+    if (env == nullptr || *env == '\0') {
         return 0;
     }
-    const long parsed = std::strtol(env, nullptr, 10);
-    return parsed > 0 ? static_cast<std::size_t>(parsed) : 0;
+    // strtol alone silently accepts trailing garbage ("4x" -> 4) and
+    // saturates on overflow with only errno to show for it; a malformed
+    // LTSC_THREADS must fall back to hardware concurrency loudly, not
+    // half-parse.
+    errno = 0;
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE || parsed < 0 || parsed > 4096) {
+        util::log_warn() << "LTSC_THREADS=\"" << env
+                         << "\" is not a thread count (expected an integer in [0, 4096]); "
+                            "using hardware concurrency";
+        return 0;
+    }
+    return static_cast<std::size_t>(parsed);
 }
 
 std::vector<run_metrics> parallel_runner::run(const std::vector<scenario>& scenarios) {

@@ -1,6 +1,7 @@
 #include "sim/rollout_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 
@@ -16,6 +17,18 @@ void rollout_engine::bind_workload(const workload::loadgen& workload) {
         batch_.bind_workload(l, workload);
     }
     workload_bound_ = true;
+}
+
+void rollout_engine::bind_fault_schedule(const fault_schedule& schedule) {
+    for (std::size_t l = 0; l < batch_.lane_count(); ++l) {
+        batch_.bind_fault_schedule(l, schedule);
+    }
+}
+
+void rollout_engine::clear_fault_schedule() {
+    for (std::size_t l = 0; l < batch_.lane_count(); ++l) {
+        batch_.clear_fault_schedule(l);
+    }
 }
 
 const rollout_result& rollout_engine::evaluate(const server_state& start,
@@ -47,14 +60,18 @@ const rollout_result& rollout_engine::evaluate(const server_state& start,
     const double dt = options.sim_dt.value();
     const double horizon = options.horizon.value();
     const double epoch = options.epoch.value();
-    // Same loop shape as run_controlled: step until the horizon has
-    // elapsed, applying the next schedule move at each epoch boundary.
-    double elapsed = 0.0;
-    double next_move_at = 0.0;
+    // Same loop shape as run_controlled, but scheduled on integer step
+    // counts: accumulating `elapsed += dt` drifts by an ulp per step, and
+    // over a long horizon the drifted comparison against the next epoch
+    // boundary can skip or double-apply a move.  Both the step budget and
+    // the move instants are derived from the step index instead, so move
+    // placement is exact for any horizon/epoch/dt combination.
+    const long total_steps = static_cast<long>(std::ceil(horizon / dt - 1e-9));
+    long next_move_step = 0;
     std::size_t move_idx = 0;
     std::size_t live = k;
-    while (elapsed < horizon - 1e-9 && live > 0) {
-        if (elapsed + 1e-9 >= next_move_at) {
+    for (long step = 0; step < total_steps && live > 0; ++step) {
+        if (step >= next_move_step) {
             for (std::size_t l = 0; l < k; ++l) {
                 if (out.scores[l].guarded) {
                     continue;
@@ -63,10 +80,10 @@ const rollout_result& rollout_engine::evaluate(const server_state& start,
                 batch_.set_all_fans(l, moves[std::min(move_idx, moves.size() - 1)]);
             }
             ++move_idx;
-            next_move_at += epoch;
+            next_move_step = static_cast<long>(
+                std::ceil(static_cast<double>(move_idx) * epoch / dt - 1e-9));
         }
         batch_.step(util::seconds_t{dt});
-        elapsed += dt;
         for (std::size_t l = 0; l < k; ++l) {
             candidate_score& sc = out.scores[l];
             if (sc.guarded) {

@@ -87,6 +87,15 @@ public:
     void bind_workload(const workload::loadgen& workload);
     [[nodiscard]] bool workload_bound() const { return workload_bound_; }
 
+    /// Installs the plant's fault campaign on every rollout lane, so the
+    /// lookahead replays the scheduled faults the committed trajectory
+    /// will hit (load_lane_state carries the plant's fault *state*; the
+    /// schedule supplies the *future* events past the snapshot instant).
+    /// Like the workload preview, the binding persists across
+    /// evaluations; clear_fault_schedule returns the lanes to healthy.
+    void bind_fault_schedule(const fault_schedule& schedule);
+    void clear_fault_schedule();
+
     /// Rolls every candidate out from `start` and scores it.  Requires
     /// 1 <= candidates.size() <= max_candidates(), a bound workload,
     /// and positive horizon/epoch/sim_dt.  Deterministic: same

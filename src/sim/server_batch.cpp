@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 
 #include "thermal/airflow.hpp"
@@ -84,6 +85,7 @@ void server_batch::init_lane(std::size_t lane, const server_config& config) {
         [this, lane] { return batch_.temperature(proto_.dimm_node(), lane); }, config.dimm_count,
         ln.rng, config.sensor_noise_sigma, config.sensor_quantum);
     ln.last_cpu_sensor_reads.assign(ln.sensors.cpu.size(), config.thermal.ambient_c);
+    ln.fault.reset(ln.fans.pair_count(), ln.sensors.cpu.size());
     register_telemetry(lane);
     apply_airflow(lane);
     apply_heat(lane, 0.0);
@@ -93,7 +95,10 @@ void server_batch::register_telemetry(std::size_t lane) {
     lane_state& ln = *lanes_[lane];
     for (std::size_t i = 0; i < ln.sensors.cpu.size(); ++i) {
         ln.telemetry.add_channel(ln.sensors.cpu[i].name(), "degC", [this, lane, i] {
-            const double v = lanes_[lane]->sensors.cpu[i].read().value();
+            // Mirror of the scalar channel: true read first (keeps the
+            // noise stream aligned), corruption between sensor and value.
+            const double raw = lanes_[lane]->sensors.cpu[i].read().value();
+            const double v = corrupt_sensor_reading(lane, i, raw);
             lanes_[lane]->last_cpu_sensor_reads[i] = v;
             return v;
         });
@@ -159,6 +164,10 @@ double server_batch::measured_socket_utilization(std::size_t lane, std::size_t s
 
 void server_batch::set_fan_speed(std::size_t lane, std::size_t pair_index, util::rpm_t rpm) {
     lane_state& ln = at(lane);
+    if (ln.fault.fan_mode[pair_index] != fault_state::fan_ok) {
+        ln.fault.fan_commanded_rpm[pair_index] = ln.fans.pair().clamp(rpm).value();
+        return;
+    }
     const util::rpm_t before = ln.fans.speed(pair_index);
     ln.fans.set_speed(pair_index, rpm);
     if (ln.fans.speed(pair_index).value() != before.value()) {
@@ -169,21 +178,40 @@ void server_batch::set_fan_speed(std::size_t lane, std::size_t pair_index, util:
 
 void server_batch::set_all_fans(std::size_t lane, util::rpm_t rpm) {
     lane_state& ln = at(lane);
-    const double target = ln.fans.pair().clamp(rpm).value();
-    bool changed = false;
-    for (std::size_t i = 0; i < ln.fans.pair_count() && !changed; ++i) {
-        changed = ln.fans.speed(i).value() != target;
-    }
-    if (!changed) {
+    if (!ln.fault.any_fan_fault()) {
+        const double target = ln.fans.pair().clamp(rpm).value();
+        bool changed = false;
+        for (std::size_t i = 0; i < ln.fans.pair_count() && !changed; ++i) {
+            changed = ln.fans.speed(i).value() != target;
+        }
+        if (!changed) {
+            return;
+        }
+        ln.fans.set_all(rpm);
+        ++ln.fan_changes;
+        apply_airflow(lane);
         return;
     }
-    ln.fans.set_all(rpm);
-    ++ln.fan_changes;
-    apply_airflow(lane);
+    const double target = ln.fans.pair().clamp(rpm).value();
+    bool changed = false;
+    for (std::size_t i = 0; i < ln.fans.pair_count(); ++i) {
+        if (ln.fault.fan_mode[i] != fault_state::fan_ok) {
+            ln.fault.fan_commanded_rpm[i] = target;
+            continue;
+        }
+        if (ln.fans.speed(i).value() != target) {
+            ln.fans.set_speed(i, rpm);
+            changed = true;
+        }
+    }
+    if (changed) {
+        ++ln.fan_changes;
+        apply_airflow(lane);
+    }
 }
 
 util::rpm_t server_batch::fan_speed(std::size_t lane, std::size_t pair_index) const {
-    return at(lane).fans.speed(pair_index);
+    return at(lane).fans.effective_speed(pair_index);
 }
 
 util::rpm_t server_batch::average_fan_rpm(std::size_t lane) const {
@@ -269,6 +297,7 @@ void server_batch::snapshot_lane_state(std::size_t lane, server_state& out) cons
     out.sensor_reads = ln.last_cpu_sensor_reads;
     out.telemetry_last_poll_s = ln.telemetry.last_poll_time();
     out.telemetry_polled = ln.telemetry.ever_polled();
+    out.fault = ln.fault;
 }
 
 void server_batch::load_lane_state(std::size_t lane, const server_state& state) {
@@ -277,12 +306,16 @@ void server_batch::load_lane_state(std::size_t lane, const server_state& state) 
                  "server_batch::load_lane_state: fan pair count mismatch");
     util::ensure(state.sensor_reads.size() == ln.last_cpu_sensor_reads.size(),
                  "server_batch::load_lane_state: sensor count mismatch");
+    util::ensure(state.fault.sized_for(ln.fans.pair_count(), ln.sensors.cpu.size()),
+                 "server_batch::load_lane_state: fault state shape mismatch");
     ln.now_s = state.now_s;
     ln.imbalance = state.imbalance;
     ln.fan_changes = state.fan_changes;
     ln.rng = state.rng;
+    ln.fault = state.fault;
     for (std::size_t i = 0; i < ln.fans.pair_count(); ++i) {
         ln.fans.set_speed(i, util::rpm_t{state.fan_rpm[i]});
+        ln.fans.set_failed(i, ln.fault.fan_mode[i] == fault_state::fan_failed);
     }
     // Recompute airflow-derived conductances/stream capacity from the
     // restored speeds (bitwise-identical to the snapshot's), then reload
@@ -334,7 +367,7 @@ void server_batch::apply_airflow(std::size_t lane) {
     util::ensure(ln.fans.pair_count() == ln.zone_airflow_cfm.size(),
                  "server_batch::apply_airflow: zone count mismatch");
     for (std::size_t i = 0; i < ln.fans.pair_count(); ++i) {
-        const double q = ln.fans.pair().airflow(ln.fans.speed(i)).value();
+        const double q = ln.fans.pair_airflow(i).value();
         util::ensure(q >= 0.0, "server_batch::apply_airflow: negative airflow");
         ln.zone_airflow_cfm[i] = q;
     }
@@ -414,6 +447,9 @@ void server_batch::step(util::seconds_t dt) {
             continue;
         }
         lane_state& ln = *lanes_[l];
+        if (ln.faults) {
+            apply_due_faults(l);
+        }
         u_target_scratch_[l] =
             ln.workload ? ln.workload->target_utilization(now(l)) : 0.0;
         u_inst_scratch_[l] =
@@ -429,6 +465,7 @@ void server_batch::step(util::seconds_t dt) {
         lane_state& ln = *lanes_[l];
         ln.now_s += dt.value();
         record(l, u_target_scratch_[l], u_inst_scratch_[l]);
+        ln.telemetry.set_poll_suppressed(ln.fault.telemetry_lost(ln.now_s));
         ln.telemetry.poll_due(now(l));
     }
 }
@@ -471,6 +508,7 @@ void server_batch::settle_to_steady_state(std::size_t lane) {
 
 void server_batch::force_cold_start(std::size_t lane) {
     lane_state& ln = at(lane);
+    clear_fault_effects(lane);
     ln.fans.set_all(ln.config.cold_start_fan_rpm);
     apply_airflow(lane);
     for (int i = 0; i < 12; ++i) {
@@ -542,5 +580,105 @@ void server_batch::clear_trace(std::size_t lane) {
 }
 
 const server_config& server_batch::config(std::size_t lane) const { return at(lane).config; }
+
+void server_batch::bind_fault_schedule(std::size_t lane, fault_schedule schedule) {
+    lane_state& ln = at(lane);
+    if (!schedule.empty()) {
+        util::ensure(schedule.max_fan_target() < ln.fans.pair_count(),
+                     "server_batch::bind_fault_schedule: fan target out of range");
+        util::ensure(schedule.max_sensor_target() < ln.sensors.cpu.size(),
+                     "server_batch::bind_fault_schedule: sensor target out of range");
+    }
+    ln.faults = std::move(schedule);
+    clear_fault_effects(lane);
+}
+
+void server_batch::clear_fault_schedule(std::size_t lane) {
+    at(lane).faults.reset();
+    clear_fault_effects(lane);
+}
+
+void server_batch::clear_fault_effects(std::size_t lane) {
+    lane_state& ln = *lanes_[lane];
+    ln.fault.reset(ln.fans.pair_count(), ln.sensors.cpu.size());
+    for (std::size_t i = 0; i < ln.fans.pair_count(); ++i) {
+        ln.fans.set_failed(i, false);
+    }
+    ln.telemetry.set_poll_suppressed(false);
+}
+
+double server_batch::telemetry_age_s(std::size_t lane) const {
+    const lane_state& ln = at(lane);
+    return ln.telemetry.ever_polled() ? ln.now_s - ln.telemetry.last_poll_time()
+                                      : std::numeric_limits<double>::infinity();
+}
+
+void server_batch::apply_due_faults(std::size_t lane) {
+    lane_state& ln = *lanes_[lane];
+    const std::vector<fault_event>& events = ln.faults->events();
+    while (ln.fault.next_event < events.size() &&
+           events[ln.fault.next_event].t_s <= ln.now_s + 1e-9) {
+        apply_fault_event(lane, events[ln.fault.next_event]);
+        ++ln.fault.next_event;
+    }
+}
+
+void server_batch::apply_fault_event(std::size_t lane, const fault_event& event) {
+    lane_state& ln = *lanes_[lane];
+    switch (event.kind) {
+        case fault_kind::fan_failure:
+            ln.fault.fan_commanded_rpm[event.target] = ln.fans.speed(event.target).value();
+            ln.fault.fan_mode[event.target] = fault_state::fan_failed;
+            ln.fans.set_failed(event.target, true);
+            apply_airflow(lane);
+            break;
+        case fault_kind::fan_stuck_pwm:
+            ln.fault.fan_commanded_rpm[event.target] = ln.fans.speed(event.target).value();
+            ln.fault.fan_mode[event.target] = fault_state::fan_stuck;
+            if (!std::isnan(event.value)) {
+                ln.fans.set_speed(event.target, util::rpm_t{event.value});
+                apply_airflow(lane);
+            }
+            break;
+        case fault_kind::fan_recover:
+            ln.fault.fan_mode[event.target] = fault_state::fan_ok;
+            ln.fans.set_failed(event.target, false);
+            ln.fans.set_speed(event.target,
+                              util::rpm_t{ln.fault.fan_commanded_rpm[event.target]});
+            apply_airflow(lane);
+            break;
+        case fault_kind::sensor_stuck:
+            ln.fault.sensor_stuck[event.target] = 1;
+            ln.fault.sensor_stuck_c[event.target] =
+                std::isnan(event.value) ? ln.last_cpu_sensor_reads[event.target] : event.value;
+            break;
+        case fault_kind::sensor_bias:
+            ln.fault.sensor_bias_c[event.target] = event.value;
+            break;
+        case fault_kind::sensor_dropout:
+            ln.fault.sensor_dropout_until_s[event.target] = event.t_s + event.duration_s;
+            break;
+        case fault_kind::sensor_recover:
+            ln.fault.sensor_stuck[event.target] = 0;
+            ln.fault.sensor_bias_c[event.target] = 0.0;
+            ln.fault.sensor_dropout_until_s[event.target] = 0.0;
+            break;
+        case fault_kind::telemetry_loss:
+            ln.fault.telemetry_lost_until_s = event.t_s + event.duration_s;
+            break;
+    }
+}
+
+double server_batch::corrupt_sensor_reading(std::size_t lane, std::size_t sensor,
+                                            double raw) const {
+    const lane_state& ln = *lanes_[lane];
+    if (ln.fault.sensor_stuck[sensor] != 0) {
+        return ln.fault.sensor_stuck_c[sensor];
+    }
+    if (ln.now_s < ln.fault.sensor_dropout_until_s[sensor] - 1e-9) {
+        return ln.last_cpu_sensor_reads[sensor];
+    }
+    return ln.fault.sensor_bias_c[sensor] == 0.0 ? raw : raw + ln.fault.sensor_bias_c[sensor];
+}
 
 }  // namespace ltsc::sim

@@ -27,6 +27,7 @@
 #include "power/leakage_model.hpp"
 #include "power/server_power_model.hpp"
 #include "sim/batch_trace.hpp"
+#include "sim/fault_schedule.hpp"
 #include "sim/server_config.hpp"
 #include "sim/server_simulator.hpp"
 #include "sim/server_state.hpp"
@@ -66,6 +67,20 @@ public:
     [[nodiscard]] double load_imbalance(std::size_t lane) const;
     [[nodiscard]] double measured_socket_utilization(std::size_t lane, std::size_t socket,
                                                      util::seconds_t window) const;
+
+    // --- fault injection (per lane; see server_simulator) -------------------
+    void bind_fault_schedule(std::size_t lane, fault_schedule schedule);
+    void clear_fault_schedule(std::size_t lane);
+    [[nodiscard]] const fault_schedule* bound_fault_schedule(std::size_t lane) const {
+        const auto& f = at(lane).faults;
+        return f ? &*f : nullptr;
+    }
+    [[nodiscard]] const fault_state& current_fault_state(std::size_t lane) const {
+        return at(lane).fault;
+    }
+
+    /// Age of the lane's last telemetry poll (+infinity before any).
+    [[nodiscard]] double telemetry_age_s(std::size_t lane) const;
 
     // --- control surface (per lane) ----------------------------------------
     void set_fan_speed(std::size_t lane, std::size_t pair_index, util::rpm_t rpm);
@@ -174,6 +189,9 @@ private:
         std::size_t fan_changes = 0;
         std::vector<double> last_cpu_sensor_reads;
 
+        std::optional<fault_schedule> faults;
+        fault_state fault;  ///< Always sized, so snapshots are always valid.
+
         // Mirror of server_thermal_model's per-plant scalar state; the
         // node/edge state itself lives in the shared rc_batch lanes.
         std::vector<double> zone_airflow_cfm;
@@ -185,6 +203,11 @@ private:
 
     void init_lane(std::size_t lane, const server_config& config);
     void register_telemetry(std::size_t lane);
+    void apply_due_faults(std::size_t lane);
+    void apply_fault_event(std::size_t lane, const fault_event& event);
+    void clear_fault_effects(std::size_t lane);
+    [[nodiscard]] double corrupt_sensor_reading(std::size_t lane, std::size_t sensor,
+                                                double raw) const;
     void apply_airflow(std::size_t lane);
     void update_conductances(std::size_t lane);
     void update_preheat(std::size_t lane);

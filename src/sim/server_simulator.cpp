@@ -20,6 +20,7 @@ server_simulator::server_simulator(const server_config& config)
           config.sensor_noise_sigma, config.sensor_quantum)),
       telemetry_(util::seconds_t{config.telemetry_period_s}) {
     last_cpu_sensor_reads_.assign(sensors_.cpu.size(), config.thermal.ambient_c);
+    fault_.reset(fans_.pair_count(), sensors_.cpu.size());
     register_telemetry();
     apply_airflow();
     apply_heat(0.0);
@@ -28,7 +29,11 @@ server_simulator::server_simulator(const server_config& config)
 void server_simulator::register_telemetry() {
     for (std::size_t i = 0; i < sensors_.cpu.size(); ++i) {
         telemetry_.add_channel(sensors_.cpu[i].name(), "degC", [this, i] {
-            const double v = sensors_.cpu[i].read().value();
+            // The true sensor is always read first so the noise stream
+            // stays aligned with a healthy run; corruption (stuck, bias,
+            // dropout) applies between the sensor and the delivered value.
+            const double raw = sensors_.cpu[i].read().value();
+            const double v = corrupt_sensor_reading(i, raw);
             last_cpu_sensor_reads_[i] = v;
             return v;
         });
@@ -70,6 +75,12 @@ void server_simulator::bind_workload(const workload::utilization_profile& profil
 }
 
 void server_simulator::set_fan_speed(std::size_t pair_index, util::rpm_t rpm) {
+    if (fault_.fan_mode[pair_index] != fault_state::fan_ok) {
+        // The pair's PWM input is dead: latch the command for recovery,
+        // change nothing physically, count nothing.
+        fault_.fan_commanded_rpm[pair_index] = fans_.pair().clamp(rpm).value();
+        return;
+    }
     const util::rpm_t before = fans_.speed(pair_index);
     fans_.set_speed(pair_index, rpm);
     if (fans_.speed(pair_index).value() != before.value()) {
@@ -79,24 +90,45 @@ void server_simulator::set_fan_speed(std::size_t pair_index, util::rpm_t rpm) {
 }
 
 void server_simulator::set_all_fans(util::rpm_t rpm) {
-    // Clamp once, detect a change in the same pass, and skip the airflow
-    // (and conductance) update entirely when every pair already runs at
-    // the commanded speed.
-    const double target = fans_.pair().clamp(rpm).value();
-    bool changed = false;
-    for (std::size_t i = 0; i < fans_.pair_count() && !changed; ++i) {
-        changed = fans_.speed(i).value() != target;
-    }
-    if (!changed) {
+    if (!fault_.any_fan_fault()) {
+        // Clamp once, detect a change in the same pass, and skip the
+        // airflow (and conductance) update entirely when every pair
+        // already runs at the commanded speed.
+        const double target = fans_.pair().clamp(rpm).value();
+        bool changed = false;
+        for (std::size_t i = 0; i < fans_.pair_count() && !changed; ++i) {
+            changed = fans_.speed(i).value() != target;
+        }
+        if (!changed) {
+            return;
+        }
+        fans_.set_all(rpm);
+        ++fan_changes_;
+        apply_airflow();
         return;
     }
-    fans_.set_all(rpm);
-    ++fan_changes_;
-    apply_airflow();
+    // Degraded path: healthy pairs actuate, faulted pairs latch.  Any
+    // physical change counts as one command, like the healthy path.
+    const double target = fans_.pair().clamp(rpm).value();
+    bool changed = false;
+    for (std::size_t i = 0; i < fans_.pair_count(); ++i) {
+        if (fault_.fan_mode[i] != fault_state::fan_ok) {
+            fault_.fan_commanded_rpm[i] = target;
+            continue;
+        }
+        if (fans_.speed(i).value() != target) {
+            fans_.set_speed(i, rpm);
+            changed = true;
+        }
+    }
+    if (changed) {
+        ++fan_changes_;
+        apply_airflow();
+    }
 }
 
 util::rpm_t server_simulator::fan_speed(std::size_t pair_index) const {
-    return fans_.speed(pair_index);
+    return fans_.effective_speed(pair_index);
 }
 
 util::rpm_t server_simulator::average_fan_rpm() const { return fans_.average_speed(); }
@@ -151,7 +183,10 @@ void server_simulator::apply_airflow() {
     std::vector<util::cfm_t> per_zone;
     per_zone.reserve(fans_.pair_count());
     for (std::size_t i = 0; i < fans_.pair_count(); ++i) {
-        per_zone.push_back(fans_.pair().airflow(fans_.speed(i)));
+        // pair_airflow is the healthy airflow unless the pair's rotor
+        // failed, in which case its zone sees zero direct flow (the
+        // plenum cross-mixing still shares the other zones' air).
+        per_zone.push_back(fans_.pair_airflow(i));
     }
     thermal_.set_zone_airflow(per_zone);
 }
@@ -186,12 +221,16 @@ void server_simulator::apply_heat(double u_inst) {
 
 void server_simulator::step(util::seconds_t dt) {
     util::ensure(dt.value() > 0.0, "server_simulator::step: non-positive dt");
+    if (fault_schedule_) {
+        apply_due_faults();
+    }
     const double u_target = workload_ ? workload_->target_utilization(now()) : 0.0;
     const double u_inst = workload_ ? workload_->instantaneous_utilization(now()) : 0.0;
     apply_heat(u_inst);
     thermal_.step(dt);
     now_s_ += dt.value();
     record(u_target, u_inst);
+    telemetry_.set_poll_suppressed(fault_.telemetry_lost(now_s_));
     telemetry_.poll_due(now());
 }
 
@@ -206,6 +245,9 @@ void server_simulator::advance(util::seconds_t duration, util::seconds_t dt) {
 }
 
 void server_simulator::force_cold_start() {
+    // Faults are part of the run being restarted: clear live effects and
+    // rewind the campaign cursor with the clock.
+    clear_fault_effects();
     fans_.set_all(config_.cold_start_fan_rpm);
     apply_airflow();
     // Leakage depends on temperature, which depends on leakage; iterate
@@ -240,6 +282,8 @@ void server_simulator::snapshot_state(server_state& out) const {
     out.fan_changes = fan_changes_;
     out.fan_rpm.resize(fans_.pair_count());
     for (std::size_t i = 0; i < fans_.pair_count(); ++i) {
+        // Commanded (raw) speeds: a failed pair's tach reads 0, but the
+        // restore path must re-latch the command, not clamp the zero.
         out.fan_rpm[i] = fans_.speed(i).value();
     }
     out.rng = rng_;
@@ -247,6 +291,7 @@ void server_simulator::snapshot_state(server_state& out) const {
     out.sensor_reads = last_cpu_sensor_reads_;
     out.telemetry_last_poll_s = telemetry_.last_poll_time();
     out.telemetry_polled = telemetry_.ever_polled();
+    out.fault = fault_;
 }
 
 server_state server_simulator::snapshot_state() const {
@@ -260,12 +305,16 @@ void server_simulator::restore_state(const server_state& state) {
                  "server_simulator::restore_state: fan pair count mismatch");
     util::ensure(state.sensor_reads.size() == last_cpu_sensor_reads_.size(),
                  "server_simulator::restore_state: sensor count mismatch");
+    util::ensure(state.fault.sized_for(fans_.pair_count(), sensors_.cpu.size()),
+                 "server_simulator::restore_state: fault state shape mismatch");
     now_s_ = state.now_s;
     imbalance_ = state.imbalance;
     fan_changes_ = state.fan_changes;
     rng_ = state.rng;
+    fault_ = state.fault;
     for (std::size_t i = 0; i < fans_.pair_count(); ++i) {
         fans_.set_speed(i, util::rpm_t{state.fan_rpm[i]});
+        fans_.set_failed(i, fault_.fan_mode[i] == fault_state::fan_failed);
     }
     // Airflow-derived conductances recompute from the restored speeds to
     // the exact values the snapshot carries; restore_state then reloads
@@ -328,5 +377,99 @@ void server_simulator::record(double u_target, double u_inst) {
 }
 
 void server_simulator::clear_trace() { trace_.clear(); }
+
+void server_simulator::bind_fault_schedule(fault_schedule schedule) {
+    if (!schedule.empty()) {
+        util::ensure(schedule.max_fan_target() < fans_.pair_count(),
+                     "server_simulator::bind_fault_schedule: fan target out of range");
+        util::ensure(schedule.max_sensor_target() < sensors_.cpu.size(),
+                     "server_simulator::bind_fault_schedule: sensor target out of range");
+    }
+    fault_schedule_ = std::move(schedule);
+    clear_fault_effects();
+}
+
+void server_simulator::clear_fault_schedule() {
+    fault_schedule_.reset();
+    clear_fault_effects();
+}
+
+void server_simulator::clear_fault_effects() {
+    fault_.reset(fans_.pair_count(), sensors_.cpu.size());
+    for (std::size_t i = 0; i < fans_.pair_count(); ++i) {
+        fans_.set_failed(i, false);
+    }
+    telemetry_.set_poll_suppressed(false);
+}
+
+void server_simulator::apply_due_faults() {
+    const std::vector<fault_event>& events = fault_schedule_->events();
+    while (fault_.next_event < events.size() &&
+           events[fault_.next_event].t_s <= now_s_ + 1e-9) {
+        apply_fault_event(events[fault_.next_event]);
+        ++fault_.next_event;
+    }
+}
+
+void server_simulator::apply_fault_event(const fault_event& event) {
+    switch (event.kind) {
+        case fault_kind::fan_failure:
+            fault_.fan_commanded_rpm[event.target] = fans_.speed(event.target).value();
+            fault_.fan_mode[event.target] = fault_state::fan_failed;
+            fans_.set_failed(event.target, true);
+            apply_airflow();
+            break;
+        case fault_kind::fan_stuck_pwm:
+            fault_.fan_commanded_rpm[event.target] = fans_.speed(event.target).value();
+            fault_.fan_mode[event.target] = fault_state::fan_stuck;
+            if (!std::isnan(event.value)) {
+                fans_.set_speed(event.target, util::rpm_t{event.value});
+                apply_airflow();
+            }
+            break;
+        case fault_kind::fan_recover:
+            fault_.fan_mode[event.target] = fault_state::fan_ok;
+            fans_.set_failed(event.target, false);
+            // Resume the last latched command (faults and latched
+            // commands are not controller actions, so no count).
+            fans_.set_speed(event.target, util::rpm_t{fault_.fan_commanded_rpm[event.target]});
+            apply_airflow();
+            break;
+        case fault_kind::sensor_stuck:
+            fault_.sensor_stuck[event.target] = 1;
+            fault_.sensor_stuck_c[event.target] = std::isnan(event.value)
+                                                      ? last_cpu_sensor_reads_[event.target]
+                                                      : event.value;
+            break;
+        case fault_kind::sensor_bias:
+            fault_.sensor_bias_c[event.target] = event.value;
+            break;
+        case fault_kind::sensor_dropout:
+            // Windows anchor on the scheduled time, not the (step-
+            // quantized) fire time, so replays at a different sim_dt see
+            // the same span.
+            fault_.sensor_dropout_until_s[event.target] = event.t_s + event.duration_s;
+            break;
+        case fault_kind::sensor_recover:
+            fault_.sensor_stuck[event.target] = 0;
+            fault_.sensor_bias_c[event.target] = 0.0;
+            fault_.sensor_dropout_until_s[event.target] = 0.0;
+            break;
+        case fault_kind::telemetry_loss:
+            fault_.telemetry_lost_until_s = event.t_s + event.duration_s;
+            break;
+    }
+}
+
+double server_simulator::corrupt_sensor_reading(std::size_t sensor, double raw) const {
+    if (fault_.sensor_stuck[sensor] != 0) {
+        return fault_.sensor_stuck_c[sensor];
+    }
+    if (now_s_ < fault_.sensor_dropout_until_s[sensor] - 1e-9) {
+        return last_cpu_sensor_reads_[sensor];  // hold the last delivered value
+    }
+    // Exact pass-through when unbiased, so healthy runs stay bitwise.
+    return fault_.sensor_bias_c[sensor] == 0.0 ? raw : raw + fault_.sensor_bias_c[sensor];
+}
 
 }  // namespace ltsc::sim

@@ -10,12 +10,14 @@
 // not see.
 #pragma once
 
+#include <limits>
 #include <optional>
 #include <vector>
 
 #include "power/fan_model.hpp"
 #include "power/leakage_model.hpp"
 #include "power/server_power_model.hpp"
+#include "sim/fault_schedule.hpp"
 #include "sim/server_config.hpp"
 #include "sim/server_state.hpp"
 #include "sim/simulation_trace.hpp"
@@ -59,11 +61,43 @@ public:
     [[nodiscard]] double measured_socket_utilization(std::size_t socket,
                                                      util::seconds_t window) const;
 
+    // --- fault injection ----------------------------------------------------
+    /// Installs a fault campaign (copied).  Events fire at the top of the
+    /// step whose start time reaches them; any live effects from a
+    /// previous binding clear.  force_cold_start rewinds the campaign to
+    /// its first event along with the clock.  Targets are validated
+    /// against this plant's fan and sensor counts.  At least one fan
+    /// pair must stay healthy at all times — a schedule failing every
+    /// pair at once trips the plant's airflow precondition when it fires.
+    void bind_fault_schedule(fault_schedule schedule);
+    /// Removes the campaign and clears every live effect.
+    void clear_fault_schedule();
+    /// The bound campaign, or nullptr (predictive controllers bind it to
+    /// their rollout lanes like the workload preview).
+    [[nodiscard]] const fault_schedule* bound_fault_schedule() const {
+        return fault_schedule_ ? &*fault_schedule_ : nullptr;
+    }
+    /// Live fault effects (which fans/sensors are degraded right now).
+    [[nodiscard]] const fault_state& current_fault_state() const { return fault_; }
+
+    /// Age of the last telemetry poll: now minus the last poll time, or
+    /// +infinity before the first poll.  Under telemetry loss this grows
+    /// past the poll period — the failsafe controller's trigger.
+    [[nodiscard]] double telemetry_age_s() const {
+        return telemetry_.ever_polled() ? now_s_ - telemetry_.last_poll_time()
+                                        : std::numeric_limits<double>::infinity();
+    }
+
     // --- control surface (what the DLC-PC could actuate/poll) -------------
     /// Commands one fan pair; the plant clamps to the legal RPM range.
+    /// A pair under a fan fault latches the command without actuating it
+    /// (applied on recovery, like re-plugging a PWM line); latched
+    /// commands do not count as fan-speed changes.
     void set_fan_speed(std::size_t pair_index, util::rpm_t rpm);
     /// Commands all pairs at once (counts as a single fan-speed change).
     void set_all_fans(util::rpm_t rpm);
+    /// Tachometer reading of one pair: the commanded speed, or 0 while
+    /// the pair's rotor is failed.
     [[nodiscard]] util::rpm_t fan_speed(std::size_t pair_index) const;
     [[nodiscard]] util::rpm_t average_fan_rpm() const;
     /// Cumulative number of commands that actually changed a speed.
@@ -155,6 +189,10 @@ private:
     [[nodiscard]] power::power_breakdown breakdown_at(double u_inst) const;
     void record(double u_target, double u_inst);
     void register_telemetry();
+    void apply_due_faults();
+    void apply_fault_event(const fault_event& event);
+    void clear_fault_effects();
+    [[nodiscard]] double corrupt_sensor_reading(std::size_t sensor, double raw) const;
 
     server_config config_;
     util::pcg32 rng_;
@@ -170,6 +208,9 @@ private:
     double imbalance_ = 0.5;
     std::size_t fan_changes_ = 0;
     simulation_trace trace_;
+
+    std::optional<fault_schedule> fault_schedule_;
+    fault_state fault_;  ///< Always sized, so snapshots are always valid.
 
     // Cached latest sensor readings (refreshed at each telemetry poll).
     std::vector<double> last_cpu_sensor_reads_;

@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "sim/fault_schedule.hpp"
 #include "thermal/rc_network.hpp"
 #include "util/rng.hpp"
 
@@ -43,6 +44,10 @@ struct server_state {
     std::vector<double> sensor_reads;  ///< Last CPU sensor readings [degC].
     double telemetry_last_poll_s = -1.0;  ///< Telemetry poll clock.
     bool telemetry_polled = false;        ///< Whether a poll ever happened.
+    /// Live fault effects + schedule cursor, so a degraded plant clones
+    /// into rollout lanes degraded (the schedule itself is bound like
+    /// the workload, not copied per snapshot).
+    fault_state fault;
 };
 
 }  // namespace ltsc::sim

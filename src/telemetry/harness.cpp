@@ -30,6 +30,9 @@ std::size_t harness::add_channel(std::string name, std::string unit,
 }
 
 bool harness::poll_due(util::seconds_t now) {
+    if (suppressed_) {
+        return false;
+    }
     if (polled_once_ && now.value() - last_poll_ < period_.value() - 1e-9) {
         return false;
     }
@@ -62,6 +65,7 @@ void harness::reset() {
     history_.clear();
     last_poll_ = -1.0;
     polled_once_ = false;
+    suppressed_ = false;
 }
 
 void harness::restore_poll_clock(double last_poll_s, bool ever_polled) {

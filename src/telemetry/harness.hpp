@@ -64,6 +64,17 @@ public:
     /// (callers wanting a clean recording call reset() first).
     void restore_poll_clock(double last_poll_s, bool ever_polled);
 
+    // --- poll suppression (fault injection) ---------------------------------
+    /// While suppressed, poll_due() drops every due poll: no channel is
+    /// sampled and the poll clock does not advance, so observers keep
+    /// seeing the last delivered values ageing — exactly what a crashed
+    /// CSTH poller looks like.  poll_now() stays unconditional (it models
+    /// a local read, not the poller).  Suppression is runtime plant
+    /// state, not part of the harness clock: plants re-derive it from
+    /// their fault_state every step, so it needs no snapshot handling.
+    void set_poll_suppressed(bool suppressed) { suppressed_ = suppressed; }
+    [[nodiscard]] bool poll_suppressed() const { return suppressed_; }
+
     [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
     [[nodiscard]] util::seconds_t period() const { return period_; }
 
@@ -89,6 +100,7 @@ private:
     util::seconds_t period_;
     double last_poll_ = -1.0;
     bool polled_once_ = false;
+    bool suppressed_ = false;
     std::vector<std::unique_ptr<channel>> channels_;
     util::frame history_;
     std::vector<double> poll_scratch_;  ///< One history row, reused per poll.

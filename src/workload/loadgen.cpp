@@ -14,6 +14,31 @@ loadgen::loadgen(utilization_profile profile, const loadgen_config& config)
                  "loadgen: stress intensity out of (0, 1]");
 }
 
+loadgen::loadgen(const loadgen& other) : profile_(other.profile_), config_(other.config_) {}
+
+loadgen::loadgen(loadgen&& other) noexcept
+    : profile_(std::move(other.profile_)), config_(other.config_) {}
+
+loadgen& loadgen::operator=(const loadgen& other) {
+    if (this != &other) {
+        profile_ = other.profile_;
+        config_ = other.config_;
+        const std::lock_guard<std::mutex> lock(measured_cache_mutex_);
+        measured_cache_valid_ = false;
+    }
+    return *this;
+}
+
+loadgen& loadgen::operator=(loadgen&& other) noexcept {
+    if (this != &other) {
+        profile_ = std::move(other.profile_);
+        config_ = other.config_;
+        const std::lock_guard<std::mutex> lock(measured_cache_mutex_);
+        measured_cache_valid_ = false;
+    }
+    return *this;
+}
+
 double loadgen::target_utilization(util::seconds_t t) const {
     return profile_.utilization_at(t);
 }
@@ -35,12 +60,17 @@ double loadgen::instantaneous_utilization(util::seconds_t t) const {
 
 double loadgen::measured_utilization(util::seconds_t t, util::seconds_t window) const {
     util::ensure(window.value() > 0.0, "loadgen::measured_utilization: non-positive window");
-    if (measured_cache_valid_ && measured_cache_t_ == t.value() &&
-        measured_cache_window_ == window.value()) {
-        return measured_cache_value_;
+    {
+        const std::lock_guard<std::mutex> lock(measured_cache_mutex_);
+        if (measured_cache_valid_ && measured_cache_t_ == t.value() &&
+            measured_cache_window_ == window.value()) {
+            return measured_cache_value_;
+        }
     }
     // Integrate the instantaneous load over the window with a step well
-    // below the PWM period so duty edges are resolved.
+    // below the PWM period so duty edges are resolved.  Computed outside
+    // the lock: concurrent misses at most duplicate work, and the result
+    // is a pure function of (t, window) so last-writer-wins is harmless.
     const double t1 = t.value();
     const double t0 = std::max(0.0, t1 - window.value());
     if (t1 <= t0) {
@@ -54,6 +84,7 @@ double loadgen::measured_utilization(util::seconds_t t, util::seconds_t window) 
         ++n;
     }
     const double value = n > 0 ? acc / n : instantaneous_utilization(t);
+    const std::lock_guard<std::mutex> lock(measured_cache_mutex_);
     measured_cache_t_ = t.value();
     measured_cache_window_ = window.value();
     measured_cache_value_ = value;

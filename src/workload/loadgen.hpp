@@ -10,6 +10,8 @@
 // measurement the controllers poll.
 #pragma once
 
+#include <mutex>
+
 #include "util/time_series.hpp"
 #include "util/units.hpp"
 #include "workload/profile.hpp"
@@ -33,6 +35,14 @@ public:
     /// Binds the generator to a profile.  The profile is copied.
     loadgen(utilization_profile profile, const loadgen_config& config = {});
 
+    // Copy/move transfer the binding, not the memo: the cache is a
+    // per-instance performance detail, and starting it cold keeps the
+    // mutex non-copyable problem out of the special members.
+    loadgen(const loadgen& other);
+    loadgen(loadgen&& other) noexcept;
+    loadgen& operator=(const loadgen& other);
+    loadgen& operator=(loadgen&& other) noexcept;
+
     /// Instantaneous utilization in [0, 100] at time `t`: during the busy
     /// fraction of each PWM period the CPUs run the stress kernel at
     /// `stress_intensity`, otherwise they idle.  Targets of exactly 0 or
@@ -48,7 +58,11 @@ public:
     /// Deterministic in (t, window); the last result is memoized because
     /// the controller runtime asks for the same instant several times per
     /// decision (system plus per-socket views) and each evaluation
-    /// integrates hundreds of PWM samples.
+    /// integrates hundreds of PWM samples.  Thread-safe: one loadgen is
+    /// shared by every rollout lane (bind_workload copies nothing), so
+    /// the memo mutates under `const` from concurrent evaluations — the
+    /// cache is mutex-guarded, and a racing miss at worst recomputes the
+    /// same deterministic value.
     [[nodiscard]] double measured_utilization(util::seconds_t t, util::seconds_t window) const;
 
     [[nodiscard]] const utilization_profile& profile() const { return profile_; }
@@ -58,7 +72,9 @@ private:
     utilization_profile profile_;
     loadgen_config config_;
 
-    // One-entry memo for measured_utilization (see above).
+    // One-entry memo for measured_utilization (see above), guarded by
+    // its mutex because a shared loadgen is read from many threads.
+    mutable std::mutex measured_cache_mutex_;
     mutable bool measured_cache_valid_ = false;
     mutable double measured_cache_t_ = 0.0;
     mutable double measured_cache_window_ = 0.0;

@@ -1,0 +1,149 @@
+// Chaos-sweep invariants over randomized fault campaigns.
+//
+// These are the CI-sized versions of the bench/fault_campaign gate: a
+// hundred seeded campaigns — each a healthy/faulted twin pair under
+// Failsafe(Bang) — must keep the *true* die temperatures inside the
+// calibrated envelope and the energy regret bounded, and any single
+// campaign must replay bitwise from its seed, both across repeated runs
+// and across parallel_runner thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/fault_campaign.hpp"
+#include "sim/fault_schedule.hpp"
+#include "sim/parallel_runner.hpp"
+
+namespace {
+
+using namespace ltsc;
+
+void expect_results_bitwise_equal(const sim::fault_campaign_result& a,
+                                  const sim::fault_campaign_result& b) {
+    ASSERT_EQ(a.schedule.size(), b.schedule.size());
+    for (std::size_t e = 0; e < a.schedule.size(); ++e) {
+        const sim::fault_event& ea = a.schedule.events()[e];
+        const sim::fault_event& eb = b.schedule.events()[e];
+        EXPECT_EQ(ea.t_s, eb.t_s) << "event " << e;
+        EXPECT_EQ(ea.kind, eb.kind) << "event " << e;
+        EXPECT_EQ(ea.target, eb.target) << "event " << e;
+        // `value` uses NaN as the "at current" sentinel; NaN must match NaN.
+        if (std::isnan(ea.value) || std::isnan(eb.value)) {
+            EXPECT_TRUE(std::isnan(ea.value) && std::isnan(eb.value)) << "event " << e;
+        } else {
+            EXPECT_EQ(ea.value, eb.value) << "event " << e;
+        }
+        EXPECT_EQ(ea.duration_s, eb.duration_s) << "event " << e;
+    }
+    EXPECT_EQ(a.healthy.energy_kwh, b.healthy.energy_kwh);
+    EXPECT_EQ(a.healthy.peak_power_w, b.healthy.peak_power_w);
+    EXPECT_EQ(a.healthy.max_temp_c, b.healthy.max_temp_c);
+    EXPECT_EQ(a.healthy.fan_changes, b.healthy.fan_changes);
+    EXPECT_EQ(a.healthy.avg_rpm, b.healthy.avg_rpm);
+    EXPECT_EQ(a.healthy.avg_cpu_temp_c, b.healthy.avg_cpu_temp_c);
+    EXPECT_EQ(a.faulted.energy_kwh, b.faulted.energy_kwh);
+    EXPECT_EQ(a.faulted.peak_power_w, b.faulted.peak_power_w);
+    EXPECT_EQ(a.faulted.max_temp_c, b.faulted.max_temp_c);
+    EXPECT_EQ(a.faulted.fan_changes, b.faulted.fan_changes);
+    EXPECT_EQ(a.faulted.avg_rpm, b.faulted.avg_rpm);
+    EXPECT_EQ(a.faulted.avg_cpu_temp_c, b.faulted.avg_cpu_temp_c);
+    EXPECT_EQ(a.healthy_max_die_c, b.healthy_max_die_c);
+    EXPECT_EQ(a.faulted_max_die_c, b.faulted_max_die_c);
+    EXPECT_EQ(a.energy_ratio, b.energy_ratio);
+    EXPECT_EQ(a.fan_fault, b.fan_fault);
+}
+
+std::vector<sim::fault_campaign_result> sweep(std::uint64_t base_seed, std::size_t campaigns,
+                                              std::size_t threads) {
+    sim::parallel_runner runner(threads);
+    return runner.map<sim::fault_campaign_result>(campaigns, [&](std::size_t i) {
+        return sim::run_fault_campaign(base_seed + static_cast<std::uint64_t>(i));
+    });
+}
+
+TEST(FaultCampaign, EnvelopeHoldsAcrossHundredRandomCampaigns) {
+    // The headline chaos invariant: over 100 randomized survivable
+    // campaigns the controller keeps every true die temperature inside
+    // the calibrated envelope and the energy regret bounded.  Any
+    // violation prints the campaign's full verdict string.
+    const std::vector<sim::fault_campaign_result> results = sweep(1, 100, 0);
+    const sim::fault_campaign_limits limits;
+    std::size_t fan_fault_campaigns = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto violation = sim::campaign_violation(results[i], limits);
+        EXPECT_FALSE(violation.has_value())
+            << "campaign seed " << (1 + i) << ": " << violation.value_or("");
+        if (results[i].fan_fault) {
+            ++fan_fault_campaigns;
+        }
+        // Regret must be a real ratio: the faulted twin ran to completion
+        // and consumed at least as much energy as a sane run does.
+        EXPECT_GT(results[i].energy_ratio, 0.5) << "campaign seed " << (1 + i);
+        EXPECT_GT(results[i].schedule.size(), 0U) << "campaign seed " << (1 + i);
+    }
+    // The sweep must actually exercise the hard (fan-failure) class, not
+    // just sensor glitches — otherwise the wider envelope is untested.
+    EXPECT_GE(fan_fault_campaigns, 10U);
+    EXPECT_LE(fan_fault_campaigns, 90U);
+}
+
+TEST(FaultCampaign, CampaignReplaysBitwiseAcrossRuns) {
+    const sim::fault_campaign_result first = sim::run_fault_campaign(42);
+    const sim::fault_campaign_result second = sim::run_fault_campaign(42);
+    expect_results_bitwise_equal(first, second);
+    // Sanity on the twin structure: the healthy leg is fault-free, so
+    // its max die temp sits in the bang-bang band, strictly cooler than
+    // any envelope cap.
+    EXPECT_LT(first.healthy_max_die_c, sim::fault_campaign_limits{}.envelope_c);
+}
+
+TEST(FaultCampaign, SweepIsBitwiseAcrossThreadCounts) {
+    // The chaos gate runs under parallel_runner; campaign outcomes must
+    // not depend on how lanes land on workers.  Single-threaded is the
+    // ground truth.
+    const std::vector<sim::fault_campaign_result> serial = sweep(300, 12, 1);
+    const std::vector<sim::fault_campaign_result> wide = sweep(300, 12, 4);
+    ASSERT_EQ(serial.size(), wide.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("campaign seed " + std::to_string(300 + i));
+        expect_results_bitwise_equal(serial[i], wide[i]);
+    }
+}
+
+TEST(FaultCampaign, DistinctSeedsProduceDistinctCampaigns) {
+    // The generator must actually randomize: two adjacent seeds may
+    // rarely collide on one field, but not on the whole schedule.
+    const sim::fault_campaign_result a = sim::run_fault_campaign(7);
+    const sim::fault_campaign_result b = sim::run_fault_campaign(8);
+    bool differ = a.schedule.size() != b.schedule.size();
+    for (std::size_t e = 0; !differ && e < a.schedule.size(); ++e) {
+        const sim::fault_event& ea = a.schedule.events()[e];
+        const sim::fault_event& eb = b.schedule.events()[e];
+        differ = ea.t_s != eb.t_s || ea.kind != eb.kind || ea.target != eb.target ||
+                 ea.value != eb.value || ea.duration_s != eb.duration_s;
+    }
+    EXPECT_TRUE(differ);
+}
+
+TEST(FaultCampaign, ViolationMessagesNameTheBrokenInvariant) {
+    sim::fault_campaign_result r;
+    r.healthy_max_die_c = 70.0;
+    r.faulted_max_die_c = 90.0;
+    r.energy_ratio = 1.01;
+    r.fan_fault = false;
+    const auto thermal = sim::campaign_violation(r);
+    ASSERT_TRUE(thermal.has_value());
+    EXPECT_NE(thermal->find("envelope"), std::string::npos);
+
+    r.fan_fault = true;  // 90 degC is inside the fan-fault envelope
+    EXPECT_FALSE(sim::campaign_violation(r).has_value());
+
+    r.energy_ratio = 2.0;
+    const auto regret = sim::campaign_violation(r);
+    ASSERT_TRUE(regret.has_value());
+    EXPECT_NE(regret->find("energy"), std::string::npos);
+}
+
+}  // namespace

@@ -313,6 +313,96 @@ TEST(Rollout, CommitsTheFirstMoveOfTheWinningSchedule) {
     EXPECT_LT(last.best, last.scores.size());
 }
 
+TEST(Rollout, GuardedLaneIsRecycledCleanlyAcrossEvaluations) {
+    // A lane parked by the guard in evaluation N (inactive, truncated
+    // trace, hot restored state) must come back fully recycled in
+    // evaluation N+1: load_lane_state reactivates it, clears its trace,
+    // and overwrites every live field — so a reused engine's scores stay
+    // bitwise a fresh engine's.
+    workload::utilization_profile hot("hot");
+    hot.constant(100.0, 3600_s);
+    sim::server_simulator s;
+    s.bind_workload(hot);
+    s.force_cold_start();
+    s.set_all_fans(3600_rpm);
+    s.advance(600_s);
+    const sim::server_state snap = s.snapshot_state();
+
+    sim::rollout_options opt;
+    opt.horizon = 300_s;
+    opt.epoch = 60_s;
+    opt.guard_temp_c = 70.0;  // min-fan candidates trip this at 100 % load
+    const std::vector<sim::fan_schedule> with_hot = {{{1800_rpm}}, {{4200_rpm}}};
+    const std::vector<sim::fan_schedule> all_cool = {{{4200_rpm}}, {{3600_rpm}}};
+
+    sim::rollout_engine reused(s.config(), 2);
+    reused.bind_workload(*s.workload());
+    const sim::rollout_result first = reused.evaluate(snap, with_hot, opt);
+    ASSERT_TRUE(first.scores[0].guarded);  // lane 0 parked mid-horizon
+    ASSERT_LT(first.scores[0].steps, 300);
+
+    // Same engine, next epoch: lane 0 must behave as if never guarded.
+    const sim::rollout_result second = reused.evaluate(snap, all_cool, opt);
+    EXPECT_FALSE(second.scores[0].guarded);
+    EXPECT_EQ(second.scores[0].steps, 300);
+    EXPECT_EQ(reused.lanes().trace(0).size(), 300U);  // trace fully refilled
+
+    sim::rollout_engine fresh(s.config(), 2);
+    fresh.bind_workload(*s.workload());
+    const sim::rollout_result clean = fresh.evaluate(snap, all_cool, opt);
+    EXPECT_EQ(second.best, clean.best);
+    ASSERT_EQ(second.scores.size(), clean.scores.size());
+    for (std::size_t i = 0; i < clean.scores.size(); ++i) {
+        EXPECT_EQ(second.scores[i].score_j, clean.scores[i].score_j);
+        EXPECT_EQ(second.scores[i].energy_j, clean.scores[i].energy_j);
+        EXPECT_EQ(second.scores[i].peak_temp_c, clean.scores[i].peak_temp_c);
+        EXPECT_EQ(second.scores[i].steps, clean.scores[i].steps);
+    }
+    expect_traces_identical(reused.lanes().trace(0), fresh.lanes().trace(0));
+    expect_traces_identical(reused.lanes().trace(1), fresh.lanes().trace(1));
+}
+
+TEST(Rollout, CandidateCountShrinkThenGrowStaysBitwise) {
+    // Evaluating K=4, then K=2 (lanes 2-3 parked as spares), then K=4
+    // again must leave the regrown evaluation bitwise a fresh engine's:
+    // spare-parking in one epoch cannot leak into the next.
+    const auto profile = short_profile();
+    sim::server_simulator s;
+    s.bind_workload(profile);
+    s.force_cold_start();
+    s.advance(500_s);
+    const sim::server_state snap = s.snapshot_state();
+
+    sim::rollout_options opt;
+    opt.horizon = 90_s;
+    opt.epoch = 30_s;
+    const std::vector<sim::fan_schedule> four = {
+        {{1800_rpm}}, {{2400_rpm}}, {{3000_rpm}}, {{3600_rpm}}};
+    const std::vector<sim::fan_schedule> two = {{{2100_rpm}}, {{2700_rpm}}};
+
+    sim::rollout_engine reused(s.config(), 4);
+    reused.bind_workload(*s.workload());
+    static_cast<void>(reused.evaluate(snap, four, opt));
+    static_cast<void>(reused.evaluate(snap, two, opt));  // shrink: lanes 2-3 parked
+    const sim::rollout_result regrown = reused.evaluate(snap, four, opt);
+
+    sim::rollout_engine fresh(s.config(), 4);
+    fresh.bind_workload(*s.workload());
+    const sim::rollout_result clean = fresh.evaluate(snap, four, opt);
+    EXPECT_EQ(regrown.best, clean.best);
+    ASSERT_EQ(regrown.scores.size(), clean.scores.size());
+    for (std::size_t i = 0; i < clean.scores.size(); ++i) {
+        EXPECT_EQ(regrown.scores[i].score_j, clean.scores[i].score_j);
+        EXPECT_EQ(regrown.scores[i].energy_j, clean.scores[i].energy_j);
+        EXPECT_EQ(regrown.scores[i].peak_temp_c, clean.scores[i].peak_temp_c);
+        EXPECT_EQ(regrown.scores[i].steps, clean.scores[i].steps);
+        EXPECT_EQ(regrown.scores[i].guarded, clean.scores[i].guarded);
+    }
+    for (std::size_t l = 0; l < 4; ++l) {
+        expect_traces_identical(reused.lanes().trace(l), fresh.lanes().trace(l));
+    }
+}
+
 TEST(Rollout, UserCandidateGeneratorExtendsTheLattice) {
     const auto profile = short_profile();
     sim::server_simulator s;
