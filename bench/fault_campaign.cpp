@@ -1,18 +1,23 @@
 // Chaos sweep over randomized fault campaigns.
 //
-//   $ ./fault_campaign [campaigns] [base_seed]
+//   $ ./fault_campaign [campaigns] [base_seed] [class] [monitored]
 //
 // Runs `campaigns` seeded random fault campaigns (default 100, seeds
 // base_seed..base_seed+campaigns-1) through sim::run_fault_campaign —
 // each a healthy/faulted twin pair under Failsafe(Bang) — across
 // parallel_runner's worker pool (LTSC_THREADS honored), and reports per
 // campaign the schedule size, fault mix, max true die temperature of
-// both twins, and the energy regret.  Exits nonzero if any campaign
-// violates the calibrated invariants (thermal envelope, bounded energy
-// regret) — the CI chaos gate.
+// both twins, the energy regret, and (when monitored) the detection
+// stats.  `class` selects the generator: survivable (default),
+// lying_sensor, or correlated; `monitored` (0/1) runs both legs with
+// the residual monitor — it defaults on for the lying-sensor class,
+// whose envelope is only defensible with the monitor-backed failsafe.
+// Exits nonzero if any campaign violates the calibrated invariants
+// (thermal envelope, bounded energy regret) — the CI chaos gates.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -37,30 +42,71 @@ long arg_or(int argc, char** argv, int index, long fallback) {
     return v;
 }
 
+sim::campaign_class class_arg(int argc, char** argv, int index) {
+    if (argc <= index) {
+        return sim::campaign_class::survivable;
+    }
+    for (const sim::campaign_class c :
+         {sim::campaign_class::survivable, sim::campaign_class::lying_sensor,
+          sim::campaign_class::correlated}) {
+        if (std::strcmp(argv[index], sim::to_string(c)) == 0) {
+            return c;
+        }
+    }
+    std::fprintf(stderr, "fault_campaign: unknown class '%s' (survivable|lying_sensor|correlated)\n",
+                 argv[index]);
+    std::exit(2);
+}
+
+double percentile(std::vector<double> xs, double p) {
+    if (xs.empty()) {
+        return 0.0;
+    }
+    std::sort(xs.begin(), xs.end());
+    const double rank = p * static_cast<double>(xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     util::set_log_level(util::log_level::warn);
     const long campaigns = arg_or(argc, argv, 1, 100);
     const long base_seed = arg_or(argc, argv, 2, 1);
+    const sim::campaign_class fault_class = class_arg(argc, argv, 3);
+    const bool monitored =
+        arg_or(argc, argv, 4, fault_class == sim::campaign_class::lying_sensor ? 1 : 0) != 0;
+
+    sim::fault_campaign_options options;
+    options.fault_class = fault_class;
+    options.monitored = monitored;
 
     sim::parallel_runner runner(sim::parallel_runner::threads_from_env());
-    std::printf("# chaos sweep: %ld campaigns, seeds %ld..%ld, %zu threads\n", campaigns,
-                base_seed, base_seed + campaigns - 1, runner.thread_count());
+    std::printf("# chaos sweep: %ld %s campaigns, seeds %ld..%ld, monitor %s, %zu threads\n",
+                campaigns, sim::to_string(fault_class), base_seed,
+                base_seed + campaigns - 1, monitored ? "on" : "off", runner.thread_count());
     const std::vector<sim::fault_campaign_result> results =
         runner.map<sim::fault_campaign_result>(
             static_cast<std::size_t>(campaigns), [&](std::size_t i) {
                 return sim::run_fault_campaign(
-                    static_cast<std::uint64_t>(base_seed + static_cast<long>(i)));
+                    static_cast<std::uint64_t>(base_seed + static_cast<long>(i)), options);
             });
 
     const sim::fault_campaign_limits limits;
-    std::printf("%8s %7s %9s %14s %14s %12s %s\n", "seed", "events", "fan_fault",
-                "healthy_max_C", "faulted_max_C", "energy_ratio", "verdict");
+    std::printf("%8s %7s %9s %14s %14s %12s %8s %10s %s\n", "seed", "events", "fan_fault",
+                "healthy_max_C", "faulted_max_C", "energy_ratio", "detected", "ttd_mean_s",
+                "verdict");
     long violations = 0;
     double worst_no_fan = 0.0;
     double worst_fan = 0.0;
     double worst_ratio = 0.0;
+    std::size_t false_alarm_steps = 0;
+    std::size_t onsets = 0;
+    std::size_t detected = 0;
+    std::vector<double> latencies;
     for (std::size_t i = 0; i < results.size(); ++i) {
         const sim::fault_campaign_result& r = results[i];
         const auto violation = sim::campaign_violation(r, limits);
@@ -70,15 +116,30 @@ int main(int argc, char** argv) {
         (r.fan_fault ? worst_fan : worst_no_fan) =
             std::max(r.fan_fault ? worst_fan : worst_no_fan, r.faulted_max_die_c);
         worst_ratio = std::max(worst_ratio, r.energy_ratio);
-        std::printf("%8ld %7zu %9s %14.3f %14.3f %12.4f %s\n",
+        false_alarm_steps += r.healthy_detection.alarm_steps;
+        onsets += r.faulted_detection.fault_onsets;
+        detected += r.faulted_detection.detected;
+        if (r.faulted_detection.detected > 0) {
+            latencies.push_back(r.faulted_detection.mean_time_to_detect_s);
+        }
+        std::printf("%8ld %7zu %9s %14.3f %14.3f %12.4f %8zu %10.2f %s\n",
                     base_seed + static_cast<long>(i), r.schedule.size(),
                     r.fan_fault ? "yes" : "no", r.healthy_max_die_c, r.faulted_max_die_c,
-                    r.energy_ratio, violation.has_value() ? violation->c_str() : "ok");
+                    r.energy_ratio, r.faulted_detection.detected,
+                    r.faulted_detection.mean_time_to_detect_s,
+                    violation.has_value() ? violation->c_str() : "ok");
     }
-    std::printf("# worst max die temp: %.3f degC (no fan fault, cap %.1f), "
-                "%.3f degC (fan fault, cap %.1f)\n",
-                worst_no_fan, limits.envelope_c, worst_fan, limits.fan_fault_envelope_c);
-    std::printf("# worst energy ratio: %.4f (cap %.2f)\n", worst_ratio, limits.max_energy_ratio);
+    std::printf("# worst max die temp: %.3f degC (no fan fault), %.3f degC (fan fault)\n",
+                worst_no_fan, worst_fan);
+    std::printf("# worst energy ratio: %.4f\n", worst_ratio);
+    if (monitored) {
+        std::printf("# detection: %zu/%zu onsets detected; campaign-mean latency "
+                    "p50 %.1f s, p90 %.1f s, max %.1f s; healthy-leg false-alarm steps %zu\n",
+                    detected, onsets, percentile(latencies, 0.5), percentile(latencies, 0.9),
+                    latencies.empty() ? 0.0
+                                      : *std::max_element(latencies.begin(), latencies.end()),
+                    false_alarm_steps);
+    }
     if (violations > 0) {
         std::printf("# FAIL: %ld of %ld campaigns violated the invariants\n", violations,
                     campaigns);

@@ -76,6 +76,26 @@ void BM_SimulatorSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorSecond);
 
+void BM_SimulatorSecondMonitored(benchmark::State& state) {
+    // Detection overhead: the same scalar plant second with the residual
+    // monitor enabled (twin thermal step + fan residuals every step,
+    // sensor residuals every poll).  Read against BM_SimulatorSecond for
+    // the monitor's cost; the monitor is off by default, so only
+    // fault-aware runs pay it.
+    sim::server_config config = sim::paper_server();
+    config.monitor.enabled = true;
+    sim::server_simulator s(config);
+    workload::utilization_profile p("bench");
+    p.constant(60.0, util::seconds_t{1e9});
+    s.bind_workload(p);
+    for (auto _ : state) {
+        s.step(1_s);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel("simulated seconds per wall second");
+}
+BENCHMARK(BM_SimulatorSecondMonitored);
+
 void BM_BatchStep(benchmark::State& state) {
     // One batched plant second across N servers; items = server-steps, so
     // items/s is per-server throughput and can be read directly against

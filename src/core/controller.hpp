@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -76,6 +77,17 @@ struct controller_inputs {
     std::array<double, 2> socket_util_pct{0.0, 0.0};  ///< Per-socket load.
     std::array<double, 2> socket_temp_c{0.0, 0.0};    ///< Max sensor per die.
     std::vector<util::rpm_t> zone_rpm;                ///< Per-pair speeds.
+
+    // Fault-monitor observability.  Valid only when the plant runs a
+    // residual monitor (config.monitor.enabled); controllers must treat
+    // the raw sensor readings as the sole truth otherwise.  Health codes
+    // are core::component_health values (0 healthy / 1 suspect / 2
+    // failed).
+    bool monitor_valid = false;                 ///< Monitor present on this plant.
+    std::array<std::uint8_t, 4> sensor_health{};  ///< Per-CPU-sensor verdict.
+    std::vector<std::uint8_t> fan_health;       ///< Per-fan-pair verdict.
+    std::array<double, 2> model_die_c{};        ///< Monitor's modeled die temps.
+    std::array<double, 4> cpu_sensor_c{};       ///< Individual CSTH CPU readings.
 };
 
 /// Abstract fan-speed policy.

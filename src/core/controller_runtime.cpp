@@ -30,8 +30,24 @@ void poll_and_actuate(Plant& plant, fan_controller& controller, const runtime_co
         // Sensors 2s and 2s+1 sit on die s; the policy sees the max.
         in.socket_temp_c[s] = std::max(sensors[2 * s], sensors[2 * s + 1]);
     }
+    for (std::size_t s = 0; s < sensors.size() && s < in.cpu_sensor_c.size(); ++s) {
+        in.cpu_sensor_c[s] = sensors[s];
+    }
     for (std::size_t z = 0; z < plant.config().fan_pairs; ++z) {
         in.zone_rpm.push_back(plant.fan_speed(z));
+    }
+    if (const core::fault_monitor* mon = plant.monitor()) {
+        in.monitor_valid = true;
+        for (std::size_t s = 0; s < mon->sensor_count() && s < in.sensor_health.size(); ++s) {
+            in.sensor_health[s] = static_cast<std::uint8_t>(mon->sensor_health(s));
+        }
+        in.fan_health.reserve(mon->fan_pair_count());
+        for (std::size_t p = 0; p < mon->fan_pair_count(); ++p) {
+            in.fan_health.push_back(static_cast<std::uint8_t>(mon->fan_health(p)));
+        }
+        for (std::size_t d = 0; d < in.model_die_c.size(); ++d) {
+            in.model_die_c[d] = mon->die_estimate_c(d);
+        }
     }
     if (const auto cmds = controller.decide_zones(in)) {
         util::ensure(cmds->size() == plant.config().fan_pairs, zone_count_msg);
@@ -91,6 +107,7 @@ struct lane_view {
         return batch.measured_socket_utilization(lane, s, w);
     }
     [[nodiscard]] double telemetry_age_s() const { return batch.telemetry_age_s(lane); }
+    [[nodiscard]] const core::fault_monitor* monitor() const { return batch.monitor(lane); }
     [[nodiscard]] const sim::server_config& config() const { return batch.config(lane); }
     [[nodiscard]] util::rpm_t fan_speed(std::size_t z) const { return batch.fan_speed(lane, z); }
     void set_all_fans(util::rpm_t rpm) { batch.set_all_fans(lane, rpm); }

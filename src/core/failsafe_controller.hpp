@@ -20,12 +20,17 @@
 // rollout_controller); the default zone adapter replicates the failsafe
 // speed across pairs.
 //
-// Known limitation, tested in FaultInjection.NegativeBiasDefeatsTheGuard:
-// staleness catches *absent* data, not *lying* data.  A sensor stuck low
-// or biased cold looks fresh and healthy, so no sensor-driven policy —
-// failsafe, bang-bang guard, or rollout — can react to the excursion it
-// hides.  The chaos sweep therefore asserts the thermal envelope only
-// while every die keeps at least one truthful sensor.
+// Staleness catches *absent* data, not *lying* data: a sensor stuck low
+// or biased cold looks fresh and healthy.  Against that failure the
+// wrapper leans on the plant's residual monitor when one is present
+// (controller_inputs::monitor_valid): readings from sensors the monitor
+// marks suspect/failed are excluded from the temperatures the baseline
+// sees, replaced by the healthy sensors on the same die or — when a die
+// has none left — by the monitor's model estimate.  With every sensor
+// healthy (or without a monitor) decisions are bitwise the baseline's;
+// the unmonitored defeat is pinned in
+// FaultInjection.NegativeBiasDefeatsTheGuardWithoutMonitor and the
+// monitored mitigation in FaultInjection.NegativeBiasContainedWithMonitor.
 #pragma once
 
 #include <memory>
@@ -62,11 +67,15 @@ public:
     [[nodiscard]] const fan_controller& baseline() const { return *baseline_; }
     /// Whether the last decision was a failsafe override.
     [[nodiscard]] bool engaged() const { return engaged_; }
+    /// Whether the last decision replaced distrusted sensor readings
+    /// with monitor-backed estimates before consulting the baseline.
+    [[nodiscard]] bool sensor_override() const { return sensor_override_; }
 
 private:
     std::unique_ptr<fan_controller> baseline_;
     failsafe_config config_;
     bool engaged_ = false;
+    bool sensor_override_ = false;
 };
 
 }  // namespace ltsc::core

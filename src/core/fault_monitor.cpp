@@ -1,0 +1,268 @@
+#include "core/fault_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltsc::core {
+
+namespace {
+
+// Shared hysteresis: consecutive out-of-band observations escalate
+// healthy -> suspect -> failed; consecutive in-band ones clear back to
+// healthy.  Counters saturate so snapshots stay bounded.
+void update_health(std::uint8_t& health, int& bad, int& good, bool out_of_band, int suspect_after,
+                   int fail_after, int clear_after) {
+    if (out_of_band) {
+        bad = std::min(bad + 1, fail_after);
+        good = 0;
+    } else {
+        good = std::min(good + 1, clear_after);
+        bad = 0;
+    }
+    if (bad >= fail_after) {
+        health = static_cast<std::uint8_t>(component_health::failed);
+    } else if (bad >= suspect_after && health == static_cast<std::uint8_t>(component_health::healthy)) {
+        health = static_cast<std::uint8_t>(component_health::suspect);
+    }
+    if (good >= clear_after) {
+        health = static_cast<std::uint8_t>(component_health::healthy);
+    }
+}
+
+}  // namespace
+
+const char* to_string(component_health health) {
+    switch (health) {
+        case component_health::healthy:
+            return "healthy";
+        case component_health::suspect:
+            return "suspect";
+        case component_health::failed:
+            return "failed";
+    }
+    return "unknown";
+}
+
+fault_monitor::fault_monitor(const fault_monitor_config& config, const fault_monitor_plant& plant)
+    : config_(config),
+      cpu_idle_each_w_(plant.cpu_idle_each_w),
+      dimm_idle_total_w_(plant.dimm_idle_total_w),
+      leakage_(plant.leakage),
+      active_(plant.active_coeff_w_per_pct, plant.split, plant.cpu_heat_shape_exponent),
+      twin_(plant.thermal) {
+    util::ensure(config_.sensor_residual_c > 0.0, "fault_monitor: non-positive sensor threshold");
+    util::ensure(config_.fan_residual_rpm > 0.0, "fault_monitor: non-positive fan threshold");
+    util::ensure(config_.sensor_suspect_polls >= 1 &&
+                     config_.sensor_fail_polls >= config_.sensor_suspect_polls &&
+                     config_.sensor_clear_polls >= 1,
+                 "fault_monitor: bad sensor hysteresis depths");
+    util::ensure(config_.fan_suspect_steps >= 1 &&
+                     config_.fan_fail_steps >= config_.fan_suspect_steps &&
+                     config_.fan_clear_steps >= 1,
+                 "fault_monitor: bad fan hysteresis depths");
+    util::ensure(plant.fan_pairs == plant.thermal.fan_zones,
+                 "fault_monitor: fan pair / zone count mismatch");
+    util::ensure(plant.cpu_sensors >= 2 && plant.cpu_sensors % 2 == 0,
+                 "fault_monitor: sensors must pair up per die");
+    const util::rpm_t floor = power::fan_pair(plant.fan).clamp(util::rpm_t{0.0});
+    commanded_rpm_.assign(plant.fan_pairs, floor.value());
+    fan_health_.assign(plant.fan_pairs, 0);
+    fan_bad_steps_.assign(plant.fan_pairs, 0);
+    fan_good_steps_.assign(plant.fan_pairs, 0);
+    sensor_health_.assign(plant.cpu_sensors, 0);
+    sensor_bad_polls_.assign(plant.cpu_sensors, 0);
+    sensor_good_polls_.assign(plant.cpu_sensors, 0);
+    sensor_residual_.assign(plant.cpu_sensors, 0.0);
+    effective_rpm_cache_.assign(plant.fan_pairs, -1.0);
+    zone_airflow_scratch_.resize(plant.fan_pairs);
+}
+
+void fault_monitor::reset(const power::fan_bank& fans, util::celsius_t ambient) {
+    util::ensure(fans.pair_count() == commanded_rpm_.size(),
+                 "fault_monitor::reset: fan pair count mismatch");
+    for (std::size_t i = 0; i < commanded_rpm_.size(); ++i) {
+        commanded_rpm_[i] = fans.speed(i).value();
+    }
+    clear_health();
+    sync_ambient(ambient);
+    twin_.reset();
+    sync_airflow(fans, /*force=*/true);
+}
+
+void fault_monitor::settle(double u_pct, double imbalance, util::celsius_t ambient,
+                           const power::fan_bank& fans) {
+    sync_ambient(ambient);
+    sync_airflow(fans, /*force=*/true);
+    // Mirrors the plant's settle loops: leakage couples heat to the die
+    // temperature, so alternate heat refresh and steady solve until the
+    // fixed point (the plant uses the same iteration count).
+    for (int i = 0; i < 12; ++i) {
+        apply_twin_heat(u_pct, imbalance);
+        twin_.settle_to_steady_state();
+    }
+}
+
+void fault_monitor::observe_fan_command(std::size_t pair_index, util::rpm_t clamped) {
+    util::ensure(pair_index < commanded_rpm_.size(),
+                 "fault_monitor::observe_fan_command: bad pair");
+    commanded_rpm_[pair_index] = clamped.value();
+}
+
+void fault_monitor::observe_all_fan_commands(util::rpm_t clamped) {
+    for (double& rpm : commanded_rpm_) {
+        rpm = clamped.value();
+    }
+}
+
+void fault_monitor::step(util::seconds_t dt, double u_inst, double imbalance,
+                         util::celsius_t ambient, const power::fan_bank& fans) {
+    sync_ambient(ambient);
+    sync_airflow(fans, /*force=*/false);
+    apply_twin_heat(u_inst, imbalance);
+    twin_.step(dt);
+    for (std::size_t i = 0; i < fan_health_.size(); ++i) {
+        const double residual = std::fabs(commanded_rpm_[i] - fans.effective_speed(i).value());
+        update_health(fan_health_[i], fan_bad_steps_[i], fan_good_steps_[i],
+                      residual > config_.fan_residual_rpm, config_.fan_suspect_steps,
+                      config_.fan_fail_steps, config_.fan_clear_steps);
+    }
+}
+
+void fault_monitor::on_poll(const std::vector<double>& delivered) {
+    util::ensure(delivered.size() == sensor_health_.size(),
+                 "fault_monitor::on_poll: sensor count mismatch");
+    for (std::size_t s = 0; s < sensor_health_.size(); ++s) {
+        const double residual = delivered[s] - twin_.cpu_die_temp(s / 2).value();
+        sensor_residual_[s] = residual;
+        update_health(sensor_health_[s], sensor_bad_polls_[s], sensor_good_polls_[s],
+                      std::fabs(residual) > config_.sensor_residual_c,
+                      config_.sensor_suspect_polls, config_.sensor_fail_polls,
+                      config_.sensor_clear_polls);
+    }
+}
+
+component_health fault_monitor::sensor_health(std::size_t sensor) const {
+    util::ensure(sensor < sensor_health_.size(), "fault_monitor::sensor_health: bad sensor");
+    return static_cast<component_health>(sensor_health_[sensor]);
+}
+
+component_health fault_monitor::fan_health(std::size_t pair_index) const {
+    util::ensure(pair_index < fan_health_.size(), "fault_monitor::fan_health: bad pair");
+    return static_cast<component_health>(fan_health_[pair_index]);
+}
+
+component_health fault_monitor::worst_sensor_health() const {
+    std::uint8_t worst = 0;
+    for (const std::uint8_t h : sensor_health_) {
+        worst = std::max(worst, h);
+    }
+    return static_cast<component_health>(worst);
+}
+
+component_health fault_monitor::worst_fan_health() const {
+    std::uint8_t worst = 0;
+    for (const std::uint8_t h : fan_health_) {
+        worst = std::max(worst, h);
+    }
+    return static_cast<component_health>(worst);
+}
+
+double fault_monitor::sensor_residual_c(std::size_t sensor) const {
+    util::ensure(sensor < sensor_residual_.size(), "fault_monitor::sensor_residual_c: bad sensor");
+    return sensor_residual_[sensor];
+}
+
+double fault_monitor::die_estimate_c(std::size_t die) const {
+    return twin_.cpu_die_temp(die).value();
+}
+
+double fault_monitor::max_die_estimate_c() const {
+    return std::max(twin_.cpu_die_temp(0).value(), twin_.cpu_die_temp(1).value());
+}
+
+void fault_monitor::save_state(fault_monitor_state& out) const {
+    twin_.save_state(out.twin);
+    out.commanded_rpm = commanded_rpm_;
+    out.fan_health = fan_health_;
+    out.fan_bad_steps = fan_bad_steps_;
+    out.fan_good_steps = fan_good_steps_;
+    out.sensor_health = sensor_health_;
+    out.sensor_bad_polls = sensor_bad_polls_;
+    out.sensor_good_polls = sensor_good_polls_;
+    out.sensor_residual_c = sensor_residual_;
+}
+
+void fault_monitor::restore_state(const fault_monitor_state& state, const power::fan_bank& fans) {
+    util::ensure(state.commanded_rpm.size() == commanded_rpm_.size() &&
+                     state.fan_health.size() == fan_health_.size() &&
+                     state.fan_bad_steps.size() == fan_bad_steps_.size() &&
+                     state.fan_good_steps.size() == fan_good_steps_.size(),
+                 "fault_monitor::restore_state: fan state shape mismatch");
+    util::ensure(state.sensor_health.size() == sensor_health_.size() &&
+                     state.sensor_bad_polls.size() == sensor_bad_polls_.size() &&
+                     state.sensor_good_polls.size() == sensor_good_polls_.size() &&
+                     state.sensor_residual_c.size() == sensor_residual_.size(),
+                 "fault_monitor::restore_state: sensor state shape mismatch");
+    commanded_rpm_ = state.commanded_rpm;
+    fan_health_ = state.fan_health;
+    fan_bad_steps_ = state.fan_bad_steps;
+    fan_good_steps_ = state.fan_good_steps;
+    sensor_health_ = state.sensor_health;
+    sensor_bad_polls_ = state.sensor_bad_polls;
+    sensor_good_polls_ = state.sensor_good_polls;
+    sensor_residual_ = state.sensor_residual_c;
+    // Re-derive airflow from the restored actuators first (the same
+    // values the snapshot saw), then overwrite with the exact saved
+    // twin state — conductances included — so the round trip is bitwise.
+    sync_airflow(fans, /*force=*/true);
+    twin_.restore_state(state.twin);
+}
+
+void fault_monitor::clear_health() {
+    std::fill(fan_health_.begin(), fan_health_.end(), std::uint8_t{0});
+    std::fill(fan_bad_steps_.begin(), fan_bad_steps_.end(), 0);
+    std::fill(fan_good_steps_.begin(), fan_good_steps_.end(), 0);
+    std::fill(sensor_health_.begin(), sensor_health_.end(), std::uint8_t{0});
+    std::fill(sensor_bad_polls_.begin(), sensor_bad_polls_.end(), 0);
+    std::fill(sensor_good_polls_.begin(), sensor_good_polls_.end(), 0);
+    std::fill(sensor_residual_.begin(), sensor_residual_.end(), 0.0);
+}
+
+void fault_monitor::sync_ambient(util::celsius_t ambient) {
+    if (ambient.value() != twin_.ambient().value()) {
+        twin_.set_ambient(ambient);
+    }
+}
+
+void fault_monitor::sync_airflow(const power::fan_bank& fans, bool force) {
+    util::ensure(fans.pair_count() == effective_rpm_cache_.size(),
+                 "fault_monitor::sync_airflow: fan pair count mismatch");
+    bool changed = force;
+    for (std::size_t i = 0; i < effective_rpm_cache_.size() && !changed; ++i) {
+        changed = fans.effective_speed(i).value() != effective_rpm_cache_[i];
+    }
+    if (!changed) {
+        return;
+    }
+    for (std::size_t i = 0; i < effective_rpm_cache_.size(); ++i) {
+        effective_rpm_cache_[i] = fans.effective_speed(i).value();
+        zone_airflow_scratch_[i] = fans.pair_airflow(i);
+    }
+    twin_.set_zone_airflow(zone_airflow_scratch_);
+}
+
+void fault_monitor::apply_twin_heat(double u_pct, double imbalance) {
+    const double share[2] = {imbalance, 1.0 - imbalance};
+    const util::watts_t cpu_active = active_.cpu(u_pct);
+    for (std::size_t s = 0; s < thermal::server_thermal_model::socket_count(); ++s) {
+        const util::watts_t die_heat{cpu_idle_each_w_ + cpu_active.value() * share[s] +
+                                     leakage_.share_at(twin_.cpu_die_temp(s), 2).value()};
+        twin_.set_cpu_heat(s, die_heat);
+    }
+    twin_.set_dimm_heat(util::watts_t{dimm_idle_total_w_ + active_.memory(u_pct).value()});
+    twin_.set_other_heat(active_.other(u_pct));
+}
+
+}  // namespace ltsc::core

@@ -1,0 +1,180 @@
+// Model-based fault detection: a healthy-twin residual monitor.
+//
+// The monitor steps a cheap twin of the server's thermal plant alongside
+// the real one, driven ONLY by quantities a real BMC could observe:
+// commanded fan speeds, tachometer readings, the host utilization
+// counter, and ambient.  Two residual families fall out:
+//
+//   * sensor residual  = delivered CSTH reading - twin die temperature.
+//     The twin integrates the same heat/airflow arithmetic as the plant,
+//     so on this simulated server it tracks the *true* die temperature
+//     and the residual isolates the sensor error exactly: placement
+//     spread (±1 degC), read noise (3σ ≈ 0.45 degC) and quantization
+//     (0.25 degC) bound the honest residual well under the 3 degC
+//     threshold, which makes false positives structurally impossible
+//     here.  (On real hardware the threshold additionally absorbs model
+//     error; the hysteresis knobs below exist for exactly that.)
+//   * fan residual = |last commanded RPM - tachometer RPM| per pair.
+//     A healthy pair tracks its command exactly; a failed rotor reads 0.
+//
+// Residuals feed per-component health verdicts through hysteresis
+// counters: `sensor_suspect_polls` consecutive out-of-band polls flag a
+// sensor suspect, `sensor_fail_polls` fail it, `sensor_clear_polls`
+// clean polls clear it (fans likewise, counted in plant steps).
+//
+// What the monitor can catch: stuck/biased/dropout-held sensor readings
+// once they diverge from the modeled die by more than the threshold,
+// dead fan pairs, and stuck-PWM pairs *once the controller commands a
+// different speed* (a rotor stuck exactly at its commanded speed is
+// observationally healthy — inherent to command/tach residuals).  What
+// it cannot catch: sensor errors below the threshold, and faults in the
+// quantities it trusts (utilization counter, ambient, tachometers).
+//
+// The monitor is a passive observer: it never touches the plant's RNG
+// or dynamics, so a monitor-on run records the same plant trajectory
+// bitwise as a monitor-off run.  Its full state (twin thermal state via
+// the PR 5 rc_state layer, latched commands, hysteresis counters) rides
+// `fault_monitor_state` through plant snapshot/restore bitwise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "power/active_model.hpp"
+#include "power/fan_model.hpp"
+#include "power/leakage_model.hpp"
+#include "thermal/server_thermal_model.hpp"
+#include "util/units.hpp"
+
+namespace ltsc::core {
+
+/// Verdict of the residual monitor for one monitored component.
+enum class component_health : std::uint8_t { healthy = 0, suspect = 1, failed = 2 };
+
+[[nodiscard]] const char* to_string(component_health health);
+
+/// Thresholds and hysteresis depths of the residual monitor.
+struct fault_monitor_config {
+    bool enabled = false;  ///< Off by default: monitor-off == healthy build bitwise.
+
+    double sensor_residual_c = 3.0;  ///< |reading - modeled die| alarm threshold [degC].
+    int sensor_suspect_polls = 2;    ///< Consecutive bad polls before "suspect".
+    int sensor_fail_polls = 4;       ///< Consecutive bad polls before "failed".
+    int sensor_clear_polls = 2;      ///< Consecutive good polls before "healthy".
+
+    double fan_residual_rpm = 60.0;  ///< |commanded - tach| alarm threshold [RPM].
+    int fan_suspect_steps = 2;       ///< Consecutive bad steps before "suspect".
+    int fan_fail_steps = 5;          ///< Consecutive bad steps before "failed".
+    int fan_clear_steps = 2;         ///< Consecutive good steps before "healthy".
+};
+
+/// Everything the twin needs to replicate the plant's heat arithmetic;
+/// built from a sim::server_config by sim::monitor_plant_for().
+struct fault_monitor_plant {
+    thermal::server_thermal_config thermal{};
+    power::fan_spec fan{};
+    std::size_t fan_pairs = 3;
+    power::leakage_params leakage = power::leakage_params::paper_fit();
+    double active_coeff_w_per_pct = power::active_model::system_k1_w_per_pct;
+    power::active_split split{};
+    double cpu_heat_shape_exponent = power::active_model::default_cpu_shape_exponent;
+    double cpu_idle_each_w = 45.0;
+    double dimm_idle_total_w = 40.0;
+    std::size_t cpu_sensors = 4;  ///< CSTH sensors, 2 per die (sensor s reads die s/2).
+};
+
+/// Snapshot of the monitor: twin thermal state plus every latched
+/// command and hysteresis counter.  Plain data; rides sim::server_state.
+struct fault_monitor_state {
+    thermal::rc_state twin;
+    std::vector<double> commanded_rpm;
+    std::vector<std::uint8_t> fan_health;
+    std::vector<int> fan_bad_steps;
+    std::vector<int> fan_good_steps;
+    std::vector<std::uint8_t> sensor_health;
+    std::vector<int> sensor_bad_polls;
+    std::vector<int> sensor_good_polls;
+    std::vector<double> sensor_residual_c;
+};
+
+class fault_monitor {
+public:
+    fault_monitor(const fault_monitor_config& config, const fault_monitor_plant& plant);
+
+    /// Re-arms the monitor against the plant's current actuator state:
+    /// latches the commanded speeds, clears every verdict, and resets
+    /// the twin to ambient (the plant's cold state).
+    void reset(const power::fan_bank& fans, util::celsius_t ambient);
+
+    /// Teleports the twin to the steady state of (u_pct, imbalance,
+    /// ambient, current airflow) — the monitor-side mirror of the
+    /// plant's force_cold_start / settle_at jumps.
+    void settle(double u_pct, double imbalance, util::celsius_t ambient,
+                const power::fan_bank& fans);
+
+    /// Records a controller fan command (already clamped to the legal
+    /// range).  Called at the plant's actuation entry points so the
+    /// command is captured even when a degraded pair latches it.
+    void observe_fan_command(std::size_t pair_index, util::rpm_t clamped);
+    void observe_all_fan_commands(util::rpm_t clamped);
+
+    /// Advances the twin by one plant step and refreshes the fan
+    /// command/tach residuals.  `u_inst` is the instantaneous host
+    /// utilization the plant heated with this step.
+    void step(util::seconds_t dt, double u_inst, double imbalance, util::celsius_t ambient,
+              const power::fan_bank& fans);
+
+    /// Scores one telemetry poll: `delivered` are the (possibly
+    /// corrupted) CSTH readings, compared against the twin's dies.
+    void on_poll(const std::vector<double>& delivered);
+
+    [[nodiscard]] std::size_t sensor_count() const { return sensor_health_.size(); }
+    [[nodiscard]] std::size_t fan_pair_count() const { return fan_health_.size(); }
+    [[nodiscard]] component_health sensor_health(std::size_t sensor) const;
+    [[nodiscard]] component_health fan_health(std::size_t pair_index) const;
+    [[nodiscard]] component_health worst_sensor_health() const;
+    [[nodiscard]] component_health worst_fan_health() const;
+    /// Signed residual of the last scored poll for one sensor [degC].
+    [[nodiscard]] double sensor_residual_c(std::size_t sensor) const;
+    /// The twin's modeled die temperature [degC] — the trusted stand-in
+    /// for a die whose sensors are flagged.
+    [[nodiscard]] double die_estimate_c(std::size_t die) const;
+    [[nodiscard]] double max_die_estimate_c() const;
+
+    [[nodiscard]] const fault_monitor_config& config() const { return config_; }
+
+    void save_state(fault_monitor_state& out) const;
+    /// Restores a snapshot; `fans` must already hold the restored
+    /// actuator state (the twin's airflow is re-derived from it).
+    void restore_state(const fault_monitor_state& state, const power::fan_bank& fans);
+
+private:
+    void clear_health();
+    void sync_ambient(util::celsius_t ambient);
+    void sync_airflow(const power::fan_bank& fans, bool force);
+    void apply_twin_heat(double u_pct, double imbalance);
+
+    fault_monitor_config config_;
+    double cpu_idle_each_w_;
+    double dimm_idle_total_w_;
+    power::leakage_model leakage_;
+    power::active_model active_;
+    thermal::server_thermal_model twin_;
+
+    std::vector<double> commanded_rpm_;
+    std::vector<std::uint8_t> fan_health_;
+    std::vector<int> fan_bad_steps_;
+    std::vector<int> fan_good_steps_;
+    std::vector<std::uint8_t> sensor_health_;
+    std::vector<int> sensor_bad_polls_;
+    std::vector<int> sensor_good_polls_;
+    std::vector<double> sensor_residual_;
+
+    // Airflow cache: twin conductances are recomputed only when a tach
+    // reading moves, mirroring the plant's apply-on-change policy.
+    std::vector<double> effective_rpm_cache_;
+    std::vector<util::cfm_t> zone_airflow_scratch_;
+};
+
+}  // namespace ltsc::core

@@ -109,14 +109,18 @@ std::optional<util::rpm_t> rollout_controller::decide(const controller_inputs& i
     }
 
     plant_->snapshot_into(snapshot_);
-    // Degrade under an active fault: a dead fan pair, a faulted sensor,
-    // or a telemetry outage means the optimization's energy margin is
-    // noise against the survival problem at hand — hand the decision to
-    // the wrapped reactive baseline (hardened by its own guard band /
-    // failsafe wrapper) until the plant is whole again.  *Scheduled*
-    // future faults are a different matter: those the rollout previews
-    // faithfully through the fault-campaign binding below.
-    if (snapshot_.fault.any_active(in.now.value())) {
+    // Degrade under an active fault only when flying blind: without a
+    // residual monitor the optimization's energy margin is noise against
+    // the survival problem at hand, so the decision goes to the wrapped
+    // reactive baseline (hardened by its own guard band / failsafe
+    // wrapper) until the plant is whole again.  With a monitor the fault
+    // is *characterized* — the snapshot carries the degraded fan/sensor
+    // state, the rollout lanes replay it faithfully, and re-planning
+    // around a known-dead fan beats abandoning the lookahead (pinned by
+    // the fault-injection suite's energy comparison).  *Scheduled*
+    // future faults are previewed either way through the fault-campaign
+    // binding below.
+    if (snapshot_.fault.any_active(in.now.value()) && !in.monitor_valid) {
         return baseline_cmd;
     }
 

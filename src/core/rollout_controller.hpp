@@ -29,11 +29,17 @@
 //
 // Fault handling, pinned by the fault-injection suite: while the plant
 // reports an *active* fault (dead fan pair, faulted sensor, telemetry
-// outage) the controller degrades to the wrapped baseline — survival
-// beats optimization until the plant is whole.  *Scheduled* future
-// faults are previewed: the plant's bound fault campaign is installed
-// on the rollout lanes, so the lookahead replays the faults the
-// committed trajectory will hit.
+// outage) and no residual monitor is running, the controller degrades
+// to the wrapped baseline — survival beats optimization when the fault
+// is uncharacterized.  When the plant runs a fault monitor
+// (controller_inputs::monitor_valid) the rollout keeps planning through
+// active faults instead: the snapshot carries the degraded fan/sensor
+// state into the lanes, so candidates are scored against the crippled
+// plant as it actually is, and the lookahead re-plans around a
+// known-dead fan rather than abandoning the horizon.  *Scheduled*
+// future faults are previewed either way: the plant's bound fault
+// campaign is installed on the rollout lanes, so the lookahead replays
+// the faults the committed trajectory will hit.
 #pragma once
 
 #include <functional>

@@ -34,16 +34,42 @@
 
 namespace ltsc::sim {
 
+/// Which campaign generator a sweep draws from.
+enum class campaign_class : int {
+    /// The original survivable class: one fault at a time, truthful
+    /// guard (each die keeps an honest sensor, biases non-negative).
+    survivable = 0,
+    /// One sustained negative-bias episode covering a whole die's (or
+    /// every) CPU sensor — the guard-defeating failure only a residual
+    /// monitor catches.  Judged under sustained 90 % load (the square
+    /// wave's 150 s halves are shorter than the plant's thermal time
+    /// constant, masking the hidden excursion).  Judge with
+    /// `monitored = true`: unmitigated, the class breaches its envelope.
+    lying_sensor,
+    /// Rack-level correlated PSU events: several fan pairs die at the
+    /// same instant (up to fan_pairs - 1), recovering together.
+    correlated,
+};
+
+/// Human-readable class name ("survivable", ...).
+[[nodiscard]] const char* to_string(campaign_class c);
+
 /// Fixed (non-seed) parameters of a campaign run.
 struct fault_campaign_options {
     /// Run length; also the window faults are drawn over.
     double duration_s = 900.0;
     /// Plant seed (sensor-noise stream); independent of the campaign seed.
     std::uint64_t plant_seed = 0x5eed;
-    /// Fault-generator shape (duration_s inside is overridden to match).
+    /// Fault-generator shape (duration_s inside is overridden to match;
+    /// the correlated class also overrides the correlation knobs).
     fault_campaign_config faults{};
     /// Failsafe wrapper tunables for the controller under test.
     core::failsafe_config failsafe{};
+    /// Generator class the campaign seed is drawn through.
+    campaign_class fault_class = campaign_class::survivable;
+    /// Run both legs with the residual monitor enabled (the failsafe
+    /// then overrides distrusted sensors with model-backed estimates).
+    bool monitored = false;
 };
 
 /// Everything a sweep needs to judge one campaign.
@@ -55,6 +81,13 @@ struct fault_campaign_result {
     double faulted_max_die_c = 0.0; ///< Max true die temp, faulted trace.
     double energy_ratio = 0.0;      ///< faulted energy / healthy energy.
     bool fan_fault = false;         ///< Campaign includes a fan failure/stuck.
+    campaign_class fault_class = campaign_class::survivable;  ///< Generator used.
+    bool monitored = false;         ///< Legs ran with the residual monitor on.
+    /// Monitor-channel summaries of both legs (all-zero when not
+    /// monitored).  Healthy-leg alarms are false positives; the faulted
+    /// leg carries the per-onset time-to-detect stats.
+    detection_summary healthy_detection;
+    detection_summary faulted_detection;
 };
 
 /// Runs the healthy/faulted twin pair for one campaign seed.
@@ -79,6 +112,23 @@ struct fault_campaign_limits {
     double fan_fault_envelope_c = 101.0;
     /// Max faulted/healthy energy ratio (regret bound).
     double max_energy_ratio = 1.15;
+    /// True-die cap for the lying-sensor class judged *with* the
+    /// monitor-backed failsafe (1000-seed calibration: worst observed
+    /// 75.4 degC — detection lands within ~2 polls and the override
+    /// steers on the model estimate, so the excursion never leaves the
+    /// bang-bang band).  The cap is deliberately below the *unmitigated*
+    /// worst (81.5 degC over the same seeds with the monitor off): the
+    /// gate fails if the mitigation stops carrying its weight.
+    double lying_sensor_envelope_c = 78.0;
+    /// True-die cap for the correlated class: with up to fan_pairs - 1
+    /// pairs dead at once only one pair's airflow (plus 30 % mixing)
+    /// cools the dead zones (1000-seed calibration: worst observed
+    /// 120.2 degC).
+    double correlated_envelope_c = 124.0;
+    /// Energy-regret cap for the correlated class (1000-seed worst
+    /// observed 3.7 %: compensating several dead pairs simultaneously
+    /// stays within the single-fault regret bound).
+    double correlated_max_energy_ratio = 1.15;
 };
 
 /// Checks one outcome against the limits; returns a human-readable

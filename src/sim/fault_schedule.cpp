@@ -58,6 +58,57 @@ fault_schedule::fault_schedule(std::vector<fault_event> events) : events_(std::m
     }
     std::stable_sort(events_.begin(), events_.end(),
                      [](const fault_event& a, const fault_event& b) { return a.t_s < b.t_s; });
+
+    // Coherence: a recover must have an outstanding fault to clear, and
+    // no two events may land on one component at the same tick (their
+    // firing order would be decided by the tie-break, silently).
+    std::vector<char> fan_latched(events_.empty() ? 0 : max_fan_target() + 1, 0);
+    std::vector<char> sensor_latched(events_.empty() ? 0 : max_sensor_target() + 1, 0);
+    std::vector<double> sensor_dropout_until(sensor_latched.size(), 0.0);
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const fault_event& e = events_[i];
+        for (std::size_t j = i + 1;
+             j < events_.size() && events_[j].t_s - e.t_s < 1e-9; ++j) {
+            const fault_event& o = events_[j];
+            const bool same_fan =
+                is_fan_kind(e.kind) && is_fan_kind(o.kind) && e.target == o.target;
+            const bool same_sensor =
+                is_sensor_kind(e.kind) && is_sensor_kind(o.kind) && e.target == o.target;
+            const bool same_telemetry = e.kind == fault_kind::telemetry_loss &&
+                                        o.kind == fault_kind::telemetry_loss;
+            util::ensure(!same_fan && !same_sensor && !same_telemetry,
+                         "fault_schedule: two same-tick events on one component");
+        }
+        switch (e.kind) {
+            case fault_kind::fan_failure:
+            case fault_kind::fan_stuck_pwm:
+                fan_latched[e.target] = 1;
+                break;
+            case fault_kind::fan_recover:
+                util::ensure(fan_latched[e.target] != 0,
+                             "fault_schedule: fan_recover without an outstanding fan fault");
+                fan_latched[e.target] = 0;
+                break;
+            case fault_kind::sensor_stuck:
+            case fault_kind::sensor_bias:
+                sensor_latched[e.target] = 1;
+                break;
+            case fault_kind::sensor_dropout:
+                sensor_dropout_until[e.target] =
+                    std::max(sensor_dropout_until[e.target], e.t_s + e.duration_s);
+                break;
+            case fault_kind::sensor_recover:
+                util::ensure(sensor_latched[e.target] != 0 ||
+                                 e.t_s < sensor_dropout_until[e.target] - 1e-9,
+                             "fault_schedule: sensor_recover without an outstanding "
+                             "sensor fault");
+                sensor_latched[e.target] = 0;
+                sensor_dropout_until[e.target] = 0.0;
+                break;
+            case fault_kind::telemetry_loss:
+                break;
+        }
+    }
 }
 
 std::size_t fault_schedule::max_fan_target() const {
@@ -96,6 +147,10 @@ fault_schedule make_random_campaign(std::uint64_t seed, const fault_campaign_con
     util::ensure(config.max_concurrent_fan_faults >= 1 &&
                      config.max_concurrent_fan_faults < config.fan_pairs,
                  "make_random_campaign: concurrent fan faults must leave a healthy pair");
+    util::ensure(config.correlated_probability >= 0.0 && config.correlated_probability <= 1.0,
+                 "make_random_campaign: correlated probability out of [0, 1]");
+    util::ensure(config.max_correlated_pairs >= 1,
+                 "make_random_campaign: correlated group must hold at least one pair");
     util::ensure(config.allow_fan_faults || config.allow_sensor_faults ||
                      config.allow_telemetry_loss,
                  "make_random_campaign: every fault class disabled");
@@ -125,6 +180,10 @@ fault_schedule make_random_campaign(std::uint64_t seed, const fault_campaign_con
         const std::size_t target_draw = rng.next_u32();
         const double span_draw = rng.next_double();
         const double value_draw = rng.next_double();
+        // The correlated draw only exists when the feature is on, so the
+        // default stream stays bitwise-identical to earlier revisions.
+        const double corr_draw =
+            config.correlated_fan_events ? rng.next_double() : 1.0;
 
         double weight_fan = config.allow_fan_faults ? 1.0 : 0.0;
         double weight_sensor = config.allow_sensor_faults ? 1.0 : 0.0;
@@ -145,10 +204,31 @@ fault_schedule make_random_campaign(std::uint64_t seed, const fault_campaign_con
             if (eligible.empty() || active >= config.max_concurrent_fan_faults) {
                 continue;
             }
-            const std::size_t pair = eligible[target_draw % eligible.size()];
             const double outage =
                 config.min_fan_outage_s +
                 span_draw * (config.max_fan_outage_s - config.min_fan_outage_s);
+            const double recover_at = t + outage;
+            if (config.correlated_fan_events && corr_draw < config.correlated_probability) {
+                // One PSU rail drops a whole group of pairs at the same
+                // instant; they recover together when the rail returns.
+                std::size_t group = std::min(config.max_correlated_pairs, eligible.size());
+                group = std::min(group, config.max_concurrent_fan_faults - active);
+                group = std::max<std::size_t>(group, 1);
+                const std::size_t start = target_draw % eligible.size();
+                for (std::size_t g = 0; g < group; ++g) {
+                    const std::size_t pair = eligible[(start + g) % eligible.size()];
+                    events.push_back({t, fault_kind::fan_failure, pair, 0.0, 0.0});
+                    if (recover_at < config.duration_s) {
+                        events.push_back(
+                            {recover_at, fault_kind::fan_recover, pair, 0.0, 0.0});
+                        fan_busy_until[pair] = recover_at;
+                    } else {
+                        fan_busy_until[pair] = config.duration_s;
+                    }
+                }
+                continue;
+            }
+            const std::size_t pair = eligible[target_draw % eligible.size()];
             fault_event onset;
             onset.t_s = t;
             onset.target = pair;
@@ -159,7 +239,6 @@ fault_schedule make_random_campaign(std::uint64_t seed, const fault_campaign_con
                 onset.value = std::numeric_limits<double>::quiet_NaN();  // stick at current
             }
             events.push_back(onset);
-            const double recover_at = t + outage;
             if (recover_at < config.duration_s) {
                 events.push_back({recover_at, fault_kind::fan_recover, pair, 0.0, 0.0});
                 fan_busy_until[pair] = recover_at;
@@ -218,6 +297,35 @@ fault_schedule make_random_campaign(std::uint64_t seed, const fault_campaign_con
             const double span = 10.0 + span_draw * (config.max_telemetry_loss_s - 10.0);
             events.push_back({t, fault_kind::telemetry_loss, 0, 0.0, span});
             telemetry_busy_until = t + span;
+        }
+    }
+    return fault_schedule(std::move(events));
+}
+
+fault_schedule make_lying_sensor_campaign(std::uint64_t seed,
+                                          const fault_campaign_config& config) {
+    util::ensure(config.duration_s > 0.0, "make_lying_sensor_campaign: non-positive duration");
+    util::ensure(config.cpu_sensors >= 2 && config.cpu_sensors % 2 == 0,
+                 "make_lying_sensor_campaign: need an even CPU-sensor count");
+
+    util::pcg32 rng(seed, k_campaign_stream);
+    const double onset = rng.uniform(0.15, 0.4) * config.duration_s;
+    const double span = rng.uniform(0.35, 0.6) * config.duration_s;
+    const double magnitude = rng.uniform(12.0, 25.0);
+    const std::size_t dies = config.cpu_sensors / 2;
+    // Scope: one whole die's sensor complement, or every sensor — in
+    // both cases no truthful reading survives on the lied-about die(s).
+    const std::size_t scope = rng.next_u32() % (dies + 1);
+
+    std::vector<fault_event> events;
+    const double recover_at = onset + span;
+    for (std::size_t s = 0; s < config.cpu_sensors; ++s) {
+        if (scope < dies && s / 2 != scope) {
+            continue;
+        }
+        events.push_back({onset, fault_kind::sensor_bias, s, -magnitude, 0.0});
+        if (recover_at < config.duration_s) {
+            events.push_back({recover_at, fault_kind::sensor_recover, s, 0.0, 0.0});
         }
     }
     return fault_schedule(std::move(events));

@@ -87,6 +87,10 @@ public:
     /// Takes any event order; stable-sorts by fire time (ties keep the
     /// caller's order).  Rejects negative times/durations and
     /// non-finite values other than the "at current" NaN convention.
+    /// Also rejects incoherent campaigns: a recover event with no
+    /// outstanding fault on its component (recover-before-fail), and two
+    /// same-tick events on one component (or two same-tick telemetry
+    /// losses), whose firing order the tie-break would silently decide.
     explicit fault_schedule(std::vector<fault_event> events);
 
     [[nodiscard]] const std::vector<fault_event>& events() const { return events_; }
@@ -108,9 +112,10 @@ private:
 /// most one CPU sensor per die faulted at a time (so the max-sensor
 /// guard always has a truthful reading of the hottest die), and only
 /// non-negative sensor bias (a sensor lying *hot* makes the controller
-/// conservative; lying *cool* defeats any sensor-driven guard — see
-/// FaultInjection.NegativeBiasDefeatsTheGuard for that documented
-/// limitation).
+/// conservative; lying *cool* defeats any guard steering on raw
+/// readings — FaultInjection.NegativeBiasDefeatsTheGuardWithoutMonitor
+/// pins the defeat, and the residual monitor plus failsafe override is
+/// the mitigation, exercised by make_lying_sensor_campaign).
 struct fault_campaign_config {
     double duration_s = 900.0;        ///< Campaign span the events land in.
     std::size_t fan_pairs = 3;        ///< Plant fan-pair count.
@@ -127,6 +132,19 @@ struct fault_campaign_config {
     double max_sensor_outage_s = 120.0;  ///< Stuck/bias/dropout span cap [s].
     double max_telemetry_loss_s = 90.0;  ///< Poll-loss span cap [s].
     std::size_t max_concurrent_fan_faults = 1;  ///< Keeps >= 1 pair healthy.
+
+    /// Correlated (rack-level) fan events: with probability
+    /// `correlated_probability`, a drawn fan fault takes out up to
+    /// `max_correlated_pairs` pairs *at the same instant* — one PSU rail
+    /// dropping several fans at once — recovering together too.  The
+    /// group is still capped by `max_concurrent_fan_faults`, so raise
+    /// that cap alongside (the correlated campaign class uses
+    /// fan_pairs - 1).  Off by default: with the flag false the
+    /// generator's RNG stream is bitwise-identical to earlier revisions,
+    /// preserving every calibrated campaign.
+    bool correlated_fan_events = false;
+    double correlated_probability = 0.6;   ///< P(group event | fan fault drawn).
+    std::size_t max_correlated_pairs = 2;  ///< Pairs per correlated group.
 };
 
 /// Draws a randomized campaign from a dedicated PCG32 stream seeded
@@ -137,6 +155,17 @@ struct fault_campaign_config {
 /// inside `duration_s` when the drawn outage fits.
 [[nodiscard]] fault_schedule make_random_campaign(std::uint64_t seed,
                                                   const fault_campaign_config& config = {});
+
+/// Draws a *lying-sensor* campaign from the same dedicated stream: one
+/// sustained negative-bias episode (12–25 degC cool) covering every CPU
+/// sensor of one die — or all of them — for 35–60% of the campaign,
+/// starting 15–40% in.  This is the failure mode that defeats any
+/// guard steering on raw sensor maxima (no truthful partner survives on
+/// the lied-about die); only a model-based monitor catches it.  Uses
+/// `duration_s` and `cpu_sensors` from the config; the other knobs are
+/// ignored.
+[[nodiscard]] fault_schedule make_lying_sensor_campaign(std::uint64_t seed,
+                                                        const fault_campaign_config& config = {});
 
 /// Per-plant dynamic fault state: which effects are live *now*, plus
 /// the schedule cursor.  Part of sim::server_state, so degraded plants

@@ -1,5 +1,8 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/server_batch.hpp"
 #include "util/error.hpp"
 
@@ -31,6 +34,87 @@ run_metrics compute_metrics(const server_batch& batch, std::size_t lane, std::st
                             std::string controller_name) {
     return compute_metrics(batch.trace(lane), batch.fan_change_count(lane), std::move(test_name),
                            std::move(controller_name));
+}
+
+detection_summary compute_detection_summary(const trace_view& tr,
+                                            const fault_schedule* schedule) {
+    detection_summary out;
+    const util::column_view sensor_health = tr.monitor_sensor_health();
+    const util::column_view fan_health = tr.monitor_fan_health();
+    out.samples = tr.size();
+    for (std::size_t i = 0; i < tr.size(); ++i) {
+        const bool sensor_alarm = sensor_health.v(i) >= 1.0;
+        const bool fan_alarm = fan_health.v(i) >= 1.0;
+        if (sensor_alarm) {
+            ++out.sensor_alarm_steps;
+            if (out.first_sensor_alarm_s < 0.0) {
+                out.first_sensor_alarm_s = sensor_health.t(i);
+            }
+        }
+        if (fan_alarm) {
+            ++out.fan_alarm_steps;
+            if (out.first_fan_alarm_s < 0.0) {
+                out.first_fan_alarm_s = fan_health.t(i);
+            }
+        }
+        if (sensor_alarm || fan_alarm) {
+            ++out.alarm_steps;
+        }
+    }
+    if (schedule == nullptr || schedule->empty() || tr.empty()) {
+        return out;
+    }
+
+    // Attribute alarms to onsets: scan the matching health channel from
+    // the onset to the component's recovery (or the trace end) for the
+    // first suspect-or-worse verdict.  The channels are worst-over-
+    // components, so overlapping faults of one class share alarms — fine
+    // for a summary whose job is latency percentiles, not diagnosis.
+    const std::vector<fault_event>& events = schedule->events();
+    double total_latency = 0.0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const fault_event& e = events[i];
+        const bool fan_onset =
+            e.kind == fault_kind::fan_failure || e.kind == fault_kind::fan_stuck_pwm;
+        const bool sensor_onset = e.kind == fault_kind::sensor_stuck ||
+                                  e.kind == fault_kind::sensor_bias ||
+                                  e.kind == fault_kind::sensor_dropout;
+        if (!fan_onset && !sensor_onset) {
+            continue;
+        }
+        double until = sensor_health.t(tr.size() - 1);
+        if (e.kind == fault_kind::sensor_dropout) {
+            until = std::min(until, e.t_s + e.duration_s);
+        } else {
+            const fault_kind recover_kind =
+                fan_onset ? fault_kind::fan_recover : fault_kind::sensor_recover;
+            for (std::size_t j = i + 1; j < events.size(); ++j) {
+                if (events[j].kind == recover_kind && events[j].target == e.target) {
+                    until = std::min(until, events[j].t_s);
+                    break;
+                }
+            }
+        }
+        ++out.fault_onsets;
+        const util::column_view& channel = fan_onset ? fan_health : sensor_health;
+        for (std::size_t k = 0; k < tr.size(); ++k) {
+            const double t = channel.t(k);
+            if (t < e.t_s || t > until + 1e-9) {
+                continue;
+            }
+            if (channel.v(k) >= 1.0) {
+                const double latency = t - e.t_s;
+                ++out.detected;
+                total_latency += latency;
+                out.max_time_to_detect_s = std::max(out.max_time_to_detect_s, latency);
+                break;
+            }
+        }
+    }
+    if (out.detected > 0) {
+        out.mean_time_to_detect_s = total_latency / static_cast<double>(out.detected);
+    }
+    return out;
 }
 
 double net_savings(const run_metrics& candidate, const run_metrics& baseline,

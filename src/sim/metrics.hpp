@@ -10,8 +10,10 @@
 // influenced by fan control.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
+#include "sim/fault_schedule.hpp"
 #include "sim/server_simulator.hpp"
 #include "util/units.hpp"
 
@@ -48,6 +50,44 @@ class server_batch;
 /// Extracts the metrics of one server_batch lane.
 [[nodiscard]] run_metrics compute_metrics(const server_batch& batch, std::size_t lane,
                                           std::string test_name, std::string controller_name);
+
+/// Fault-detection quality of one recorded run, extracted from the
+/// monitor health channels the plant records every step.  Over a
+/// *healthy* run (no schedule) any alarm step is a false positive; over
+/// a faulted run, pass the campaign so each onset gets a time-to-detect
+/// against the matching health channel.
+struct detection_summary {
+    std::size_t samples = 0;            ///< Trace rows inspected.
+    std::size_t alarm_steps = 0;        ///< Rows with any verdict >= suspect.
+    std::size_t sensor_alarm_steps = 0; ///< Rows with worst sensor verdict >= suspect.
+    std::size_t fan_alarm_steps = 0;    ///< Rows with worst fan verdict >= suspect.
+    double first_sensor_alarm_s = -1.0; ///< Time of the first sensor alarm (-1 = none).
+    double first_fan_alarm_s = -1.0;    ///< Time of the first fan alarm (-1 = none).
+
+    // Campaign-relative detection (zero without a schedule).  Telemetry
+    // losses are excluded: staleness is the failsafe watchdog's domain,
+    // not the residual monitor's.
+    std::size_t fault_onsets = 0;           ///< Fan/sensor onsets considered.
+    std::size_t detected = 0;               ///< Onsets alarmed before recovery.
+    double mean_time_to_detect_s = 0.0;     ///< Over detected onsets.
+    double max_time_to_detect_s = 0.0;
+
+    /// Fraction of rows carrying any alarm (the healthy-run false-positive
+    /// rate when no faults were injected).
+    [[nodiscard]] double alarm_fraction() const {
+        return samples == 0 ? 0.0
+                            : static_cast<double>(alarm_steps) / static_cast<double>(samples);
+    }
+};
+
+/// Extracts the detection summary from a recorded trace.  `schedule`
+/// (optional) attributes alarms to fault onsets: for each fan/sensor
+/// onset the matching health channel is scanned from the onset to the
+/// component's recovery (or the trace end) for the first suspect-or-worse
+/// verdict.  Works on monitor-off traces too (all-zero channels — no
+/// alarms, nothing detected).
+[[nodiscard]] detection_summary compute_detection_summary(const trace_view& trace,
+                                                          const fault_schedule* schedule = nullptr);
 
 /// Net energy savings of `candidate` vs. `baseline` per the paper's
 /// definition.  `idle_power` is the steady idle wall power; the idle

@@ -89,6 +89,10 @@ void server_batch::init_lane(std::size_t lane, const server_config& config) {
     register_telemetry(lane);
     apply_airflow(lane);
     apply_heat(lane, 0.0);
+    if (config.monitor.enabled) {
+        ln.monitor.emplace(config.monitor, monitor_plant_for(config));
+        ln.monitor->reset(ln.fans, batch_.ambient(lane));
+    }
 }
 
 void server_batch::register_telemetry(std::size_t lane) {
@@ -164,6 +168,11 @@ double server_batch::measured_socket_utilization(std::size_t lane, std::size_t s
 
 void server_batch::set_fan_speed(std::size_t lane, std::size_t pair_index, util::rpm_t rpm) {
     lane_state& ln = at(lane);
+    if (ln.monitor) {
+        // Capture the command at the actuation boundary, before any
+        // degraded pair latches it (see server_simulator::set_fan_speed).
+        ln.monitor->observe_fan_command(pair_index, ln.fans.pair().clamp(rpm));
+    }
     if (ln.fault.fan_mode[pair_index] != fault_state::fan_ok) {
         ln.fault.fan_commanded_rpm[pair_index] = ln.fans.pair().clamp(rpm).value();
         return;
@@ -178,6 +187,9 @@ void server_batch::set_fan_speed(std::size_t lane, std::size_t pair_index, util:
 
 void server_batch::set_all_fans(std::size_t lane, util::rpm_t rpm) {
     lane_state& ln = at(lane);
+    if (ln.monitor) {
+        ln.monitor->observe_all_fan_commands(ln.fans.pair().clamp(rpm));
+    }
     if (!ln.fault.any_fan_fault()) {
         const double target = ln.fans.pair().clamp(rpm).value();
         bool changed = false;
@@ -298,6 +310,11 @@ void server_batch::snapshot_lane_state(std::size_t lane, server_state& out) cons
     out.telemetry_last_poll_s = ln.telemetry.last_poll_time();
     out.telemetry_polled = ln.telemetry.ever_polled();
     out.fault = ln.fault;
+    if (ln.monitor) {
+        ln.monitor->save_state(out.monitor);
+    } else {
+        out.monitor = core::fault_monitor_state{};
+    }
 }
 
 void server_batch::load_lane_state(std::size_t lane, const server_state& state) {
@@ -326,6 +343,9 @@ void server_batch::load_lane_state(std::size_t lane, const server_state& state) 
     clear_trace(lane);
     ln.telemetry.reset();
     ln.telemetry.restore_poll_clock(state.telemetry_last_poll_s, state.telemetry_polled);
+    if (ln.monitor) {
+        ln.monitor->restore_state(state.monitor, ln.fans);
+    }
     set_lane_active(lane, true);
 }
 
@@ -464,9 +484,14 @@ void server_batch::step(util::seconds_t dt) {
         }
         lane_state& ln = *lanes_[l];
         ln.now_s += dt.value();
+        if (ln.monitor) {
+            ln.monitor->step(dt, u_inst_scratch_[l], ln.imbalance, batch_.ambient(l), ln.fans);
+        }
         record(l, u_target_scratch_[l], u_inst_scratch_[l]);
         ln.telemetry.set_poll_suppressed(ln.fault.telemetry_lost(ln.now_s));
-        ln.telemetry.poll_due(now(l));
+        if (ln.telemetry.poll_due(now(l)) && ln.monitor) {
+            ln.monitor->on_poll(ln.last_cpu_sensor_reads);
+        }
     }
 }
 
@@ -515,12 +540,20 @@ void server_batch::force_cold_start(std::size_t lane) {
         apply_heat(lane, 0.0);
         settle_to_steady_state(lane);
     }
+    if (ln.monitor) {
+        // The twin restarts with the plant (see server_simulator).
+        ln.monitor->reset(ln.fans, batch_.ambient(lane));
+        ln.monitor->settle(0.0, ln.imbalance, batch_.ambient(lane), ln.fans);
+    }
     ln.now_s = 0.0;
     ln.fan_changes = 0;
     clear_trace(lane);
     set_lane_active(lane, true);
     ln.telemetry.reset();
     ln.telemetry.poll_now(now(lane));
+    if (ln.monitor) {
+        ln.monitor->on_poll(ln.last_cpu_sensor_reads);
+    }
 }
 
 void server_batch::force_cold_start() {
@@ -530,10 +563,13 @@ void server_batch::force_cold_start() {
 }
 
 void server_batch::settle_at(std::size_t lane, double u_pct) {
-    static_cast<void>(at(lane));
+    lane_state& ln = at(lane);
     for (int i = 0; i < 12; ++i) {
         apply_heat(lane, u_pct);
         settle_to_steady_state(lane);
+    }
+    if (ln.monitor) {
+        ln.monitor->settle(u_pct, ln.imbalance, batch_.ambient(lane), ln.fans);
     }
 }
 
@@ -566,6 +602,17 @@ void server_batch::record(std::size_t lane, double u_target, double u_inst) {
     row[trace_channel::leakage_power] = p.leakage.value();
     row[trace_channel::active_power] = p.active.value();
     row[trace_channel::avg_fan_rpm] = ln.fans.average_speed().value();
+    // record() runs before the step's poll check, so the age here is
+    // always finite after a cold start and grows to the poll period.
+    row[trace_channel::sensor_age] = ln.telemetry.ever_polled()
+                                         ? ln.now_s - ln.telemetry.last_poll_time()
+                                         : ln.now_s;
+    row[trace_channel::monitor_sensor_health] =
+        ln.monitor ? static_cast<double>(static_cast<int>(ln.monitor->worst_sensor_health()))
+                   : 0.0;
+    row[trace_channel::monitor_fan_health] =
+        ln.monitor ? static_cast<double>(static_cast<int>(ln.monitor->worst_fan_health())) : 0.0;
+    row[trace_channel::monitor_die_estimate] = ln.monitor ? ln.monitor->max_die_estimate_c() : 0.0;
     traces_.append(lane, ln.now_s, row);
 }
 

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/fault_monitor.hpp"
 #include "power/fan_model.hpp"
 #include "power/leakage_model.hpp"
 #include "power/server_power_model.hpp"
@@ -77,6 +78,13 @@ public:
     }
     [[nodiscard]] const fault_state& current_fault_state(std::size_t lane) const {
         return at(lane).fault;
+    }
+
+    /// The lane's residual monitor, or nullptr when the lane's
+    /// config.monitor.enabled is false (see server_simulator::monitor).
+    [[nodiscard]] const core::fault_monitor* monitor(std::size_t lane) const {
+        const auto& m = at(lane).monitor;
+        return m ? &*m : nullptr;
     }
 
     /// Age of the lane's last telemetry poll (+infinity before any).
@@ -191,6 +199,7 @@ private:
 
         std::optional<fault_schedule> faults;
         fault_state fault;  ///< Always sized, so snapshots are always valid.
+        std::optional<core::fault_monitor> monitor;  ///< Present iff config.monitor.enabled.
 
         // Mirror of server_thermal_model's per-plant scalar state; the
         // node/edge state itself lives in the shared rc_batch lanes.

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "core/fault_monitor.hpp"
 #include "power/active_model.hpp"
 #include "power/fan_model.hpp"
 #include "power/leakage_model.hpp"
@@ -55,6 +56,12 @@ struct server_config {
     double sensor_quantum = 0.25;      ///< Sensor ADC quantization [degC].
     std::uint64_t seed = 0x5eed;       ///< RNG seed for sensor noise.
 
+    // --- fault detection ---------------------------------------------------
+    /// Residual-monitor configuration.  Disabled by default; the monitor
+    /// is a passive observer, so enabling it changes no plant dynamics —
+    /// monitor-off runs are bitwise the pre-monitor build.
+    core::fault_monitor_config monitor{};
+
     // --- defaults ---------------------------------------------------------
     /// Fixed speed of the server's stock fan policy (Table I baseline).
     util::rpm_t default_fan_rpm{3300.0};
@@ -76,5 +83,10 @@ void validate(const server_config& config);
 
 /// Validates and returns the configuration (for member-initializer use).
 [[nodiscard]] server_config validated(const server_config& config);
+
+/// The healthy-twin description the residual monitor needs, extracted
+/// from a full plant configuration (shared by the scalar plant and every
+/// batch lane so twin arithmetic is identical everywhere).
+[[nodiscard]] core::fault_monitor_plant monitor_plant_for(const server_config& config);
 
 }  // namespace ltsc::sim

@@ -24,6 +24,10 @@ server_simulator::server_simulator(const server_config& config)
     register_telemetry();
     apply_airflow();
     apply_heat(0.0);
+    if (config_.monitor.enabled) {
+        monitor_.emplace(config_.monitor, monitor_plant_for(config_));
+        monitor_->reset(fans_, thermal_.ambient());
+    }
 }
 
 void server_simulator::register_telemetry() {
@@ -75,6 +79,12 @@ void server_simulator::bind_workload(const workload::utilization_profile& profil
 }
 
 void server_simulator::set_fan_speed(std::size_t pair_index, util::rpm_t rpm) {
+    if (monitor_) {
+        // Capture the command at the actuation boundary, before any
+        // degraded pair latches it: the command/tach residual is the
+        // monitor's view of what the controller *asked for*.
+        monitor_->observe_fan_command(pair_index, fans_.pair().clamp(rpm));
+    }
     if (fault_.fan_mode[pair_index] != fault_state::fan_ok) {
         // The pair's PWM input is dead: latch the command for recovery,
         // change nothing physically, count nothing.
@@ -90,6 +100,9 @@ void server_simulator::set_fan_speed(std::size_t pair_index, util::rpm_t rpm) {
 }
 
 void server_simulator::set_all_fans(util::rpm_t rpm) {
+    if (monitor_) {
+        monitor_->observe_all_fan_commands(fans_.pair().clamp(rpm));
+    }
     if (!fault_.any_fan_fault()) {
         // Clamp once, detect a change in the same pass, and skip the
         // airflow (and conductance) update entirely when every pair
@@ -229,9 +242,14 @@ void server_simulator::step(util::seconds_t dt) {
     apply_heat(u_inst);
     thermal_.step(dt);
     now_s_ += dt.value();
+    if (monitor_) {
+        monitor_->step(dt, u_inst, imbalance_, thermal_.ambient(), fans_);
+    }
     record(u_target, u_inst);
     telemetry_.set_poll_suppressed(fault_.telemetry_lost(now_s_));
-    telemetry_.poll_due(now());
+    if (telemetry_.poll_due(now()) && monitor_) {
+        monitor_->on_poll(last_cpu_sensor_reads_);
+    }
 }
 
 void server_simulator::advance(util::seconds_t duration, util::seconds_t dt) {
@@ -256,17 +274,29 @@ void server_simulator::force_cold_start() {
         apply_heat(0.0);
         thermal_.settle_to_steady_state();
     }
+    if (monitor_) {
+        // The twin restarts with the plant: re-latch the cold-start
+        // commands, clear verdicts, and settle to the same idle state.
+        monitor_->reset(fans_, thermal_.ambient());
+        monitor_->settle(0.0, imbalance_, thermal_.ambient(), fans_);
+    }
     now_s_ = 0.0;
     fan_changes_ = 0;
     clear_trace();
     telemetry_.reset();
     telemetry_.poll_now(now());
+    if (monitor_) {
+        monitor_->on_poll(last_cpu_sensor_reads_);
+    }
 }
 
 void server_simulator::settle_at(double u_pct) {
     for (int i = 0; i < 12; ++i) {
         apply_heat(u_pct);
         thermal_.settle_to_steady_state();
+    }
+    if (monitor_) {
+        monitor_->settle(u_pct, imbalance_, thermal_.ambient(), fans_);
     }
 }
 
@@ -292,6 +322,11 @@ void server_simulator::snapshot_state(server_state& out) const {
     out.telemetry_last_poll_s = telemetry_.last_poll_time();
     out.telemetry_polled = telemetry_.ever_polled();
     out.fault = fault_;
+    if (monitor_) {
+        monitor_->save_state(out.monitor);
+    } else {
+        out.monitor = core::fault_monitor_state{};
+    }
 }
 
 server_state server_simulator::snapshot_state() const {
@@ -325,6 +360,9 @@ void server_simulator::restore_state(const server_state& state) {
     clear_trace();
     telemetry_.reset();
     telemetry_.restore_poll_clock(state.telemetry_last_poll_s, state.telemetry_polled);
+    if (monitor_) {
+        monitor_->restore_state(state.monitor, fans_);
+    }
 }
 
 util::watts_t steady_idle_power(const server_config& config, util::rpm_t fan_rpm) {
@@ -373,6 +411,15 @@ void server_simulator::record(double u_target, double u_inst) {
     row[trace_channel::leakage_power] = p.leakage.value();
     row[trace_channel::active_power] = p.active.value();
     row[trace_channel::avg_fan_rpm] = fans_.average_speed().value();
+    // record() runs before the step's poll check, so the age here is
+    // always finite after a cold start and grows to the poll period.
+    row[trace_channel::sensor_age] =
+        telemetry_.ever_polled() ? now_s_ - telemetry_.last_poll_time() : now_s_;
+    row[trace_channel::monitor_sensor_health] =
+        monitor_ ? static_cast<double>(static_cast<int>(monitor_->worst_sensor_health())) : 0.0;
+    row[trace_channel::monitor_fan_health] =
+        monitor_ ? static_cast<double>(static_cast<int>(monitor_->worst_fan_health())) : 0.0;
+    row[trace_channel::monitor_die_estimate] = monitor_ ? monitor_->max_die_estimate_c() : 0.0;
     trace_.append(now_s_, row);
 }
 

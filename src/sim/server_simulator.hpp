@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/fault_monitor.hpp"
 #include "power/fan_model.hpp"
 #include "power/leakage_model.hpp"
 #include "power/server_power_model.hpp"
@@ -79,6 +80,13 @@ public:
     }
     /// Live fault effects (which fans/sensors are degraded right now).
     [[nodiscard]] const fault_state& current_fault_state() const { return fault_; }
+
+    /// The residual monitor, or nullptr when config().monitor.enabled is
+    /// false.  Read-only: the monitor is a passive observer of the plant
+    /// (it never perturbs dynamics or the sensor RNG stream).
+    [[nodiscard]] const core::fault_monitor* monitor() const {
+        return monitor_ ? &*monitor_ : nullptr;
+    }
 
     /// Age of the last telemetry poll: now minus the last poll time, or
     /// +infinity before the first poll.  Under telemetry loss this grows
@@ -211,6 +219,7 @@ private:
 
     std::optional<fault_schedule> fault_schedule_;
     fault_state fault_;  ///< Always sized, so snapshots are always valid.
+    std::optional<core::fault_monitor> monitor_;  ///< Present iff config.monitor.enabled.
 
     // Cached latest sensor readings (refreshed at each telemetry poll).
     std::vector<double> last_cpu_sensor_reads_;

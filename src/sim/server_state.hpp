@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/fault_monitor.hpp"
 #include "sim/fault_schedule.hpp"
 #include "thermal/rc_network.hpp"
 #include "util/rng.hpp"
@@ -48,6 +49,11 @@ struct server_state {
     /// into rollout lanes degraded (the schedule itself is bound like
     /// the workload, not copied per snapshot).
     fault_state fault;
+    /// Residual-monitor state (twin thermal state, latched commands,
+    /// hysteresis counters); empty when the plant's monitor is disabled.
+    /// Mid-hysteresis verdicts restore bitwise — a sensor snapshotted
+    /// "suspect" resumes its escalation exactly where it stopped.
+    core::fault_monitor_state monitor;
 };
 
 }  // namespace ltsc::sim

@@ -9,11 +9,13 @@ namespace {
 constexpr const char* kChannelNames[trace_channel_count] = {
     "target_util", "instant_util",  "cpu0_temp", "cpu1_temp",     "avg_cpu_temp",
     "max_sensor_temp", "dimm_temp", "total_power", "fan_power",   "leakage_power",
-    "active_power", "avg_fan_rpm",
+    "active_power", "avg_fan_rpm",  "sensor_age", "monitor_sensor_health",
+    "monitor_fan_health", "monitor_die_estimate",
 };
 
 constexpr const char* kChannelUnits[trace_channel_count] = {
-    "pct", "pct", "degC", "degC", "degC", "degC", "degC", "W", "W", "W", "W", "RPM",
+    "pct", "pct", "degC", "degC", "degC", "degC",  "degC", "W",
+    "W",   "W",   "W",    "RPM",  "s",    "level", "level", "degC",
 };
 
 }  // namespace

@@ -1,8 +1,8 @@
 // Columnar per-step recording of a simulated server.
 //
-// Every plant step records the same 12 quantities at one timestamp.  The
-// trace is therefore a frame — one shared, monotonic time column plus 12
-// contiguous value columns — not 12 independent series: an append is a
+// Every plant step records the same 16 quantities at one timestamp.  The
+// trace is therefore a frame — one shared, monotonic time column plus 16
+// contiguous value columns — not 16 independent series: an append is a
 // single timestamp check and one row write, channels can never drift out
 // of step, and readers get cache-friendly contiguous columns.
 //
@@ -37,9 +37,13 @@ enum class trace_channel : std::size_t {
     leakage_power,    ///< Leakage component [W].
     active_power,     ///< Active component [W].
     avg_fan_rpm,      ///< Mean commanded RPM.
+    sensor_age,       ///< Age of the newest telemetry poll [s].
+    monitor_sensor_health,  ///< Worst monitor sensor verdict (0/1/2); 0 when off.
+    monitor_fan_health,     ///< Worst monitor fan-pair verdict (0/1/2); 0 when off.
+    monitor_die_estimate,   ///< Monitor's max modeled die temp [degC]; 0 when off.
 };
 
-inline constexpr std::size_t trace_channel_count = 12;
+inline constexpr std::size_t trace_channel_count = 16;
 
 /// Export name / unit label of a channel (e.g. "total_power" / "W").
 [[nodiscard]] const char* trace_channel_name(trace_channel c);
@@ -57,7 +61,7 @@ struct trace_row {
     }
 };
 
-/// Read-only view of a recorded trace: the 12 channels over one shared
+/// Read-only view of a recorded trace: the 16 channels over one shared
 /// time axis.  Cheap to copy; invalidated by any mutation of the store
 /// it was taken from (append/clear/destruction).
 class trace_view {
@@ -71,7 +75,7 @@ public:
         return channels_[static_cast<std::size_t>(c)];
     }
 
-    // Named channel accessors (the 12 recorded quantities).
+    // Named channel accessors (the 16 recorded quantities).
     [[nodiscard]] util::column_view target_util() const {
         return channel(trace_channel::target_util);
     }
@@ -99,6 +103,18 @@ public:
     }
     [[nodiscard]] util::column_view avg_fan_rpm() const {
         return channel(trace_channel::avg_fan_rpm);
+    }
+    [[nodiscard]] util::column_view sensor_age() const {
+        return channel(trace_channel::sensor_age);
+    }
+    [[nodiscard]] util::column_view monitor_sensor_health() const {
+        return channel(trace_channel::monitor_sensor_health);
+    }
+    [[nodiscard]] util::column_view monitor_fan_health() const {
+        return channel(trace_channel::monitor_fan_health);
+    }
+    [[nodiscard]] util::column_view monitor_die_estimate() const {
+        return channel(trace_channel::monitor_die_estimate);
     }
 
 private:
@@ -167,6 +183,18 @@ public:
     }
     [[nodiscard]] util::column_view avg_fan_rpm() const {
         return channel(trace_channel::avg_fan_rpm);
+    }
+    [[nodiscard]] util::column_view sensor_age() const {
+        return channel(trace_channel::sensor_age);
+    }
+    [[nodiscard]] util::column_view monitor_sensor_health() const {
+        return channel(trace_channel::monitor_sensor_health);
+    }
+    [[nodiscard]] util::column_view monitor_fan_health() const {
+        return channel(trace_channel::monitor_fan_health);
+    }
+    [[nodiscard]] util::column_view monitor_die_estimate() const {
+        return channel(trace_channel::monitor_die_estimate);
     }
 
     /// The underlying columnar storage.

@@ -49,7 +49,7 @@ void append_parsed(simulation_trace& out, double t, const trace_row& row) {
 
 [[nodiscard]] simulation_trace read_columnar(const util::csv_document& doc) {
     if (doc.header.size() != 1 + trace_channel_count) {
-        throw util::parse_error("read_trace_csv: columnar header must be time_s + 12 channels");
+        throw util::parse_error("read_trace_csv: columnar header must be time_s + 16 channels");
     }
     std::array<std::size_t, trace_channel_count> column_of{};  // channel -> CSV column
     std::array<bool, trace_channel_count> seen{};

@@ -205,6 +205,52 @@ TEST(FaultInjection, ScheduleValidatesEventsAndBindTargets) {
     EXPECT_EQ(sorted.events()[1].t_s, 50.0);
 }
 
+TEST(FaultInjection, ScheduleRejectsIncoherentOrderings) {
+    // A recovery with nothing to recover is a campaign-authoring bug,
+    // not a plant state: the constructor rejects it instead of letting
+    // the no-op silently change what a later onset means.
+    EXPECT_THROW(sim::fault_schedule({ev(10.0, sim::fault_kind::fan_recover, 0)}),
+                 util::precondition_error);
+    EXPECT_THROW(sim::fault_schedule({ev(10.0, sim::fault_kind::sensor_recover, 1)}),
+                 util::precondition_error);
+    EXPECT_THROW(  // recover sorts before its own fault
+        sim::fault_schedule({ev(20.0, sim::fault_kind::fan_failure, 0),
+                             ev(10.0, sim::fault_kind::fan_recover, 0)}),
+        util::precondition_error);
+    // Ordered fault -> recover -> fault again is coherent.
+    EXPECT_NO_THROW(sim::fault_schedule({ev(10.0, sim::fault_kind::fan_failure, 0),
+                                         ev(20.0, sim::fault_kind::fan_recover, 0),
+                                         ev(30.0, sim::fault_kind::fan_stuck_pwm, 0, k_nan)}));
+    // A dropout self-expires, so a recover inside its window is valid
+    // (cuts it short) but one after the window has nothing to act on.
+    EXPECT_NO_THROW(
+        sim::fault_schedule({ev(10.0, sim::fault_kind::sensor_dropout, 2, 0.0, 50.0),
+                             ev(40.0, sim::fault_kind::sensor_recover, 2)}));
+    EXPECT_THROW(sim::fault_schedule({ev(10.0, sim::fault_kind::sensor_dropout, 2, 0.0, 20.0),
+                                      ev(40.0, sim::fault_kind::sensor_recover, 2)}),
+                 util::precondition_error);
+}
+
+TEST(FaultInjection, ScheduleRejectsSameTickConflicts) {
+    // Two events of one component class landing on one target in the
+    // same tick have no defined winner; the constructor rejects them.
+    EXPECT_THROW(sim::fault_schedule({ev(10.0, sim::fault_kind::fan_failure, 0),
+                                      ev(10.0, sim::fault_kind::fan_stuck_pwm, 0, k_nan)}),
+                 util::precondition_error);
+    EXPECT_THROW(sim::fault_schedule({ev(10.0, sim::fault_kind::sensor_bias, 1, 2.0),
+                                      ev(10.0, sim::fault_kind::sensor_stuck, 1, k_nan)}),
+                 util::precondition_error);
+    EXPECT_THROW(
+        sim::fault_schedule({ev(10.0, sim::fault_kind::telemetry_loss, 0, 0.0, 5.0),
+                             ev(10.0, sim::fault_kind::telemetry_loss, 0, 0.0, 9.0)}),
+        util::precondition_error);
+    // Distinct targets at one tick are exactly what correlated
+    // campaigns emit — they stay valid.
+    EXPECT_NO_THROW(sim::fault_schedule({ev(10.0, sim::fault_kind::fan_failure, 0),
+                                         ev(10.0, sim::fault_kind::fan_failure, 1),
+                                         ev(10.0, sim::fault_kind::sensor_bias, 0, 2.0)}));
+}
+
 TEST(FaultInjection, EmptyScheduleIsBitwiseHealthy) {
     const auto profile = steady(70.0, 600.0);
     sim::server_simulator healthy;
@@ -507,15 +553,14 @@ TEST(FaultInjection, RolloutDegradesToBaselineUnderActiveFault) {
     roll_h.attach_plant(nullptr);
 }
 
-TEST(FaultInjection, NegativeBiasDefeatsTheGuard) {
-    // Documented limitation: a sensor lying *cool* looks fresh and
-    // healthy, so every sensor-driven guard (bang-bang band, failsafe
-    // staleness) is blind to the excursion it hides.  With all four
-    // sensors biased -15 degC at full load, the bang-bang controller
-    // parks the fans at minimum while the true dies run far hotter than
-    // any healthy run — which is exactly why the chaos sweep's envelope
-    // invariant is only claimed for the truthful-guard campaign class
-    // (non-negative bias, one truthful sensor per die).
+TEST(FaultInjection, NegativeBiasDefeatsTheGuardWithoutMonitor) {
+    // The threat the residual monitor exists for: a sensor lying *cool*
+    // looks fresh and healthy, so every guard steering on raw readings
+    // (bang-bang band, failsafe staleness) is blind to the excursion it
+    // hides.  With all four sensors biased -15 degC at full load, the
+    // bang-bang controller parks the fans at minimum while the true dies
+    // run far hotter than any healthy run.  The mitigation is pinned in
+    // NegativeBiasContainedWithMonitor below.
     const auto profile = steady(100.0, 900.0);
     std::vector<sim::fault_event> lying;
     for (std::size_t sensor = 0; sensor < 4; ++sensor) {
@@ -534,6 +579,36 @@ TEST(FaultInjection, NegativeBiasDefeatsTheGuard) {
         return std::max(t.cpu0_temp().max(), t.cpu1_temp().max());
     };
     EXPECT_GT(max_die(blinded), max_die(healthy) + 3.0);
+}
+
+TEST(FaultInjection, NegativeBiasContainedWithMonitor) {
+    // Same all-sensor -15 degC lie, same full load — but the plant runs
+    // the residual monitor and the failsafe acts on its verdicts: lying
+    // sensors are excluded from the guard in favor of the model-backed
+    // die estimates, so the fans keep tracking the *true* temperature
+    // and the hidden excursion never develops.
+    const auto profile = steady(100.0, 900.0);
+    std::vector<sim::fault_event> lying;
+    for (std::size_t sensor = 0; sensor < 4; ++sensor) {
+        lying.push_back(ev(0.0, sim::fault_kind::sensor_bias, sensor, -15.0));
+    }
+    sim::server_config monitored = sim::paper_server();
+    monitored.monitor.enabled = true;
+    sim::server_simulator healthy(monitored);
+    sim::server_simulator blinded(monitored);
+    blinded.bind_fault_schedule(sim::fault_schedule(std::move(lying)));
+    core::failsafe_controller safe_h(std::make_unique<core::bang_bang_controller>());
+    core::failsafe_controller safe_b(std::make_unique<core::bang_bang_controller>());
+    static_cast<void>(core::run_controlled(healthy, safe_h, profile));
+    static_cast<void>(core::run_controlled(blinded, safe_b, profile));
+
+    const auto max_die = [](const sim::server_simulator& s) {
+        const sim::trace_view t = s.trace().view();
+        return std::max(t.cpu0_temp().max(), t.cpu1_temp().max());
+    };
+    EXPECT_TRUE(safe_b.sensor_override());  // lying sensors still excluded at the end
+    EXPECT_FALSE(safe_h.sensor_override());
+    EXPECT_LT(max_die(blinded), max_die(healthy) + 2.0);
 }
 
 }  // namespace

@@ -1,0 +1,345 @@
+// Model-based fault detection: the residual monitor as a passive
+// observer (monitor-on == monitor-off bitwise on every plant channel),
+// verdict hysteresis against lying sensors and degraded fans, the
+// sensor_age / monitor trace channels, detection summaries, snapshot/
+// restore mid-hysteresis, and the monitor-backed recovery upgrades
+// (failsafe override, rollout re-planning past a characterized fault).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/bang_bang_controller.hpp"
+#include "core/controller_runtime.hpp"
+#include "core/failsafe_controller.hpp"
+#include "core/fault_monitor.hpp"
+#include "core/rollout_controller.hpp"
+#include "sim/fault_schedule.hpp"
+#include "sim/metrics.hpp"
+#include "sim/fault_campaign.hpp"
+#include "sim/server_batch.hpp"
+#include "sim/server_simulator.hpp"
+#include "workload/paper_tests.hpp"
+#include "workload/profile.hpp"
+
+namespace {
+
+using namespace ltsc;
+using namespace ltsc::util::literals;
+
+using core::component_health;
+
+sim::fault_event ev(double t, sim::fault_kind kind, std::size_t target = 0, double value = 0.0,
+                    double duration = 0.0) {
+    sim::fault_event e;
+    e.t_s = t;
+    e.kind = kind;
+    e.target = target;
+    e.value = value;
+    e.duration_s = duration;
+    return e;
+}
+
+workload::utilization_profile steady(double pct, double duration_s) {
+    workload::utilization_profile p("steady");
+    p.constant(pct, util::seconds_t{duration_s});
+    return p;
+}
+
+sim::server_config monitored_server() {
+    sim::server_config config = sim::paper_server();
+    config.monitor.enabled = true;
+    return config;
+}
+
+void expect_traces_identical(const sim::trace_view& a, const sim::trace_view& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t c = 0; c < sim::trace_channel_count; ++c) {
+        SCOPED_TRACE(sim::trace_channel_name(static_cast<sim::trace_channel>(c)));
+        const util::column_view ca = a.channel(static_cast<sim::trace_channel>(c));
+        const util::column_view cb = b.channel(static_cast<sim::trace_channel>(c));
+        for (std::size_t j = 0; j < ca.size(); ++j) {
+            ASSERT_EQ(ca.t(j), cb.t(j)) << "time diverged at row " << j;
+            ASSERT_EQ(ca.v(j), cb.v(j)) << "value diverged at row " << j;
+        }
+    }
+}
+
+TEST(FaultMonitor, IsAPassiveObserverOfThePlant) {
+    // Monitor-on must change nothing about the plant trajectory: every
+    // pre-existing channel is bitwise the monitor-off run's, and the
+    // monitor-off run records all-zero verdict channels.
+    const auto profile = steady(70.0, 600.0);
+    sim::server_simulator off;  // paper default: monitor disabled
+    sim::server_simulator on(monitored_server());
+    core::bang_bang_controller bang_off;
+    core::bang_bang_controller bang_on;
+    static_cast<void>(core::run_controlled(off, bang_off, profile));
+    static_cast<void>(core::run_controlled(on, bang_on, profile));
+
+    const sim::trace_view a = off.trace().view();
+    const sim::trace_view b = on.trace().view();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t c = 0; c < sim::trace_channel_count; ++c) {
+        const auto channel = static_cast<sim::trace_channel>(c);
+        if (channel == sim::trace_channel::monitor_sensor_health ||
+            channel == sim::trace_channel::monitor_fan_health ||
+            channel == sim::trace_channel::monitor_die_estimate) {
+            continue;
+        }
+        SCOPED_TRACE(sim::trace_channel_name(channel));
+        const util::column_view ca = a.channel(channel);
+        const util::column_view cb = b.channel(channel);
+        for (std::size_t j = 0; j < ca.size(); ++j) {
+            ASSERT_EQ(ca.v(j), cb.v(j)) << "row " << j;
+        }
+    }
+    EXPECT_EQ(a.monitor_sensor_health().max(), 0.0);
+    EXPECT_EQ(a.monitor_fan_health().max(), 0.0);
+    EXPECT_EQ(a.monitor_die_estimate().max(), 0.0);
+    EXPECT_EQ(off.monitor(), nullptr);
+    ASSERT_NE(on.monitor(), nullptr);
+    // The twin actually tracked the plant: its die estimate sits within
+    // a couple of degrees of the true die temperature throughout.
+    const util::column_view est = b.monitor_die_estimate();
+    const util::column_view die0 = b.cpu0_temp();
+    const util::column_view die1 = b.cpu1_temp();
+    for (std::size_t j = 0; j < est.size(); ++j) {
+        const double true_max = std::max(die0.v(j), die1.v(j));
+        ASSERT_NEAR(est.v(j), true_max, 2.0) << "row " << j;
+    }
+}
+
+TEST(FaultMonitor, HealthyRunRaisesNoAlarms) {
+    // The honest sensor error (placement spread + noise + quantization)
+    // stays far below the 3 degC residual threshold, so a healthy run
+    // must produce zero false positives — the property the healthy leg
+    // of every chaos campaign re-asserts over hundreds of seeds.
+    workload::utilization_profile profile("mixed");
+    profile.constant(90.0, 300_s).constant(30.0, 300_s).ramp(30.0, 100.0, 200_s).idle(100_s);
+    sim::server_simulator s(monitored_server());
+    core::failsafe_controller safe(std::make_unique<core::bang_bang_controller>());
+    static_cast<void>(core::run_controlled(s, safe, profile));
+    const sim::detection_summary d = sim::compute_detection_summary(s.trace().view());
+    EXPECT_EQ(d.alarm_steps, 0U);
+    EXPECT_EQ(d.alarm_fraction(), 0.0);
+    EXPECT_EQ(d.first_sensor_alarm_s, -1.0);
+    EXPECT_EQ(d.first_fan_alarm_s, -1.0);
+    EXPECT_EQ(s.monitor()->worst_sensor_health(), component_health::healthy);
+    EXPECT_EQ(s.monitor()->worst_fan_health(), component_health::healthy);
+}
+
+TEST(FaultMonitor, LyingSensorWalksSuspectFailedHealthy) {
+    // Polls land every 10 s (0, 10, 20, ...).  A -10 degC bias from
+    // t = 45 turns polls 50/60/70/80 bad: suspect after 2, failed after
+    // 4.  Recovery at 200 makes polls 210/220 good: healthy after 2.
+    sim::server_simulator s(monitored_server());
+    s.bind_workload(steady(60.0, 400.0));
+    s.bind_fault_schedule(
+        sim::fault_schedule({ev(45.0, sim::fault_kind::sensor_bias, 0, -10.0),
+                             ev(200.0, sim::fault_kind::sensor_recover, 0)}));
+    s.force_cold_start();
+    const core::fault_monitor* mon = s.monitor();
+    ASSERT_NE(mon, nullptr);
+
+    s.advance(55_s);  // one bad poll (t = 50)
+    EXPECT_EQ(mon->sensor_health(0), component_health::healthy);
+    s.advance(10_s);  // second bad poll (t = 60)
+    EXPECT_EQ(mon->sensor_health(0), component_health::suspect);
+    EXPECT_LT(mon->sensor_residual_c(0), -3.0);  // signed: lying cool
+    s.advance(20_s);  // fourth bad poll (t = 80)
+    EXPECT_EQ(mon->sensor_health(0), component_health::failed);
+    EXPECT_EQ(mon->worst_sensor_health(), component_health::failed);
+    // The partner sensor on the same die stays trusted.
+    EXPECT_EQ(mon->sensor_health(1), component_health::healthy);
+
+    s.advance(120_s);  // t = 205: recovered, but no clean poll scored yet
+    EXPECT_EQ(mon->sensor_health(0), component_health::failed);
+    s.advance(20_s);  // polls 210 and 220 both clean
+    EXPECT_EQ(mon->sensor_health(0), component_health::healthy);
+}
+
+TEST(FaultMonitor, DeadAndStuckFansAreDetected) {
+    sim::server_simulator s(monitored_server());
+    s.bind_workload(steady(50.0, 600.0));
+    s.bind_fault_schedule(
+        sim::fault_schedule({ev(50.0, sim::fault_kind::fan_failure, 1),
+                             ev(150.0, sim::fault_kind::fan_recover, 1),
+                             ev(300.0, sim::fault_kind::fan_stuck_pwm, 0,
+                                std::numeric_limits<double>::quiet_NaN())}));
+    s.force_cold_start();
+    s.set_all_fans(3000_rpm);
+    const core::fault_monitor* mon = s.monitor();
+    ASSERT_NE(mon, nullptr);
+
+    s.advance(49_s);
+    EXPECT_EQ(mon->worst_fan_health(), component_health::healthy);
+    s.advance(10_s);  // tach reads 0 against a 3000 RPM command
+    EXPECT_EQ(mon->fan_health(1), component_health::failed);
+    EXPECT_EQ(mon->fan_health(0), component_health::healthy);
+
+    s.advance(100_s);  // recovered at 150; residual collapses
+    EXPECT_EQ(mon->fan_health(1), component_health::healthy);
+
+    // A rotor stuck *at its commanded speed* is observationally healthy;
+    // the residual only opens once the controller asks for a new speed.
+    s.advance(150_s);  // t = 309, stuck at 3000 since 300
+    EXPECT_EQ(mon->fan_health(0), component_health::healthy);
+    s.set_fan_speed(0, 2400_rpm);  // latched by the fault, not actuated
+    s.advance(10_s);
+    EXPECT_EQ(mon->fan_health(0), component_health::failed);
+}
+
+TEST(FaultMonitor, SensorAgeChannelTracksThePollClock) {
+    // The new sensor_age channel records now - last_poll every step: it
+    // saw-tooths within the 10 s cadence normally and climbs through a
+    // telemetry outage — the failsafe's staleness evidence, now on the
+    // trace for post-hoc analysis.
+    sim::server_simulator s;  // monitor-off: the channel is telemetry-derived
+    s.bind_fault_schedule(
+        sim::fault_schedule({ev(100.0, sim::fault_kind::telemetry_loss, 0, 0.0, 60.0)}));
+    core::failsafe_controller safe(std::make_unique<core::bang_bang_controller>());
+    static_cast<void>(core::run_controlled(s, safe, steady(50.0, 300.0)));
+    const util::column_view age = s.trace().view().sensor_age();
+    EXPECT_LE(age.max(0.0, 99.0), 10.0);
+    EXPECT_GE(age.max(100.0, 160.0), 59.0);  // grew through the outage
+    EXPECT_LE(age.max(200.0, 299.0), 10.0);  // cadence restored
+}
+
+TEST(FaultMonitor, SnapshotRestoresMidSuspectBitwiseScalar) {
+    // Snapshot while a sensor verdict is mid-hysteresis (suspect, two of
+    // four bad polls counted): the restored twin must walk the identical
+    // suspect -> failed -> healthy path and step bitwise thereafter.
+    const auto profile = steady(60.0, 500.0);
+    const sim::fault_schedule campaign({ev(45.0, sim::fault_kind::sensor_bias, 2, -8.0),
+                                        ev(200.0, sim::fault_kind::sensor_recover, 2)});
+    sim::server_simulator a(monitored_server());
+    a.bind_workload(profile);
+    a.bind_fault_schedule(campaign);
+    a.force_cold_start();
+    a.advance(65_s);  // polls at 50 and 60 scored bad: suspect, not failed
+    ASSERT_EQ(a.monitor()->sensor_health(2), component_health::suspect);
+    const sim::server_state snap = a.snapshot_state();
+
+    sim::server_simulator b(monitored_server());
+    b.bind_workload(profile);
+    b.bind_fault_schedule(campaign);
+    b.restore_state(snap);
+    ASSERT_EQ(b.monitor()->sensor_health(2), component_health::suspect);
+    a.clear_trace();
+
+    a.advance(300_s);  // through failed, recovery, and re-clearing
+    b.advance(300_s);
+    expect_traces_identical(a.trace(), b.trace());
+    EXPECT_EQ(a.monitor()->sensor_health(2), b.monitor()->sensor_health(2));
+    EXPECT_EQ(a.cpu_sensor_temps(), b.cpu_sensor_temps());
+}
+
+TEST(FaultMonitor, SnapshotRestoresMidSuspectBitwiseBatch) {
+    // The same mid-hysteresis contract through the batched plant: lane
+    // state captured at suspect restores into a fresh batch and the two
+    // lanes step bitwise, monitor channels included.
+    const auto profile = steady(60.0, 500.0);
+    const sim::fault_schedule campaign({ev(45.0, sim::fault_kind::sensor_bias, 2, -8.0),
+                                        ev(200.0, sim::fault_kind::sensor_recover, 2)});
+    sim::server_batch a(monitored_server(), 2);
+    a.bind_workload(0, profile);
+    a.bind_workload(1, profile);
+    a.bind_fault_schedule(0, campaign);
+    a.force_cold_start();
+    for (int i = 0; i < 65; ++i) {
+        a.step();
+    }
+    ASSERT_NE(a.monitor(0), nullptr);
+    ASSERT_EQ(a.monitor(0)->sensor_health(2), component_health::suspect);
+    sim::server_state snap;
+    a.snapshot_lane_state(0, snap);
+
+    sim::server_batch b(monitored_server(), 2);
+    b.bind_workload(0, profile);
+    b.bind_workload(1, profile);
+    b.bind_fault_schedule(0, campaign);
+    b.load_lane_state(0, snap);
+    ASSERT_EQ(b.monitor(0)->sensor_health(2), component_health::suspect);
+    a.clear_trace(0);
+    b.clear_trace(0);
+
+    for (int i = 0; i < 300; ++i) {
+        a.step();
+        b.step();
+    }
+    expect_traces_identical(a.trace(0), b.trace(0));
+    EXPECT_EQ(a.monitor(0)->sensor_health(2), b.monitor(0)->sensor_health(2));
+}
+
+TEST(FaultMonitor, BatchLanesMatchScalarWithMonitor) {
+    // A monitored faulted lane is bitwise the monitored faulted scalar
+    // plant — the monitor's wiring order (step, then poll, then record)
+    // is identical in both drivers.
+    const auto profile = steady(65.0, 600.0);
+    const sim::fault_schedule campaign = sim::make_lying_sensor_campaign(9);
+
+    sim::server_batch batch(monitored_server(), 2);
+    batch.bind_fault_schedule(0, campaign);
+    core::failsafe_controller c0(std::make_unique<core::bang_bang_controller>());
+    core::failsafe_controller c1(std::make_unique<core::bang_bang_controller>());
+    static_cast<void>(core::run_controlled_batch(batch, {&c0, &c1}, {profile, profile}));
+
+    sim::server_simulator faulted(monitored_server());
+    faulted.bind_fault_schedule(campaign);
+    sim::server_simulator healthy(monitored_server());
+    core::failsafe_controller s0(std::make_unique<core::bang_bang_controller>());
+    core::failsafe_controller s1(std::make_unique<core::bang_bang_controller>());
+    static_cast<void>(core::run_controlled(faulted, s0, profile));
+    static_cast<void>(core::run_controlled(healthy, s1, profile));
+
+    expect_traces_identical(batch.trace(0), faulted.trace());
+    expect_traces_identical(batch.trace(1), healthy.trace());
+}
+
+TEST(FaultMonitor, RolloutRePlansPastDetectedDeadFan) {
+    // The recovery upgrade this PR buys: under PR 6 semantics a rollout
+    // controller abandons its lookahead for the baseline whenever any
+    // fault is active — for a 10-minute dead-fan outage that means
+    // baseline control for the whole window.  With the monitor
+    // validating the plant view, the rollout keeps planning *through*
+    // the characterized fault (the snapshot it rolls out from carries
+    // the dead pair), and wins back the lookahead's energy on a Table-I
+    // scenario at the same envelope.  (The outage is bounded: a pair
+    // that stays dead into Test-2's sustained 100 % segments runs the
+    // leakage feedback away — no controller can stabilize that zone.)
+    const workload::utilization_profile profile =
+        workload::make_paper_test(workload::paper_test::test2_periods);
+    const sim::fault_schedule campaign({ev(300.0, sim::fault_kind::fan_failure, 0),
+                                        ev(900.0, sim::fault_kind::fan_recover, 0)});
+    core::rollout_controller_config cfg;
+    cfg.horizon = 60_s;
+    cfg.lattice_radius = 2;
+
+    const auto run = [&](bool monitored) {
+        sim::server_config config = sim::paper_server();
+        config.monitor.enabled = monitored;
+        sim::server_simulator s(config);
+        s.bind_fault_schedule(campaign);
+        core::rollout_controller roll(std::make_unique<core::bang_bang_controller>(), cfg);
+        const sim::run_metrics m = core::run_controlled(s, roll, profile);
+        const sim::trace_view t = s.trace().view();
+        const double max_die = std::max(t.cpu0_temp().max(), t.cpu1_temp().max());
+        return std::make_pair(m, max_die);
+    };
+    const auto [m_degrade, die_degrade] = run(false);
+    const auto [m_replan, die_replan] = run(true);
+
+    const sim::fault_campaign_limits limits;
+    EXPECT_LE(die_degrade, limits.fan_fault_envelope_c);
+    EXPECT_LE(die_replan, limits.fan_fault_envelope_c);
+    // Same safety envelope, strictly less energy: re-planning beats
+    // degrade-to-baseline on the faulted scenario.
+    EXPECT_LT(m_replan.energy_kwh, m_degrade.energy_kwh);
+}
+
+}  // namespace

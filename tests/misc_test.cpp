@@ -89,7 +89,7 @@ protected:
 
 TEST_F(TraceFixture, NamedSeriesCoverAllChannels) {
     const auto series = sim::to_named_series(sim_.trace());
-    EXPECT_EQ(series.size(), 12U);
+    EXPECT_EQ(series.size(), 16U);
     for (const auto& s : series) {
         EXPECT_FALSE(s.name.empty());
         EXPECT_FALSE(s.unit.empty());
@@ -99,11 +99,11 @@ TEST_F(TraceFixture, NamedSeriesCoverAllChannels) {
 
 TEST_F(TraceFixture, ColumnarCsvParsesBack) {
     // Columnar layout: the shared time axis appears once, so the dump is
-    // one row per recorded step instead of 12.
+    // one row per recorded step instead of 16.
     std::ostringstream os;
     sim::write_trace_csv(os, sim_.trace());
     const auto doc = util::parse_csv(os.str());
-    EXPECT_EQ(doc.header.size(), 13U);  // time_s + 12 channels
+    EXPECT_EQ(doc.header.size(), 17U);  // time_s + 16 channels
     EXPECT_EQ(doc.header.front(), "time_s");
     EXPECT_EQ(doc.rows.size(), sim_.trace().total_power().size());
 
@@ -117,7 +117,7 @@ TEST_F(TraceFixture, WideCsvHasOneColumnPerChannel) {
     std::ostringstream os;
     sim::write_trace_csv_wide(os, sim_.trace(), 10.0);
     const auto doc = util::parse_csv(os.str());
-    EXPECT_EQ(doc.header.size(), 13U);  // time + 12 channels
+    EXPECT_EQ(doc.header.size(), 17U);  // time + 16 channels
     EXPECT_GE(doc.rows.size(), 12U);    // 120 s / 10 s
     EXPECT_EQ(doc.header.front(), "time_s");
 }
