@@ -9,9 +9,10 @@
 // campaign the schedule size, fault mix, max true die temperature of
 // both twins, the energy regret, and (when monitored) the detection
 // stats.  `class` selects the generator: survivable (default),
-// lying_sensor, or correlated; `monitored` (0/1) runs both legs with
-// the residual monitor — it defaults on for the lying-sensor class,
-// whose envelope is only defensible with the monitor-backed failsafe.
+// lying_sensor, correlated, or drifting_sensor; `monitored` (0/1) runs
+// both legs with the residual monitor — it defaults on for the
+// lying-sensor and drifting-sensor classes, whose envelopes are only
+// defensible with the monitor-backed failsafe.
 // Exits nonzero if any campaign violates the calibrated invariants
 // (thermal envelope, bounded energy regret) — the CI chaos gates.
 #include <algorithm>
@@ -48,12 +49,14 @@ sim::campaign_class class_arg(int argc, char** argv, int index) {
     }
     for (const sim::campaign_class c :
          {sim::campaign_class::survivable, sim::campaign_class::lying_sensor,
-          sim::campaign_class::correlated}) {
+          sim::campaign_class::correlated, sim::campaign_class::drifting_sensor}) {
         if (std::strcmp(argv[index], sim::to_string(c)) == 0) {
             return c;
         }
     }
-    std::fprintf(stderr, "fault_campaign: unknown class '%s' (survivable|lying_sensor|correlated)\n",
+    std::fprintf(stderr,
+                 "fault_campaign: unknown class '%s' "
+                 "(survivable|lying_sensor|correlated|drifting_sensor)\n",
                  argv[index]);
     std::exit(2);
 }
@@ -78,7 +81,11 @@ int main(int argc, char** argv) {
     const long base_seed = arg_or(argc, argv, 2, 1);
     const sim::campaign_class fault_class = class_arg(argc, argv, 3);
     const bool monitored =
-        arg_or(argc, argv, 4, fault_class == sim::campaign_class::lying_sensor ? 1 : 0) != 0;
+        arg_or(argc, argv, 4,
+               fault_class == sim::campaign_class::lying_sensor ||
+                       fault_class == sim::campaign_class::drifting_sensor
+                   ? 1
+                   : 0) != 0;
 
     sim::fault_campaign_options options;
     options.fault_class = fault_class;

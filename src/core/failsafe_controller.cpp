@@ -22,6 +22,19 @@ namespace {
     return false;
 }
 
+/// Whether the monitor marks any fan pair failed on this plant.
+[[nodiscard]] bool any_fan_failed(const controller_inputs& in) {
+    if (!in.monitor_valid) {
+        return false;
+    }
+    for (const std::uint8_t h : in.fan_health) {
+        if (h == static_cast<std::uint8_t>(component_health::failed)) {
+            return true;
+        }
+    }
+    return false;
+}
+
 /// The die temperature worth trusting: the hottest *healthy* sensor on
 /// the die, or the monitor's model estimate when the die has none left.
 [[nodiscard]] double trusted_die_temp_c(const controller_inputs& in, std::size_t die) {
@@ -58,6 +71,7 @@ void failsafe_controller::reset() {
     baseline_->reset();
     engaged_ = false;
     sensor_override_ = false;
+    fan_override_ = false;
 }
 
 void failsafe_controller::attach_plant(const plant_access* plant) {
@@ -83,7 +97,8 @@ std::optional<util::rpm_t> failsafe_controller::decide(const controller_inputs& 
     } else {
         baseline_cmd = baseline_->decide(in);
     }
-    if (in.sensor_age_s > config_.stale_after_s) {
+    fan_override_ = config_.fan_override && any_fan_failed(in);
+    if (in.sensor_age_s > config_.stale_after_s || fan_override_) {
         engaged_ = true;
         return config_.failsafe_rpm;
     }

@@ -26,11 +26,15 @@
 // (controller_inputs::monitor_valid): readings from sensors the monitor
 // marks suspect/failed are excluded from the temperatures the baseline
 // sees, replaced by the healthy sensors on the same die or — when a die
-// has none left — by the monitor's model estimate.  With every sensor
-// healthy (or without a monitor) decisions are bitwise the baseline's;
-// the unmonitored defeat is pinned in
-// FaultInjection.NegativeBiasDefeatsTheGuardWithoutMonitor and the
-// monitored mitigation in FaultInjection.NegativeBiasContainedWithMonitor.
+// has none left — by the monitor's model estimate.  When the monitor
+// marks a *fan pair* failed (a dead rotor, or a lying tach unmasked by
+// the thermal cross-check), the wrapper commands maximum cooling from
+// the surviving pairs: lost airflow cannot be reasoned around, only
+// compensated.  With every component healthy (or without a monitor)
+// decisions are bitwise the baseline's; the unmonitored defeat is
+// pinned in FaultInjection.NegativeBiasDefeatsTheGuardWithoutMonitor
+// and the monitored mitigation in
+// FaultInjection.NegativeBiasContainedWithMonitor.
 #pragma once
 
 #include <memory>
@@ -49,6 +53,10 @@ struct failsafe_config {
     double stale_after_s = 25.0;
     /// Speed commanded while engaged (maximum cooling).
     util::rpm_t failsafe_rpm{4200.0};
+    /// Command `failsafe_rpm` while the residual monitor marks any fan
+    /// pair failed: a dead or lying pair starves its zone of airflow,
+    /// and the surviving pairs' 30 % mixing share is all that cools it.
+    bool fan_override = true;
 };
 
 /// Failsafe wrapper around any baseline fan controller.
@@ -70,12 +78,16 @@ public:
     /// Whether the last decision replaced distrusted sensor readings
     /// with monitor-backed estimates before consulting the baseline.
     [[nodiscard]] bool sensor_override() const { return sensor_override_; }
+    /// Whether the last decision forced maximum cooling because the
+    /// monitor marked a fan pair failed.
+    [[nodiscard]] bool fan_override() const { return fan_override_; }
 
 private:
     std::unique_ptr<fan_controller> baseline_;
     failsafe_config config_;
     bool engaged_ = false;
     bool sensor_override_ = false;
+    bool fan_override_ = false;
 };
 
 }  // namespace ltsc::core

@@ -16,19 +16,50 @@
 //     error; the hysteresis knobs below exist for exactly that.)
 //   * fan residual = |last commanded RPM - tachometer RPM| per pair.
 //     A healthy pair tracks its command exactly; a failed rotor reads 0.
+//     For `fan_command_grace_steps` after a command *change* the residual
+//     also accepts the previous command, so tach-reporting lag during a
+//     legitimate ramp never counts as a fault — while a rotor matching
+//     neither command (dead) keeps counting through the grace window.
+//   * sensor CUSUM = one-sided accumulated residual per sensor.  Each
+//     poll adds `residual - sensor_cusum_k_c` to a positive sum and
+//     `-residual - sensor_cusum_k_c` to a negative one, both clamped to
+//     [0, sensor_cusum_h_c]; reaching the bound is an alarm.  The drift
+//     allowance `k` sits above the honest-residual envelope, so healthy
+//     noise never accumulates, while a sustained sub-threshold drift of
+//     rate r crosses the bound about h/(r - k_excess) polls after the
+//     drift clears the allowance — bounded latency for faults the
+//     instantaneous threshold is structurally blind to.
+//   * fan thermal cross-check = tach-distrust.  The twin follows the
+//     *tach-reported* airflow, so on honest hardware it tracks the true
+//     die exactly.  When every sensor of a die runs persistently hotter
+//     than the twin (lost-cooling direction) while some fan pair's tach
+//     still agrees with its command, the tach is the liar: the monitor
+//     attributes the divergence to the command-quiet pairs (suspect ->
+//     failed through `fan_thermal_*_polls` hysteresis) instead of
+//     flagging sensors that are telling the truth.  While the
+//     attribution is live, *hot-direction* sensor verdicts are
+//     suppressed plant-wide — a lying tach makes the twin's airflow
+//     picture wrong everywhere (the dead zone's heat couples into its
+//     neighbours), so hotter-than-twin readings corroborate the fan
+//     fault.  Cool-direction residuals, the dangerous lie, are never
+//     suppressed.
 //
 // Residuals feed per-component health verdicts through hysteresis
 // counters: `sensor_suspect_polls` consecutive out-of-band polls flag a
 // sensor suspect, `sensor_fail_polls` fail it, `sensor_clear_polls`
-// clean polls clear it (fans likewise, counted in plant steps).
+// clean polls clear it (fans likewise, counted in plant steps).  A
+// pair's reported health is the worst of its tach-residual and thermal
+// cross-check verdicts.
 //
 // What the monitor can catch: stuck/biased/dropout-held sensor readings
 // once they diverge from the modeled die by more than the threshold,
-// dead fan pairs, and stuck-PWM pairs *once the controller commands a
-// different speed* (a rotor stuck exactly at its commanded speed is
-// observationally healthy — inherent to command/tach residuals).  What
-// it cannot catch: sensor errors below the threshold, and faults in the
-// quantities it trusts (utilization counter, ambient, tachometers).
+// slow drifts and intermittent biases once their accumulated residual
+// crosses the CUSUM bound, dead fan pairs, stuck-PWM pairs *once the
+// controller commands a different speed*, and tach-stuck pairs whose
+// lying tachometer masks a lost rotor (via the thermal cross-check).
+// Remaining blind spots: sensor errors whose accumulated drift stays
+// under the CUSUM allowance, and faults in the utilization counter or
+// ambient feed.
 //
 // The monitor is a passive observer: it never touches the plant's RNG
 // or dynamics, so a monitor-on run records the same plant trajectory
@@ -63,10 +94,31 @@ struct fault_monitor_config {
     int sensor_fail_polls = 4;       ///< Consecutive bad polls before "failed".
     int sensor_clear_polls = 2;      ///< Consecutive good polls before "healthy".
 
+    /// CUSUM drift allowance per poll [degC].  Sits above the honest
+    /// residual envelope (±1 placement + 3σ ≈ 0.45 noise + 0.25
+    /// quantization ≈ 1.7), so healthy polls drive the sums to zero.
+    double sensor_cusum_k_c = 1.75;
+    /// CUSUM decision bound [degC·polls].  Sums clamp to [0, h]; an
+    /// update landing on the bound is the alarm.  The clamp caps the
+    /// post-recovery decay at ~h/k polls, keeping clear latency bounded.
+    double sensor_cusum_h_c = 5.0;
+
     double fan_residual_rpm = 60.0;  ///< |commanded - tach| alarm threshold [RPM].
     int fan_suspect_steps = 2;       ///< Consecutive bad steps before "suspect".
     int fan_fail_steps = 5;          ///< Consecutive bad steps before "failed".
     int fan_clear_steps = 2;         ///< Consecutive good steps before "healthy".
+    /// Steps after a command *change* during which the fan residual also
+    /// accepts the previous command (tach-reporting lag on a ramp is not
+    /// a fault; a rotor matching neither command still counts bad).
+    int fan_command_grace_steps = 2;
+
+    /// Die-wide positive sensor/twin divergence [degC] that triggers the
+    /// tach-distrust cross-check when some pair's tach agrees with its
+    /// command (lost cooling the tach residual cannot see).
+    double fan_thermal_residual_c = 3.0;
+    int fan_thermal_suspect_polls = 2;  ///< Bad polls before thermal "suspect".
+    int fan_thermal_fail_polls = 4;     ///< Bad polls before thermal "failed".
+    int fan_thermal_clear_polls = 2;    ///< Good polls before thermal "healthy".
 };
 
 /// Everything the twin needs to replicate the plant's heat arithmetic;
@@ -89,13 +141,20 @@ struct fault_monitor_plant {
 struct fault_monitor_state {
     thermal::rc_state twin;
     std::vector<double> commanded_rpm;
+    std::vector<double> fan_prev_rpm;
+    std::vector<int> fan_grace_steps;
     std::vector<std::uint8_t> fan_health;
     std::vector<int> fan_bad_steps;
     std::vector<int> fan_good_steps;
+    std::vector<std::uint8_t> fan_thermal_health;
+    std::vector<int> fan_thermal_bad_polls;
+    std::vector<int> fan_thermal_good_polls;
     std::vector<std::uint8_t> sensor_health;
     std::vector<int> sensor_bad_polls;
     std::vector<int> sensor_good_polls;
     std::vector<double> sensor_residual_c;
+    std::vector<double> sensor_cusum_pos_c;
+    std::vector<double> sensor_cusum_neg_c;
 };
 
 class fault_monitor {
@@ -132,11 +191,16 @@ public:
     [[nodiscard]] std::size_t sensor_count() const { return sensor_health_.size(); }
     [[nodiscard]] std::size_t fan_pair_count() const { return fan_health_.size(); }
     [[nodiscard]] component_health sensor_health(std::size_t sensor) const;
+    /// Worst of the pair's tach-residual and thermal cross-check verdicts.
     [[nodiscard]] component_health fan_health(std::size_t pair_index) const;
     [[nodiscard]] component_health worst_sensor_health() const;
     [[nodiscard]] component_health worst_fan_health() const;
     /// Signed residual of the last scored poll for one sensor [degC].
     [[nodiscard]] double sensor_residual_c(std::size_t sensor) const;
+    /// Current one-sided CUSUM sums for one sensor [degC·polls], clamped
+    /// to [0, sensor_cusum_h_c].  Exposed for tests and calibration.
+    [[nodiscard]] double sensor_cusum_pos_c(std::size_t sensor) const;
+    [[nodiscard]] double sensor_cusum_neg_c(std::size_t sensor) const;
     /// The twin's modeled die temperature [degC] — the trusted stand-in
     /// for a die whose sensors are flagged.
     [[nodiscard]] double die_estimate_c(std::size_t die) const;
@@ -160,21 +224,33 @@ private:
     double dimm_idle_total_w_;
     power::leakage_model leakage_;
     power::active_model active_;
+    power::fan_pair tach_pair_;  ///< Converts tach readings to twin airflow.
     thermal::server_thermal_model twin_;
 
     std::vector<double> commanded_rpm_;
+    std::vector<double> fan_prev_rpm_;
+    std::vector<int> fan_grace_steps_;
     std::vector<std::uint8_t> fan_health_;
     std::vector<int> fan_bad_steps_;
     std::vector<int> fan_good_steps_;
+    std::vector<std::uint8_t> fan_thermal_health_;
+    std::vector<int> fan_thermal_bad_polls_;
+    std::vector<int> fan_thermal_good_polls_;
     std::vector<std::uint8_t> sensor_health_;
     std::vector<int> sensor_bad_polls_;
     std::vector<int> sensor_good_polls_;
     std::vector<double> sensor_residual_;
+    std::vector<double> sensor_cusum_pos_;
+    std::vector<double> sensor_cusum_neg_;
 
     // Airflow cache: twin conductances are recomputed only when a tach
-    // reading moves, mirroring the plant's apply-on-change policy.
+    // reading moves, mirroring the plant's apply-on-change policy.  The
+    // airflow is derived from the *tach reading* (not the plant's true
+    // delivery), which is exactly what makes a lying tach visible as a
+    // thermal divergence.
     std::vector<double> effective_rpm_cache_;
     std::vector<util::cfm_t> zone_airflow_scratch_;
+    std::vector<unsigned char> die_hot_scratch_;  ///< Per-die hot flag, reused each poll.
 };
 
 }  // namespace ltsc::core

@@ -53,7 +53,10 @@ util::watts_t tabulated_fan_model::power(util::rpm_t rpm) const {
 }
 
 fan_bank::fan_bank(std::size_t pair_count, const fan_spec& spec, util::rpm_t initial)
-    : pair_(spec), speeds_(pair_count, util::rpm_t{0.0}), failed_(pair_count, 0) {
+    : pair_(spec),
+      speeds_(pair_count, util::rpm_t{0.0}),
+      failed_(pair_count, 0),
+      tach_stuck_(pair_count, 0) {
     util::ensure(pair_count >= 1, "fan_bank: need at least one fan pair");
     set_all(initial);
 }
@@ -94,6 +97,18 @@ bool fan_bank::any_failed() const {
     return false;
 }
 
+void fan_bank::set_tach_stuck(std::size_t pair_index, bool stuck) {
+    util::ensure(pair_index < tach_stuck_.size(),
+                 "fan_bank::set_tach_stuck: pair index out of range");
+    tach_stuck_[pair_index] = stuck ? 1 : 0;
+}
+
+bool fan_bank::tach_stuck(std::size_t pair_index) const {
+    util::ensure(pair_index < tach_stuck_.size(),
+                 "fan_bank::tach_stuck: pair index out of range");
+    return tach_stuck_[pair_index] != 0;
+}
+
 util::rpm_t fan_bank::effective_speed(std::size_t pair_index) const {
     util::ensure(pair_index < speeds_.size(),
                  "fan_bank::effective_speed: pair index out of range");
@@ -102,12 +117,16 @@ util::rpm_t fan_bank::effective_speed(std::size_t pair_index) const {
 
 util::watts_t fan_bank::pair_power(std::size_t pair_index) const {
     util::ensure(pair_index < speeds_.size(), "fan_bank::pair_power: pair index out of range");
-    return failed_[pair_index] != 0 ? util::watts_t{0.0} : pair_.power(speeds_[pair_index]);
+    return failed_[pair_index] != 0 || tach_stuck_[pair_index] != 0
+               ? util::watts_t{0.0}
+               : pair_.power(speeds_[pair_index]);
 }
 
 util::cfm_t fan_bank::pair_airflow(std::size_t pair_index) const {
     util::ensure(pair_index < speeds_.size(), "fan_bank::pair_airflow: pair index out of range");
-    return failed_[pair_index] != 0 ? util::cfm_t{0.0} : pair_.airflow(speeds_[pair_index]);
+    return failed_[pair_index] != 0 || tach_stuck_[pair_index] != 0
+               ? util::cfm_t{0.0}
+               : pair_.airflow(speeds_[pair_index]);
 }
 
 util::rpm_t fan_bank::average_speed() const {

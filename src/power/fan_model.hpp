@@ -80,6 +80,13 @@ private:
 /// With every flag clear (the default) the two surfaces coincide
 /// bitwise, which is what keeps healthy-plant runs pinned to the
 /// pre-fault goldens.
+///
+/// A second, nastier flag models a *lying tachometer*: a tach-stuck
+/// pair's rotor is just as dead (no power draw, no airflow) but
+/// `effective_speed()` — the tach surface every observer reads — keeps
+/// reporting the commanded value.  Command/tach residual monitoring is
+/// blind to it by construction; only thermal-response cross-checking
+/// (core::fault_monitor's tach-distrust path) can catch it.
 class fan_bank {
 public:
     /// Builds a bank of `pair_count` identical pairs, all initially at
@@ -105,18 +112,26 @@ public:
     [[nodiscard]] bool failed(std::size_t pair_index) const;
     [[nodiscard]] bool any_failed() const;
 
-    /// Physical rotor speed: the commanded speed, or 0 when failed (what
-    /// a tachometer on the pair would read).
+    /// Marks one pair's tachometer stuck: the rotor stops (no power, no
+    /// airflow) but the tach keeps reporting the commanded speed.
+    void set_tach_stuck(std::size_t pair_index, bool stuck);
+    [[nodiscard]] bool tach_stuck(std::size_t pair_index) const;
+
+    /// Tachometer reading of one pair: the commanded speed, or 0 when
+    /// failed.  A tach-stuck pair *lies* here — its rotor is stopped but
+    /// the reading stays at the commanded value.
     [[nodiscard]] util::rpm_t effective_speed(std::size_t pair_index) const;
 
-    /// Electrical power of one pair: 0 when failed.
+    /// Electrical power of one pair: 0 when the rotor is stopped
+    /// (failed or tach-stuck).
     [[nodiscard]] util::watts_t pair_power(std::size_t pair_index) const;
 
-    /// Airflow of one pair: 0 when failed.
+    /// Airflow of one pair: 0 when the rotor is stopped (failed or
+    /// tach-stuck).
     [[nodiscard]] util::cfm_t pair_airflow(std::size_t pair_index) const;
 
-    /// Mean *effective* speed across pairs (the "Avg RPM" column of
-    /// Table I; a failed pair contributes 0).
+    /// Mean tach reading across pairs (the "Avg RPM" column of Table I;
+    /// a failed pair contributes 0, a tach-stuck pair lies high).
     [[nodiscard]] util::rpm_t average_speed() const;
 
     /// Total electrical power of the bank (failed pairs draw nothing).
@@ -131,6 +146,7 @@ private:
     fan_pair pair_;
     std::vector<util::rpm_t> speeds_;
     std::vector<unsigned char> failed_;
+    std::vector<unsigned char> tach_stuck_;
 };
 
 /// The discrete RPM settings explored in the paper's characterization

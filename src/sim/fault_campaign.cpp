@@ -66,7 +66,8 @@ leg_outcome run_leg(const fault_campaign_options& options, const fault_schedule*
     core::failsafe_controller controller(std::make_unique<core::bang_bang_controller>(),
                                          options.failsafe);
     const workload::utilization_profile profile =
-        options.fault_class == campaign_class::lying_sensor
+        options.fault_class == campaign_class::lying_sensor ||
+                options.fault_class == campaign_class::drifting_sensor
             ? sustained_profile(options.duration_s)
             : sweep_profile(options.duration_s);
     leg_outcome out;
@@ -85,6 +86,7 @@ const char* to_string(campaign_class c) {
         case campaign_class::survivable: return "survivable";
         case campaign_class::lying_sensor: return "lying_sensor";
         case campaign_class::correlated: return "correlated";
+        case campaign_class::drifting_sensor: return "drifting_sensor";
     }
     return "unknown";
 }
@@ -112,10 +114,14 @@ fault_campaign_result run_fault_campaign(std::uint64_t campaign_seed,
             generator.max_concurrent_fan_faults = generator.fan_pairs - 1;
             result.schedule = make_random_campaign(campaign_seed, generator);
             break;
+        case campaign_class::drifting_sensor:
+            result.schedule = make_drifting_sensor_campaign(campaign_seed, generator);
+            break;
     }
     for (const fault_event& event : result.schedule.events()) {
         result.fan_fault = result.fan_fault || event.kind == fault_kind::fan_failure ||
-                           event.kind == fault_kind::fan_stuck_pwm;
+                           event.kind == fault_kind::fan_stuck_pwm ||
+                           event.kind == fault_kind::fan_tach_stuck;
     }
 
     leg_outcome healthy = run_leg(options, nullptr, "Healthy");
@@ -139,6 +145,9 @@ std::optional<std::string> campaign_violation(const fault_campaign_result& resul
     if (result.fault_class == campaign_class::lying_sensor) {
         envelope = limits.lying_sensor_envelope_c;
         cap_name = "lying-sensor";
+    } else if (result.fault_class == campaign_class::drifting_sensor) {
+        envelope = limits.drifting_sensor_envelope_c;
+        cap_name = "drifting-sensor";
     } else if (result.fault_class == campaign_class::correlated && result.fan_fault) {
         envelope = limits.correlated_envelope_c;
         energy_cap = limits.correlated_max_energy_ratio;

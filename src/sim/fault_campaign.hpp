@@ -49,6 +49,13 @@ enum class campaign_class : int {
     /// Rack-level correlated PSU events: several fan pairs die at the
     /// same instant (up to fan_pairs - 1), recovering together.
     correlated,
+    /// Slow negative sensor drifts (0.02-0.1 degC/s ramps) on one die's
+    /// or every CPU sensor, optionally overlapped by an intermittent
+    /// burst bias on the other die — the sub-threshold classes only the
+    /// CUSUM accumulator catches.  Judged under sustained 90 % load with
+    /// `monitored = true`, like lying_sensor: unmitigated, a matured
+    /// drift parks the fans at minimum and the die runs away.
+    drifting_sensor,
 };
 
 /// Human-readable class name ("survivable", ...).
@@ -125,6 +132,15 @@ struct fault_campaign_limits {
     /// cools the dead zones (1000-seed calibration: worst observed
     /// 120.2 degC).
     double correlated_envelope_c = 124.0;
+    /// True-die cap for the drifting-sensor class judged *with* the
+    /// monitor (1000-seed calibration: worst observed 76.4 degC — the
+    /// CUSUM alarms while the instantaneous error is still small, so the
+    /// override lands before the excursion grows; zero healthy-leg false
+    /// alarms over the same seeds).  Deliberately below the *unmitigated*
+    /// worst (80.3 degC, with 223/1000 seeds over this cap when the
+    /// monitor is off): the gate fails if the CUSUM stops carrying its
+    /// weight.
+    double drifting_sensor_envelope_c = 78.0;
     /// Energy-regret cap for the correlated class (1000-seed worst
     /// observed 3.7 %: compensating several dead pairs simultaneously
     /// stays within the single-fault regret bound).

@@ -16,18 +16,27 @@ namespace {
 // with a plant seed.
 constexpr std::uint64_t k_campaign_stream = 0x9e3779b97f4a7c15ULL;
 
+// Shortest degradation window the generators will emit.  A drawn span
+// below this (possible only with sub-10 s outage caps) would put an
+// onset and its recover on the same tick, which the schedule
+// constructor rightly rejects; flooring the span keeps tiny-cap
+// configs generating valid campaigns.  Defaults draw spans >= 10 s, so
+// the floor is bitwise-invisible to every calibrated campaign.
+constexpr double k_min_fault_span_s = 1e-3;
+
 bool takes_nan_value(fault_kind kind) {
     return kind == fault_kind::fan_stuck_pwm || kind == fault_kind::sensor_stuck;
 }
 
 bool is_fan_kind(fault_kind kind) {
     return kind == fault_kind::fan_failure || kind == fault_kind::fan_stuck_pwm ||
-           kind == fault_kind::fan_recover;
+           kind == fault_kind::fan_tach_stuck || kind == fault_kind::fan_recover;
 }
 
 bool is_sensor_kind(fault_kind kind) {
     return kind == fault_kind::sensor_stuck || kind == fault_kind::sensor_bias ||
-           kind == fault_kind::sensor_dropout || kind == fault_kind::sensor_recover;
+           kind == fault_kind::sensor_dropout || kind == fault_kind::sensor_drift ||
+           kind == fault_kind::sensor_intermittent || kind == fault_kind::sensor_recover;
 }
 
 }  // namespace
@@ -42,6 +51,9 @@ const char* to_string(fault_kind kind) {
         case fault_kind::sensor_dropout: return "sensor_dropout";
         case fault_kind::sensor_recover: return "sensor_recover";
         case fault_kind::telemetry_loss: return "telemetry_loss";
+        case fault_kind::fan_tach_stuck: return "fan_tach_stuck";
+        case fault_kind::sensor_drift: return "sensor_drift";
+        case fault_kind::sensor_intermittent: return "sensor_intermittent";
     }
     return "unknown";
 }
@@ -82,6 +94,7 @@ fault_schedule::fault_schedule(std::vector<fault_event> events) : events_(std::m
         switch (e.kind) {
             case fault_kind::fan_failure:
             case fault_kind::fan_stuck_pwm:
+            case fault_kind::fan_tach_stuck:
                 fan_latched[e.target] = 1;
                 break;
             case fault_kind::fan_recover:
@@ -91,9 +104,11 @@ fault_schedule::fault_schedule(std::vector<fault_event> events) : events_(std::m
                 break;
             case fault_kind::sensor_stuck:
             case fault_kind::sensor_bias:
+            case fault_kind::sensor_drift:
                 sensor_latched[e.target] = 1;
                 break;
             case fault_kind::sensor_dropout:
+            case fault_kind::sensor_intermittent:
                 sensor_dropout_until[e.target] =
                     std::max(sensor_dropout_until[e.target], e.t_s + e.duration_s);
                 break;
@@ -204,9 +219,10 @@ fault_schedule make_random_campaign(std::uint64_t seed, const fault_campaign_con
             if (eligible.empty() || active >= config.max_concurrent_fan_faults) {
                 continue;
             }
-            const double outage =
+            const double outage = std::max(
                 config.min_fan_outage_s +
-                span_draw * (config.max_fan_outage_s - config.min_fan_outage_s);
+                    span_draw * (config.max_fan_outage_s - config.min_fan_outage_s),
+                k_min_fault_span_s);
             const double recover_at = t + outage;
             if (config.correlated_fan_events && corr_draw < config.correlated_probability) {
                 // One PSU rail drops a whole group of pairs at the same
@@ -261,7 +277,12 @@ fault_schedule make_random_campaign(std::uint64_t seed, const fault_campaign_con
                 continue;
             }
             const std::size_t sensor = eligible[target_draw % eligible.size()];
-            const double span = 10.0 + span_draw * (config.max_sensor_outage_s - 10.0);
+            // The 10 s preferred minimum must yield to a smaller cap:
+            // the un-clamped form quietly drew spans *above*
+            // max_sensor_outage_s whenever the cap sat below 10 s.
+            const double lo = std::min(10.0, config.max_sensor_outage_s);
+            const double span = std::max(
+                lo + span_draw * (config.max_sensor_outage_s - lo), k_min_fault_span_s);
             fault_event onset;
             onset.t_s = t;
             onset.target = sensor;
@@ -294,7 +315,9 @@ fault_schedule make_random_campaign(std::uint64_t seed, const fault_campaign_con
             if (telemetry_busy_until > t) {
                 continue;
             }
-            const double span = 10.0 + span_draw * (config.max_telemetry_loss_s - 10.0);
+            const double lo = std::min(10.0, config.max_telemetry_loss_s);
+            const double span = std::max(
+                lo + span_draw * (config.max_telemetry_loss_s - lo), k_min_fault_span_s);
             events.push_back({t, fault_kind::telemetry_loss, 0, 0.0, span});
             telemetry_busy_until = t + span;
         }
@@ -331,6 +354,58 @@ fault_schedule make_lying_sensor_campaign(std::uint64_t seed,
     return fault_schedule(std::move(events));
 }
 
+fault_schedule make_drifting_sensor_campaign(std::uint64_t seed,
+                                             const fault_campaign_config& config) {
+    util::ensure(config.duration_s > 0.0, "make_drifting_sensor_campaign: non-positive duration");
+    util::ensure(config.cpu_sensors >= 2 && config.cpu_sensors % 2 == 0,
+                 "make_drifting_sensor_campaign: need an even CPU-sensor count");
+
+    util::pcg32 rng(seed, k_campaign_stream);
+    // Drawn unconditionally in a fixed order so the stream layout never
+    // depends on earlier draws (same discipline as the other
+    // generators: bitwise replay from the seed alone).
+    const double onset = rng.uniform(0.15, 0.35) * config.duration_s;
+    const double span = rng.uniform(0.3, 0.5) * config.duration_s;
+    // Always at or above the 0.02 degC/s floor the detection sweep
+    // asserts 95% onset coverage over; negative = lying cool, the
+    // direction that hides a real excursion.
+    const double rate = rng.uniform(0.02, 0.1);
+    const std::size_t dies = config.cpu_sensors / 2;
+    // Scope: one die's whole sensor complement, or every sensor — no
+    // truthful partner survives on a drifting die either way.
+    const std::size_t scope = rng.next_u32() % (dies + 1);
+    const double intermittent_draw = rng.next_double();
+    const double intermittent_bias = rng.uniform(4.0, 8.0);
+    const double intermittent_start_frac = rng.uniform(0.45, 0.6);
+    const double intermittent_span_frac = rng.uniform(0.15, 0.25);
+
+    std::vector<fault_event> events;
+    const double recover_at = onset + span;
+    for (std::size_t s = 0; s < config.cpu_sensors; ++s) {
+        if (scope < dies && s / 2 != scope) {
+            continue;
+        }
+        events.push_back({onset, fault_kind::sensor_drift, s, -rate, 0.0});
+        if (recover_at < config.duration_s) {
+            events.push_back({recover_at, fault_kind::sensor_recover, s, 0.0, 0.0});
+        }
+    }
+    // When the drift spares a die, half the campaigns add a cool-lying
+    // burst episode there: sub-threshold per-streak, so consecutive-poll
+    // hysteresis alone never latches — accumulation has to.
+    if (scope < dies && dies >= 2 && intermittent_draw < 0.5) {
+        const std::size_t burst_die = (scope + 1) % dies;
+        const double burst_at = intermittent_start_frac * config.duration_s;
+        const double burst_span = intermittent_span_frac * config.duration_s;
+        for (std::size_t s = 2 * burst_die; s < 2 * burst_die + 2 && s < config.cpu_sensors;
+             ++s) {
+            events.push_back(
+                {burst_at, fault_kind::sensor_intermittent, s, -intermittent_bias, burst_span});
+        }
+    }
+    return fault_schedule(std::move(events));
+}
+
 void fault_state::reset(std::size_t fan_pairs, std::size_t cpu_sensors) {
     next_event = 0;
     fan_mode.assign(fan_pairs, fan_ok);
@@ -339,6 +414,11 @@ void fault_state::reset(std::size_t fan_pairs, std::size_t cpu_sensors) {
     sensor_stuck_c.assign(cpu_sensors, 0.0);
     sensor_bias_c.assign(cpu_sensors, 0.0);
     sensor_dropout_until_s.assign(cpu_sensors, 0.0);
+    sensor_drift_c_per_s.assign(cpu_sensors, 0.0);
+    sensor_drift_start_s.assign(cpu_sensors, 0.0);
+    sensor_intermittent_c.assign(cpu_sensors, 0.0);
+    sensor_intermittent_start_s.assign(cpu_sensors, 0.0);
+    sensor_intermittent_until_s.assign(cpu_sensors, 0.0);
     telemetry_lost_until_s = 0.0;
 }
 
@@ -353,7 +433,19 @@ bool fault_state::any_fan_fault() const {
 
 bool fault_state::sensor_faulted(std::size_t sensor, double now_s) const {
     return sensor_stuck[sensor] != 0 || sensor_bias_c[sensor] != 0.0 ||
-           now_s < sensor_dropout_until_s[sensor] - 1e-9;
+           now_s < sensor_dropout_until_s[sensor] - 1e-9 ||
+           sensor_drift_c_per_s[sensor] != 0.0 ||
+           now_s < sensor_intermittent_until_s[sensor] - 1e-9;
+}
+
+bool fault_state::intermittent_burst_live(std::size_t sensor, double now_s) const {
+    if (sensor_intermittent_c[sensor] == 0.0 ||
+        now_s >= sensor_intermittent_until_s[sensor] - 1e-9) {
+        return false;
+    }
+    const double phase =
+        std::fmod(now_s - sensor_intermittent_start_s[sensor], k_intermittent_period_s);
+    return phase < k_intermittent_duty * k_intermittent_period_s;
 }
 
 bool fault_state::any_sensor_fault(double now_s) const {

@@ -21,13 +21,27 @@
 //  * fan_recover       — the pair resumes following the *last commanded*
 //                        speed (commands issued during the outage were
 //                        latched, exactly like re-plugging a PWM line).
+//  * fan_tach_stuck    — the pair's rotor dies like fan_failure, but the
+//                        tachometer keeps reporting the commanded speed:
+//                        a lying tach that defeats command/tach residual
+//                        monitoring.  Cleared by fan_recover.
 //  * sensor_stuck      — a CPU sensor freezes at its current (or given)
 //                        reading until sensor_recover.
 //  * sensor_bias       — additive offset on one CPU sensor's readings
 //                        (a lying sensor; positive = conservative).
 //  * sensor_dropout    — readings lost for duration_s: the last
 //                        delivered value is held.
-//  * sensor_recover    — clears stuck/bias/dropout on one sensor.
+//  * sensor_drift      — slow additive ramp on one sensor: the bias
+//                        grows value degC per second from the onset
+//                        until sensor_recover.  Walks under any fixed
+//                        residual threshold; CUSUM territory.
+//  * sensor_intermittent — burst on/off bias for duration_s: the offset
+//                        `value` is applied during the on-phase of a
+//                        fixed square wave (k_intermittent_* below), so
+//                        no single poll streak stays bad long enough to
+//                        trip consecutive-poll hysteresis.
+//  * sensor_recover    — clears stuck/bias/dropout/drift/intermittent
+//                        on one sensor.
 //  * telemetry_loss    — the CSTH poller drops every poll for
 //                        duration_s; controllers see stale observations
 //                        (core::failsafe_controller reacts to the
@@ -59,15 +73,25 @@ enum class fault_kind : int {
     sensor_dropout,
     sensor_recover,
     telemetry_loss,
+    fan_tach_stuck,
+    sensor_drift,
+    sensor_intermittent,
 };
+
+/// Square-wave timing of sensor_intermittent bursts: the bias is live
+/// while fmod(now - onset, period) < duty * period.  Fixed constants so
+/// every plant (scalar and batch lanes) agrees bitwise.
+inline constexpr double k_intermittent_period_s = 30.0;
+inline constexpr double k_intermittent_duty = 0.5;
 
 /// Human-readable kind name ("fan_failure", ...).
 [[nodiscard]] const char* to_string(fault_kind kind);
 
 /// One time-stamped fault.  `value` carries the stuck RPM / stuck
-/// temperature / bias degC depending on kind; NaN means "at the current
-/// value" for the stuck kinds.  `duration_s` spans the dropout / loss
-/// kinds; every other kind persists until its recover event.
+/// temperature / bias degC / drift rate degC-per-s depending on kind;
+/// NaN means "at the current value" for the stuck kinds.  `duration_s`
+/// spans the dropout / intermittent / loss kinds; every other kind
+/// persists until its recover event.
 struct fault_event {
     double t_s = 0.0;                        ///< Fire time (plant clock) [s].
     fault_kind kind = fault_kind::fan_failure;
@@ -167,6 +191,19 @@ struct fault_campaign_config {
 [[nodiscard]] fault_schedule make_lying_sensor_campaign(std::uint64_t seed,
                                                         const fault_campaign_config& config = {});
 
+/// Draws a *drifting-sensor* campaign: one sustained sensor_drift
+/// episode lying progressively *cool* (0.02–0.1 degC/s ramps — always
+/// at or above the 0.02 degC/s detection floor the CUSUM sweep asserts
+/// over) covering one die's full sensor complement — or every sensor —
+/// for 30–50% of the campaign starting 15–35% in, plus (when the drift
+/// spares a die) an optional sensor_intermittent burst episode on the
+/// other die.  Every error here walks under the instantaneous residual
+/// threshold for minutes; only accumulated-residual (CUSUM) detection
+/// catches the onset.  Uses `duration_s` and `cpu_sensors` from the
+/// config; the other knobs are ignored.
+[[nodiscard]] fault_schedule make_drifting_sensor_campaign(
+    std::uint64_t seed, const fault_campaign_config& config = {});
+
 /// Per-plant dynamic fault state: which effects are live *now*, plus
 /// the schedule cursor.  Part of sim::server_state, so degraded plants
 /// snapshot/restore bitwise (snapshot_roundtrip + fault suites).
@@ -174,16 +211,22 @@ struct fault_state {
     static constexpr unsigned char fan_ok = 0;
     static constexpr unsigned char fan_failed = 1;
     static constexpr unsigned char fan_stuck = 2;
+    static constexpr unsigned char fan_tach = 3;  ///< Rotor dead, tach lying.
 
     std::size_t next_event = 0;  ///< Index of the next unfired schedule event.
 
-    std::vector<unsigned char> fan_mode;    ///< fan_ok / fan_failed / fan_stuck.
+    std::vector<unsigned char> fan_mode;    ///< fan_ok / fan_failed / fan_stuck / fan_tach.
     std::vector<double> fan_commanded_rpm;  ///< Last command latched per pair.
 
     std::vector<unsigned char> sensor_stuck;      ///< 1 = frozen.
     std::vector<double> sensor_stuck_c;           ///< Frozen reading [degC].
     std::vector<double> sensor_bias_c;            ///< Additive bias [degC].
     std::vector<double> sensor_dropout_until_s;   ///< Dropout active while now < this.
+    std::vector<double> sensor_drift_c_per_s;     ///< Ramp rate; 0 = no drift.
+    std::vector<double> sensor_drift_start_s;     ///< Ramp anchor (onset time).
+    std::vector<double> sensor_intermittent_c;    ///< Burst bias; 0 = none.
+    std::vector<double> sensor_intermittent_start_s;  ///< Burst phase anchor.
+    std::vector<double> sensor_intermittent_until_s;  ///< Bursts while now < this.
 
     double telemetry_lost_until_s = 0.0;  ///< Polls suppressed while now < this.
 
@@ -194,12 +237,21 @@ struct fault_state {
         return fan_mode.size() == fan_pairs && fan_commanded_rpm.size() == fan_pairs &&
                sensor_stuck.size() == cpu_sensors && sensor_stuck_c.size() == cpu_sensors &&
                sensor_bias_c.size() == cpu_sensors &&
-               sensor_dropout_until_s.size() == cpu_sensors;
+               sensor_dropout_until_s.size() == cpu_sensors &&
+               sensor_drift_c_per_s.size() == cpu_sensors &&
+               sensor_drift_start_s.size() == cpu_sensors &&
+               sensor_intermittent_c.size() == cpu_sensors &&
+               sensor_intermittent_start_s.size() == cpu_sensors &&
+               sensor_intermittent_until_s.size() == cpu_sensors;
     }
 
     [[nodiscard]] bool any_fan_fault() const;
     [[nodiscard]] bool sensor_faulted(std::size_t sensor, double now_s) const;
     [[nodiscard]] bool any_sensor_fault(double now_s) const;
+    /// Whether an intermittent episode's square wave is in its on-phase
+    /// for this sensor right now (shared by scalar and batch plants so
+    /// their corruption arithmetic agrees bitwise).
+    [[nodiscard]] bool intermittent_burst_live(std::size_t sensor, double now_s) const;
     [[nodiscard]] bool telemetry_lost(double now_s) const {
         return now_s < telemetry_lost_until_s - 1e-9;
     }

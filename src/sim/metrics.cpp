@@ -72,18 +72,22 @@ detection_summary compute_detection_summary(const trace_view& tr,
     // for a summary whose job is latency percentiles, not diagnosis.
     const std::vector<fault_event>& events = schedule->events();
     double total_latency = 0.0;
+    double total_drift_latency = 0.0;
     for (std::size_t i = 0; i < events.size(); ++i) {
         const fault_event& e = events[i];
-        const bool fan_onset =
-            e.kind == fault_kind::fan_failure || e.kind == fault_kind::fan_stuck_pwm;
+        const bool fan_onset = e.kind == fault_kind::fan_failure ||
+                               e.kind == fault_kind::fan_stuck_pwm ||
+                               e.kind == fault_kind::fan_tach_stuck;
         const bool sensor_onset = e.kind == fault_kind::sensor_stuck ||
                                   e.kind == fault_kind::sensor_bias ||
-                                  e.kind == fault_kind::sensor_dropout;
+                                  e.kind == fault_kind::sensor_dropout ||
+                                  e.kind == fault_kind::sensor_drift ||
+                                  e.kind == fault_kind::sensor_intermittent;
         if (!fan_onset && !sensor_onset) {
             continue;
         }
         double until = sensor_health.t(tr.size() - 1);
-        if (e.kind == fault_kind::sensor_dropout) {
+        if (e.kind == fault_kind::sensor_dropout || e.kind == fault_kind::sensor_intermittent) {
             until = std::min(until, e.t_s + e.duration_s);
         } else {
             const fault_kind recover_kind =
@@ -96,6 +100,10 @@ detection_summary compute_detection_summary(const trace_view& tr,
             }
         }
         ++out.fault_onsets;
+        const bool drift = e.kind == fault_kind::sensor_drift;
+        if (drift) {
+            ++out.drift_onsets;
+        }
         const util::column_view& channel = fan_onset ? fan_health : sensor_health;
         for (std::size_t k = 0; k < tr.size(); ++k) {
             const double t = channel.t(k);
@@ -107,12 +115,22 @@ detection_summary compute_detection_summary(const trace_view& tr,
                 ++out.detected;
                 total_latency += latency;
                 out.max_time_to_detect_s = std::max(out.max_time_to_detect_s, latency);
+                if (drift) {
+                    ++out.drift_detected;
+                    total_drift_latency += latency;
+                    out.max_drift_time_to_detect_s =
+                        std::max(out.max_drift_time_to_detect_s, latency);
+                }
                 break;
             }
         }
     }
     if (out.detected > 0) {
         out.mean_time_to_detect_s = total_latency / static_cast<double>(out.detected);
+    }
+    if (out.drift_detected > 0) {
+        out.mean_drift_time_to_detect_s =
+            total_drift_latency / static_cast<double>(out.drift_detected);
     }
     return out;
 }

@@ -72,6 +72,15 @@ struct detection_summary {
     double mean_time_to_detect_s = 0.0;     ///< Over detected onsets.
     double max_time_to_detect_s = 0.0;
 
+    // Drift-specific latency (subset of the counts above): sensor_drift
+    // onsets ramp from zero error, so their time-to-detect measures the
+    // CUSUM's accumulation latency rather than the instantaneous
+    // threshold's poll alignment.
+    std::size_t drift_onsets = 0;            ///< sensor_drift onsets considered.
+    std::size_t drift_detected = 0;          ///< Drift onsets alarmed before recovery.
+    double mean_drift_time_to_detect_s = 0.0;  ///< Over detected drift onsets.
+    double max_drift_time_to_detect_s = 0.0;
+
     /// Fraction of rows carrying any alarm (the healthy-run false-positive
     /// rate when no faults were injected).
     [[nodiscard]] double alarm_fraction() const {

@@ -175,6 +175,9 @@ void server_batch::set_fan_speed(std::size_t lane, std::size_t pair_index, util:
     }
     if (ln.fault.fan_mode[pair_index] != fault_state::fan_ok) {
         ln.fault.fan_commanded_rpm[pair_index] = ln.fans.pair().clamp(rpm).value();
+        if (ln.fault.fan_mode[pair_index] == fault_state::fan_tach) {
+            ln.fans.set_speed(pair_index, rpm);  // lying tach tracks the command
+        }
         return;
     }
     const util::rpm_t before = ln.fans.speed(pair_index);
@@ -209,6 +212,9 @@ void server_batch::set_all_fans(std::size_t lane, util::rpm_t rpm) {
     for (std::size_t i = 0; i < ln.fans.pair_count(); ++i) {
         if (ln.fault.fan_mode[i] != fault_state::fan_ok) {
             ln.fault.fan_commanded_rpm[i] = target;
+            if (ln.fault.fan_mode[i] == fault_state::fan_tach) {
+                ln.fans.set_speed(i, rpm);  // lying tach tracks the command
+            }
             continue;
         }
         if (ln.fans.speed(i).value() != target) {
@@ -333,6 +339,7 @@ void server_batch::load_lane_state(std::size_t lane, const server_state& state) 
     for (std::size_t i = 0; i < ln.fans.pair_count(); ++i) {
         ln.fans.set_speed(i, util::rpm_t{state.fan_rpm[i]});
         ln.fans.set_failed(i, ln.fault.fan_mode[i] == fault_state::fan_failed);
+        ln.fans.set_tach_stuck(i, ln.fault.fan_mode[i] == fault_state::fan_tach);
     }
     // Recompute airflow-derived conductances/stream capacity from the
     // restored speeds (bitwise-identical to the snapshot's), then reload
@@ -650,6 +657,7 @@ void server_batch::clear_fault_effects(std::size_t lane) {
     ln.fault.reset(ln.fans.pair_count(), ln.sensors.cpu.size());
     for (std::size_t i = 0; i < ln.fans.pair_count(); ++i) {
         ln.fans.set_failed(i, false);
+        ln.fans.set_tach_stuck(i, false);
     }
     ln.telemetry.set_poll_suppressed(false);
 }
@@ -687,9 +695,16 @@ void server_batch::apply_fault_event(std::size_t lane, const fault_event& event)
                 apply_airflow(lane);
             }
             break;
+        case fault_kind::fan_tach_stuck:
+            ln.fault.fan_commanded_rpm[event.target] = ln.fans.speed(event.target).value();
+            ln.fault.fan_mode[event.target] = fault_state::fan_tach;
+            ln.fans.set_tach_stuck(event.target, true);
+            apply_airflow(lane);
+            break;
         case fault_kind::fan_recover:
             ln.fault.fan_mode[event.target] = fault_state::fan_ok;
             ln.fans.set_failed(event.target, false);
+            ln.fans.set_tach_stuck(event.target, false);
             ln.fans.set_speed(event.target,
                               util::rpm_t{ln.fault.fan_commanded_rpm[event.target]});
             apply_airflow(lane);
@@ -705,10 +720,24 @@ void server_batch::apply_fault_event(std::size_t lane, const fault_event& event)
         case fault_kind::sensor_dropout:
             ln.fault.sensor_dropout_until_s[event.target] = event.t_s + event.duration_s;
             break;
+        case fault_kind::sensor_drift:
+            ln.fault.sensor_drift_c_per_s[event.target] = event.value;
+            ln.fault.sensor_drift_start_s[event.target] = event.t_s;
+            break;
+        case fault_kind::sensor_intermittent:
+            ln.fault.sensor_intermittent_c[event.target] = event.value;
+            ln.fault.sensor_intermittent_start_s[event.target] = event.t_s;
+            ln.fault.sensor_intermittent_until_s[event.target] = event.t_s + event.duration_s;
+            break;
         case fault_kind::sensor_recover:
             ln.fault.sensor_stuck[event.target] = 0;
             ln.fault.sensor_bias_c[event.target] = 0.0;
             ln.fault.sensor_dropout_until_s[event.target] = 0.0;
+            ln.fault.sensor_drift_c_per_s[event.target] = 0.0;
+            ln.fault.sensor_drift_start_s[event.target] = 0.0;
+            ln.fault.sensor_intermittent_c[event.target] = 0.0;
+            ln.fault.sensor_intermittent_start_s[event.target] = 0.0;
+            ln.fault.sensor_intermittent_until_s[event.target] = 0.0;
             break;
         case fault_kind::telemetry_loss:
             ln.fault.telemetry_lost_until_s = event.t_s + event.duration_s;
@@ -725,7 +754,15 @@ double server_batch::corrupt_sensor_reading(std::size_t lane, std::size_t sensor
     if (ln.now_s < ln.fault.sensor_dropout_until_s[sensor] - 1e-9) {
         return ln.last_cpu_sensor_reads[sensor];
     }
-    return ln.fault.sensor_bias_c[sensor] == 0.0 ? raw : raw + ln.fault.sensor_bias_c[sensor];
+    double offset = ln.fault.sensor_bias_c[sensor];
+    if (ln.fault.sensor_drift_c_per_s[sensor] != 0.0) {
+        offset += ln.fault.sensor_drift_c_per_s[sensor] *
+                  (ln.now_s - ln.fault.sensor_drift_start_s[sensor]);
+    }
+    if (ln.fault.intermittent_burst_live(sensor, ln.now_s)) {
+        offset += ln.fault.sensor_intermittent_c[sensor];
+    }
+    return offset == 0.0 ? raw : raw + offset;
 }
 
 }  // namespace ltsc::sim

@@ -49,6 +49,17 @@ void validate(const server_config& config) {
                      config.monitor.fan_fail_steps >= config.monitor.fan_suspect_steps &&
                      config.monitor.fan_clear_steps >= 1,
                  "server_config: bad monitor fan hysteresis depths");
+    util::ensure(config.monitor.sensor_cusum_k_c > 0.0 && config.monitor.sensor_cusum_h_c > 0.0,
+                 "server_config: monitor CUSUM parameters must be positive");
+    util::ensure(config.monitor.fan_command_grace_steps >= 0,
+                 "server_config: negative monitor fan command grace");
+    util::ensure(config.monitor.fan_thermal_residual_c > 0.0,
+                 "server_config: monitor fan thermal threshold must be positive");
+    util::ensure(config.monitor.fan_thermal_suspect_polls >= 1 &&
+                     config.monitor.fan_thermal_fail_polls >=
+                         config.monitor.fan_thermal_suspect_polls &&
+                     config.monitor.fan_thermal_clear_polls >= 1,
+                 "server_config: bad monitor fan thermal hysteresis depths");
 }
 
 core::fault_monitor_plant monitor_plant_for(const server_config& config) {

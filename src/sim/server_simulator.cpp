@@ -86,9 +86,15 @@ void server_simulator::set_fan_speed(std::size_t pair_index, util::rpm_t rpm) {
         monitor_->observe_fan_command(pair_index, fans_.pair().clamp(rpm));
     }
     if (fault_.fan_mode[pair_index] != fault_state::fan_ok) {
-        // The pair's PWM input is dead: latch the command for recovery,
-        // change nothing physically, count nothing.
+        // The pair's rotor no longer answers: latch the command for
+        // recovery, deliver nothing physically, count nothing.  A
+        // tach-stuck pair still updates its (lying) tach readout so the
+        // tachometer keeps agreeing with whatever is commanded — the
+        // blind spot only the thermal cross-check can see.
         fault_.fan_commanded_rpm[pair_index] = fans_.pair().clamp(rpm).value();
+        if (fault_.fan_mode[pair_index] == fault_state::fan_tach) {
+            fans_.set_speed(pair_index, rpm);
+        }
         return;
     }
     const util::rpm_t before = fans_.speed(pair_index);
@@ -127,6 +133,9 @@ void server_simulator::set_all_fans(util::rpm_t rpm) {
     for (std::size_t i = 0; i < fans_.pair_count(); ++i) {
         if (fault_.fan_mode[i] != fault_state::fan_ok) {
             fault_.fan_commanded_rpm[i] = target;
+            if (fault_.fan_mode[i] == fault_state::fan_tach) {
+                fans_.set_speed(i, rpm);  // lying tach tracks the command
+            }
             continue;
         }
         if (fans_.speed(i).value() != target) {
@@ -350,6 +359,7 @@ void server_simulator::restore_state(const server_state& state) {
     for (std::size_t i = 0; i < fans_.pair_count(); ++i) {
         fans_.set_speed(i, util::rpm_t{state.fan_rpm[i]});
         fans_.set_failed(i, fault_.fan_mode[i] == fault_state::fan_failed);
+        fans_.set_tach_stuck(i, fault_.fan_mode[i] == fault_state::fan_tach);
     }
     // Airflow-derived conductances recompute from the restored speeds to
     // the exact values the snapshot carries; restore_state then reloads
@@ -445,6 +455,7 @@ void server_simulator::clear_fault_effects() {
     fault_.reset(fans_.pair_count(), sensors_.cpu.size());
     for (std::size_t i = 0; i < fans_.pair_count(); ++i) {
         fans_.set_failed(i, false);
+        fans_.set_tach_stuck(i, false);
     }
     telemetry_.set_poll_suppressed(false);
 }
@@ -474,9 +485,16 @@ void server_simulator::apply_fault_event(const fault_event& event) {
                 apply_airflow();
             }
             break;
+        case fault_kind::fan_tach_stuck:
+            fault_.fan_commanded_rpm[event.target] = fans_.speed(event.target).value();
+            fault_.fan_mode[event.target] = fault_state::fan_tach;
+            fans_.set_tach_stuck(event.target, true);
+            apply_airflow();
+            break;
         case fault_kind::fan_recover:
             fault_.fan_mode[event.target] = fault_state::fan_ok;
             fans_.set_failed(event.target, false);
+            fans_.set_tach_stuck(event.target, false);
             // Resume the last latched command (faults and latched
             // commands are not controller actions, so no count).
             fans_.set_speed(event.target, util::rpm_t{fault_.fan_commanded_rpm[event.target]});
@@ -497,10 +515,26 @@ void server_simulator::apply_fault_event(const fault_event& event) {
             // the same span.
             fault_.sensor_dropout_until_s[event.target] = event.t_s + event.duration_s;
             break;
+        case fault_kind::sensor_drift:
+            // The ramp anchors on the scheduled onset, like dropout
+            // windows, so the grown bias is dt-invariant.
+            fault_.sensor_drift_c_per_s[event.target] = event.value;
+            fault_.sensor_drift_start_s[event.target] = event.t_s;
+            break;
+        case fault_kind::sensor_intermittent:
+            fault_.sensor_intermittent_c[event.target] = event.value;
+            fault_.sensor_intermittent_start_s[event.target] = event.t_s;
+            fault_.sensor_intermittent_until_s[event.target] = event.t_s + event.duration_s;
+            break;
         case fault_kind::sensor_recover:
             fault_.sensor_stuck[event.target] = 0;
             fault_.sensor_bias_c[event.target] = 0.0;
             fault_.sensor_dropout_until_s[event.target] = 0.0;
+            fault_.sensor_drift_c_per_s[event.target] = 0.0;
+            fault_.sensor_drift_start_s[event.target] = 0.0;
+            fault_.sensor_intermittent_c[event.target] = 0.0;
+            fault_.sensor_intermittent_start_s[event.target] = 0.0;
+            fault_.sensor_intermittent_until_s[event.target] = 0.0;
             break;
         case fault_kind::telemetry_loss:
             fault_.telemetry_lost_until_s = event.t_s + event.duration_s;
@@ -515,8 +549,16 @@ double server_simulator::corrupt_sensor_reading(std::size_t sensor, double raw) 
     if (now_s_ < fault_.sensor_dropout_until_s[sensor] - 1e-9) {
         return last_cpu_sensor_reads_[sensor];  // hold the last delivered value
     }
+    double offset = fault_.sensor_bias_c[sensor];
+    if (fault_.sensor_drift_c_per_s[sensor] != 0.0) {
+        offset += fault_.sensor_drift_c_per_s[sensor] *
+                  (now_s_ - fault_.sensor_drift_start_s[sensor]);
+    }
+    if (fault_.intermittent_burst_live(sensor, now_s_)) {
+        offset += fault_.sensor_intermittent_c[sensor];
+    }
     // Exact pass-through when unbiased, so healthy runs stay bitwise.
-    return fault_.sensor_bias_c[sensor] == 0.0 ? raw : raw + fault_.sensor_bias_c[sensor];
+    return offset == 0.0 ? raw : raw + offset;
 }
 
 }  // namespace ltsc::sim

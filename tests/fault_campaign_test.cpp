@@ -31,6 +31,10 @@ void expect_detection_equal(const sim::detection_summary& a, const sim::detectio
     EXPECT_EQ(a.detected, b.detected);
     EXPECT_EQ(a.mean_time_to_detect_s, b.mean_time_to_detect_s);
     EXPECT_EQ(a.max_time_to_detect_s, b.max_time_to_detect_s);
+    EXPECT_EQ(a.drift_onsets, b.drift_onsets);
+    EXPECT_EQ(a.drift_detected, b.drift_detected);
+    EXPECT_EQ(a.mean_drift_time_to_detect_s, b.mean_drift_time_to_detect_s);
+    EXPECT_EQ(a.max_drift_time_to_detect_s, b.max_drift_time_to_detect_s);
 }
 
 void expect_results_bitwise_equal(const sim::fault_campaign_result& a,
@@ -186,6 +190,64 @@ TEST(FaultCampaign, LyingSensorEnvelopeHoldsAcrossSeeds) {
             << "campaign seed " << (1 + i) << ": " << violation.value_or("");
         EXPECT_EQ(results[i].healthy_detection.alarm_steps, 0U) << "seed " << (1 + i);
     }
+}
+
+TEST(FaultCampaign, DriftingSensorClassIsContainedByTheMonitor) {
+    // The CUSUM mitigation gate, pinned both ways on one seed (the
+    // calibrated 1000-seed sweep's worst): judged with the monitor the
+    // slow ramp is caught while the instantaneous error is still small
+    // and the run stays inside the drifting-sensor envelope; the
+    // identical campaign with the monitor off parks the fans at minimum
+    // and breaches it.  If the CUSUM regresses, the first half fails;
+    // if the class stops being dangerous, the second half does.
+    sim::fault_campaign_options options;
+    options.fault_class = sim::campaign_class::drifting_sensor;
+    options.monitored = true;
+    const sim::fault_campaign_result mitigated = sim::run_fault_campaign(9, options);
+    EXPECT_FALSE(sim::campaign_violation(mitigated).has_value())
+        << sim::campaign_violation(mitigated).value_or("");
+    // The drift onsets are tracked separately and were all caught; the
+    // healthy twin never alarmed (zero false positives, the CUSUM's k
+    // allowance absorbs honest noise + placement offsets).
+    EXPECT_GT(mitigated.faulted_detection.drift_onsets, 0U);
+    EXPECT_EQ(mitigated.faulted_detection.drift_detected,
+              mitigated.faulted_detection.drift_onsets);
+    EXPECT_GT(mitigated.faulted_detection.mean_drift_time_to_detect_s, 0.0);
+    EXPECT_GE(mitigated.faulted_detection.max_drift_time_to_detect_s,
+              mitigated.faulted_detection.mean_drift_time_to_detect_s);
+    EXPECT_EQ(mitigated.healthy_detection.alarm_steps, 0U);
+
+    options.monitored = false;
+    const sim::fault_campaign_result blinded = sim::run_fault_campaign(9, options);
+    EXPECT_TRUE(sim::campaign_violation(blinded).has_value());
+    EXPECT_GT(blinded.faulted_max_die_c, mitigated.faulted_max_die_c + 2.0);
+}
+
+TEST(FaultCampaign, DriftingSensorEnvelopeHoldsAcrossSeeds) {
+    // CI-sized slice of the calibrated 1000-seed sweep (worst observed
+    // 76.4 degC, 3290/3314 drift onsets caught, zero healthy false
+    // alarms).  Beyond the per-seed envelope, assert the aggregate
+    // detection-rate floor the class was calibrated to: at least 95 % of
+    // drift onsets must alarm.
+    sim::fault_campaign_options options;
+    options.fault_class = sim::campaign_class::drifting_sensor;
+    options.monitored = true;
+    sim::parallel_runner runner(0);
+    const auto results = runner.map<sim::fault_campaign_result>(25, [&](std::size_t i) {
+        return sim::run_fault_campaign(1 + static_cast<std::uint64_t>(i), options);
+    });
+    std::size_t drift_onsets = 0;
+    std::size_t drift_detected = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto violation = sim::campaign_violation(results[i]);
+        EXPECT_FALSE(violation.has_value())
+            << "campaign seed " << (1 + i) << ": " << violation.value_or("");
+        EXPECT_EQ(results[i].healthy_detection.alarm_steps, 0U) << "seed " << (1 + i);
+        drift_onsets += results[i].faulted_detection.drift_onsets;
+        drift_detected += results[i].faulted_detection.drift_detected;
+    }
+    ASSERT_GT(drift_onsets, 0U);
+    EXPECT_GE(static_cast<double>(drift_detected), 0.95 * static_cast<double>(drift_onsets));
 }
 
 TEST(FaultCampaign, CorrelatedClassDrawsGroupedFanFailures) {

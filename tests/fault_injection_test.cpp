@@ -123,6 +123,12 @@ TEST(FaultInjection, CampaignsRespectSurvivableConstraints) {
                     EXPECT_GT(e.duration_s, 0.0);
                     EXPECT_LE(e.duration_s, cfg.max_telemetry_loss_s);
                     break;
+                case sim::fault_kind::fan_tach_stuck:
+                case sim::fault_kind::sensor_drift:
+                case sim::fault_kind::sensor_intermittent:
+                    // Not part of the survivable class.
+                    ADD_FAILURE() << "survivable campaign drew " << sim::to_string(e.kind);
+                    break;
             }
         }
 
@@ -249,6 +255,129 @@ TEST(FaultInjection, ScheduleRejectsSameTickConflicts) {
     EXPECT_NO_THROW(sim::fault_schedule({ev(10.0, sim::fault_kind::fan_failure, 0),
                                          ev(10.0, sim::fault_kind::fan_failure, 1),
                                          ev(10.0, sim::fault_kind::sensor_bias, 0, 2.0)}));
+}
+
+TEST(FaultInjection, ScheduleValidatesNewKindCoherence) {
+    // fan_tach_stuck latches its pair like any fan fault...
+    EXPECT_NO_THROW(sim::fault_schedule({ev(10.0, sim::fault_kind::fan_tach_stuck, 1),
+                                         ev(60.0, sim::fault_kind::fan_recover, 1)}));
+    // ...and conflicts with a same-tick fan event on the same pair.
+    EXPECT_THROW(sim::fault_schedule({ev(10.0, sim::fault_kind::fan_tach_stuck, 0),
+                                      ev(10.0, sim::fault_kind::fan_failure, 0)}),
+                 util::precondition_error);
+    // A drift is latched until its recover; a run-long drift with no
+    // recover is valid, a same-tick drift + recover has no defined winner.
+    EXPECT_NO_THROW(sim::fault_schedule({ev(10.0, sim::fault_kind::sensor_drift, 0, -0.05)}));
+    EXPECT_NO_THROW(sim::fault_schedule({ev(10.0, sim::fault_kind::sensor_drift, 0, -0.05),
+                                         ev(200.0, sim::fault_kind::sensor_recover, 0)}));
+    EXPECT_THROW(sim::fault_schedule({ev(10.0, sim::fault_kind::sensor_drift, 0, -0.05),
+                                      ev(10.0, sim::fault_kind::sensor_recover, 0)}),
+                 util::precondition_error);
+    // A drift rate must be a real number — NaN stays reserved for the
+    // stuck kinds' "at current value" convention.
+    EXPECT_THROW(sim::fault_schedule({ev(10.0, sim::fault_kind::sensor_drift, 0, k_nan)}),
+                 util::precondition_error);
+    // An intermittent episode self-expires like a dropout: a recover
+    // inside its window cuts it short, one after it has nothing to act on.
+    EXPECT_NO_THROW(
+        sim::fault_schedule({ev(10.0, sim::fault_kind::sensor_intermittent, 2, -5.0, 60.0),
+                             ev(40.0, sim::fault_kind::sensor_recover, 2)}));
+    EXPECT_THROW(
+        sim::fault_schedule({ev(10.0, sim::fault_kind::sensor_intermittent, 2, -5.0, 20.0),
+                             ev(40.0, sim::fault_kind::sensor_recover, 2)}),
+        util::precondition_error);
+}
+
+TEST(FaultInjection, TinyCapsStillGenerateValidCampaigns) {
+    // The boundary fix: outage caps below the 10 s preferred minimum
+    // used to draw spans *above* the cap, and near-zero caps could
+    // collapse a span to nothing — putting an onset and its recover on
+    // one tick, which the schedule constructor rightly rejects.  Every
+    // tiny-cap campaign must now construct with every span inside its
+    // cap (the k_min_fault_span_s floor keeps onset < recover).
+    sim::fault_campaign_config cfg;
+    cfg.duration_s = 45.0;
+    cfg.max_faults = 8;
+    cfg.min_fan_outage_s = 1e-6;
+    cfg.max_fan_outage_s = 2e-6;
+    cfg.max_sensor_outage_s = 0.5;
+    cfg.max_telemetry_loss_s = 1e-3;
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        sim::fault_schedule campaign;
+        ASSERT_NO_THROW(campaign = sim::make_random_campaign(seed, cfg));
+        for (const sim::fault_event& e : campaign.events()) {
+            EXPECT_LE(e.t_s, cfg.duration_s);  // at most exactly the profile end
+            if (e.kind == sim::fault_kind::sensor_dropout) {
+                EXPECT_GT(e.duration_s, 0.0);
+                EXPECT_LE(e.duration_s, cfg.max_sensor_outage_s + 1e-12);
+            }
+            if (e.kind == sim::fault_kind::telemetry_loss) {
+                EXPECT_GT(e.duration_s, 0.0);
+                EXPECT_LE(e.duration_s, cfg.max_telemetry_loss_s + 1e-12);
+            }
+        }
+    }
+    // The episode generators stay coherent at tiny durations too.
+    sim::fault_campaign_config tiny;
+    tiny.duration_s = 1.0;
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        EXPECT_NO_THROW(static_cast<void>(sim::make_drifting_sensor_campaign(seed, tiny)));
+        EXPECT_NO_THROW(static_cast<void>(sim::make_lying_sensor_campaign(seed, tiny)));
+    }
+}
+
+TEST(FaultInjection, DriftingCampaignStructureAndReplay) {
+    // The drifting-sensor generator's structural contract: one drift
+    // episode covering a die's full sensor complement (or every sensor)
+    // at a rate inside the calibrated 0.02-0.1 degC/s band, always
+    // recovering inside the campaign, optionally overlapped by an
+    // intermittent burst on the spared die — and bitwise replay.
+    bool saw_intermittent = false;
+    bool saw_all_sensor_scope = false;
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const sim::fault_schedule a = sim::make_drifting_sensor_campaign(seed);
+        const sim::fault_schedule b = sim::make_drifting_sensor_campaign(seed);
+        ASSERT_EQ(a.size(), b.size());
+        std::size_t drifts = 0;
+        std::size_t recovers = 0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            const sim::fault_event& e = a.events()[i];
+            const sim::fault_event& twin = b.events()[i];
+            EXPECT_EQ(e.t_s, twin.t_s);
+            EXPECT_EQ(e.kind, twin.kind);
+            EXPECT_EQ(e.target, twin.target);
+            EXPECT_EQ(e.value, twin.value);
+            EXPECT_EQ(e.duration_s, twin.duration_s);
+            EXPECT_LE(e.t_s, 900.0);
+            switch (e.kind) {
+                case sim::fault_kind::sensor_drift:
+                    ++drifts;
+                    EXPECT_GE(e.value, -0.1);
+                    EXPECT_LE(e.value, -0.02);  // lying cool, above the floor
+                    break;
+                case sim::fault_kind::sensor_recover:
+                    ++recovers;
+                    break;
+                case sim::fault_kind::sensor_intermittent:
+                    saw_intermittent = true;
+                    EXPECT_GE(e.value, -8.0);
+                    EXPECT_LE(e.value, -4.0);
+                    EXPECT_GT(e.duration_s, 0.0);
+                    break;
+                default:
+                    ADD_FAILURE() << "unexpected kind " << sim::to_string(e.kind);
+                    break;
+            }
+        }
+        EXPECT_TRUE(drifts == 2 || drifts == 4) << "drift scope must be a die or all";
+        EXPECT_EQ(recovers, drifts);  // every drift recovers inside the campaign
+        saw_all_sensor_scope = saw_all_sensor_scope || drifts == 4;
+    }
+    EXPECT_TRUE(saw_intermittent);
+    EXPECT_TRUE(saw_all_sensor_scope);
 }
 
 TEST(FaultInjection, EmptyScheduleIsBitwiseHealthy) {

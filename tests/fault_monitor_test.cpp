@@ -22,6 +22,7 @@
 #include "sim/metrics.hpp"
 #include "sim/fault_campaign.hpp"
 #include "sim/server_batch.hpp"
+#include "sim/server_config.hpp"
 #include "sim/server_simulator.hpp"
 #include "workload/paper_tests.hpp"
 #include "workload/profile.hpp"
@@ -192,6 +193,201 @@ TEST(FaultMonitor, DeadAndStuckFansAreDetected) {
     s.set_fan_speed(0, 2400_rpm);  // latched by the fault, not actuated
     s.advance(10_s);
     EXPECT_EQ(mon->fan_health(0), component_health::failed);
+}
+
+TEST(FaultMonitor, CusumAccumulatesSubThresholdBias) {
+    // Drive on_poll directly against a twin that never steps, so the
+    // residuals are exact: sensor 0 carries a +2.5 degC bias — under the
+    // 3 degC instantaneous threshold but above the 1.75 degC/poll CUSUM
+    // allowance, so the positive sum grows exactly 0.75 per poll and
+    // reaches the 5.0 bound on poll 7.  Sensor 1's +1.5 degC bias sits
+    // under the allowance and must never accumulate; sensor 2 mirrors
+    // the walk on the negative side.
+    core::fault_monitor_config cfg;
+    cfg.enabled = true;  // defaults: k = 1.75, h = 5.0, threshold 3.0
+    core::fault_monitor mon(cfg, sim::monitor_plant_for(sim::paper_server()));
+    const power::fan_bank fans;  // paper bank, all pairs at 3600 RPM
+    mon.reset(fans, util::celsius_t{35.0});
+
+    const auto poll = [&](double bias0, double bias1, double bias2) {
+        std::vector<double> delivered(4);
+        for (std::size_t s = 0; s < 4; ++s) {
+            delivered[s] = mon.die_estimate_c(s / 2);
+        }
+        delivered[0] += bias0;
+        delivered[1] += bias1;
+        delivered[2] += bias2;
+        mon.on_poll(delivered);
+    };
+    for (int p = 1; p <= 6; ++p) {
+        poll(2.5, 1.5, -2.5);
+        EXPECT_DOUBLE_EQ(mon.sensor_cusum_pos_c(0), 0.75 * p) << "poll " << p;
+        EXPECT_DOUBLE_EQ(mon.sensor_cusum_neg_c(2), 0.75 * p) << "poll " << p;
+        EXPECT_EQ(mon.sensor_health(0), component_health::healthy) << "poll " << p;
+        EXPECT_EQ(mon.sensor_cusum_pos_c(1), 0.0) << "poll " << p;
+    }
+    poll(2.5, 1.5, -2.5);  // 7th: 5.25 clamps onto the bound -> alarm
+    EXPECT_DOUBLE_EQ(mon.sensor_cusum_pos_c(0), 5.0);
+    EXPECT_EQ(mon.sensor_health(0), component_health::healthy);  // one bad poll
+    poll(2.5, 1.5, -2.5);
+    EXPECT_EQ(mon.sensor_health(0), component_health::suspect);
+    EXPECT_EQ(mon.sensor_health(2), component_health::suspect);
+    poll(2.5, 1.5, -2.5);
+    poll(2.5, 1.5, -2.5);
+    EXPECT_EQ(mon.sensor_health(0), component_health::failed);
+    EXPECT_EQ(mon.sensor_health(2), component_health::failed);
+    EXPECT_EQ(mon.sensor_health(1), component_health::healthy);
+    EXPECT_EQ(mon.sensor_cusum_neg_c(0), 0.0);  // one-sided: wrong side stays zero
+
+    // Recovery: the clamp caps the decay, so the very first clean poll
+    // already drops the sum off the bound and two clean polls clear.
+    poll(0.0, 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(mon.sensor_cusum_pos_c(0), 3.25);
+    EXPECT_EQ(mon.sensor_health(0), component_health::failed);
+    poll(0.0, 0.0, 0.0);
+    EXPECT_EQ(mon.sensor_health(0), component_health::healthy);
+    EXPECT_EQ(mon.sensor_health(2), component_health::healthy);
+    poll(0.0, 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(mon.sensor_cusum_pos_c(0), 0.0);
+}
+
+TEST(FaultMonitor, FanCommandGraceToleratesTachLag) {
+    // Aggressive bang-bang: a fresh command every step, applied to the
+    // bank one step late, so the tach always reads the *previous*
+    // command.  With the grace window that lag is in-band; without it
+    // the same healthy ramp walks straight to failed — the transient
+    // false positive the grace exists to kill.  A dead rotor matches
+    // neither command and must still be caught through the window.
+    const core::fault_monitor_plant plant = sim::monitor_plant_for(sim::paper_server());
+    const auto run_bang_bang = [&](int grace_steps, bool dead) {
+        core::fault_monitor_config cfg;
+        cfg.enabled = true;
+        cfg.fan_command_grace_steps = grace_steps;
+        core::fault_monitor mon(cfg, plant);
+        power::fan_bank fans;
+        if (dead) {
+            fans.set_failed(0, true);
+        }
+        mon.reset(fans, util::celsius_t{35.0});
+        util::rpm_t pending{3600.0};
+        for (int i = 0; i < 40; ++i) {
+            fans.set_speed(0, pending);  // last step's command lands now
+            const util::rpm_t cmd{i % 2 == 0 ? 1800.0 : 4200.0};
+            mon.observe_fan_command(0, cmd);
+            pending = cmd;
+            mon.step(util::seconds_t{1.0}, 50.0, 0.0, util::celsius_t{35.0}, fans);
+        }
+        return mon.fan_health(0);
+    };
+    EXPECT_EQ(run_bang_bang(2, false), component_health::healthy);
+    EXPECT_EQ(run_bang_bang(0, false), component_health::failed);
+    EXPECT_EQ(run_bang_bang(2, true), component_health::failed);
+}
+
+TEST(FaultMonitor, TachStuckPairIsCaughtByThermalCrossCheck) {
+    // A tach-stuck pair keeps reporting whatever is commanded while the
+    // rotor delivers nothing — the tach residual is structurally quiet,
+    // the blind spot only the thermal cross-check covers.  Under
+    // sustained 90 % load the stricken die runs away from the tach-driven
+    // twin; the divergence is die-wide and the quiet pair takes the
+    // blame, not the truthful sensors.  The failsafe then pins max
+    // cooling off the failed-fan verdict.  (60 % steady keeps the dead
+    // zone's excursion inside the calibrated fan-fault envelope; at
+    // sustained 90 % a permanently dead zone exceeds what any
+    // controller can hold — see RolloutRePlansPastDetectedDeadFan.)
+    sim::server_simulator s(monitored_server());
+    const sim::fault_schedule campaign({ev(100.0, sim::fault_kind::fan_tach_stuck, 0)});
+    s.bind_fault_schedule(campaign);
+    core::failsafe_controller safe(std::make_unique<core::bang_bang_controller>());
+    static_cast<void>(core::run_controlled(s, safe, steady(60.0, 600.0)));
+
+    const core::fault_monitor* mon = s.monitor();
+    ASSERT_NE(mon, nullptr);
+    EXPECT_EQ(mon->fan_health(0), component_health::failed);
+    EXPECT_EQ(mon->worst_fan_health(), component_health::failed);
+    EXPECT_TRUE(safe.fan_override());
+    EXPECT_TRUE(safe.engaged());
+    // The sensors told the truth all along: once the divergence is
+    // attributed to the fans they score clean polls and end healthy.
+    for (std::size_t sensor = 0; sensor < mon->sensor_count(); ++sensor) {
+        EXPECT_EQ(mon->sensor_health(sensor), component_health::healthy)
+            << "sensor " << sensor;
+    }
+    const sim::detection_summary d =
+        sim::compute_detection_summary(s.trace().view(), &campaign);
+    EXPECT_EQ(d.fault_onsets, 1U);
+    EXPECT_EQ(d.detected, 1U);
+    EXPECT_GT(d.fan_alarm_steps, 0U);
+    // Max cooling on the survivors plus 30 % mixing keeps the true die
+    // inside the calibrated fan-fault envelope.
+    const sim::trace_view t = s.trace().view();
+    const double max_die = std::max(t.cpu0_temp().max(), t.cpu1_temp().max());
+    EXPECT_LE(max_die, sim::fault_campaign_limits{}.fan_fault_envelope_c);
+}
+
+TEST(FaultMonitor, DriftAndIntermittentSensorsAreDetected) {
+    // A -0.05 degC/s ramp needs 60 s just to reach the instantaneous
+    // threshold; the CUSUM starts accumulating once the ramp clears the
+    // 1.75 degC allowance (~35 s in) and alarms with bounded latency.
+    // The intermittent burst alternates bad and good polls at the 30 s
+    // square period — the on-half still walks the hysteresis because two
+    // consecutive 10 s polls land inside each 15 s burst.
+    sim::server_simulator s(monitored_server());
+    const sim::fault_schedule campaign(
+        {ev(50.0, sim::fault_kind::sensor_drift, 0, -0.05),
+         ev(400.0, sim::fault_kind::sensor_recover, 0),
+         ev(500.0, sim::fault_kind::sensor_intermittent, 2, -6.0, 200.0)});
+    s.bind_fault_schedule(campaign);
+    core::failsafe_controller safe(std::make_unique<core::bang_bang_controller>());
+    static_cast<void>(core::run_controlled(s, safe, steady(60.0, 800.0)));
+
+    const sim::detection_summary d =
+        sim::compute_detection_summary(s.trace().view(), &campaign);
+    EXPECT_EQ(d.fault_onsets, 2U);
+    EXPECT_EQ(d.detected, 2U);
+    EXPECT_EQ(d.drift_onsets, 1U);  // only the ramp is drift-classified
+    EXPECT_EQ(d.drift_detected, 1U);
+    EXPECT_GT(d.mean_drift_time_to_detect_s, 0.0);
+    EXPECT_LE(d.max_drift_time_to_detect_s, 150.0);
+    // Both faults ended inside the run; the sensors cleared.
+    EXPECT_EQ(s.monitor()->sensor_health(0), component_health::healthy);
+    EXPECT_EQ(s.monitor()->sensor_health(2), component_health::healthy);
+}
+
+TEST(FaultMonitor, BatchLanesMatchScalarWithNewFaultKinds) {
+    // The batched plant mirrors the scalar one bitwise through every new
+    // fault kind: a slow drift, an intermittent burst, and a tach-stuck
+    // pair with recovery, all in one monitored lane.
+    const auto profile = steady(80.0, 700.0);
+    const sim::fault_schedule campaign(
+        {ev(60.0, sim::fault_kind::sensor_drift, 1, -0.04),
+         ev(250.0, sim::fault_kind::sensor_recover, 1),
+         ev(300.0, sim::fault_kind::sensor_intermittent, 3, -5.0, 120.0),
+         ev(450.0, sim::fault_kind::fan_tach_stuck, 2),
+         ev(600.0, sim::fault_kind::fan_recover, 2)});
+
+    sim::server_batch batch(monitored_server(), 2);
+    batch.bind_fault_schedule(0, campaign);
+    core::failsafe_controller c0(std::make_unique<core::bang_bang_controller>());
+    core::failsafe_controller c1(std::make_unique<core::bang_bang_controller>());
+    static_cast<void>(core::run_controlled_batch(batch, {&c0, &c1}, {profile, profile}));
+
+    sim::server_simulator faulted(monitored_server());
+    faulted.bind_fault_schedule(campaign);
+    sim::server_simulator healthy(monitored_server());
+    core::failsafe_controller s0(std::make_unique<core::bang_bang_controller>());
+    core::failsafe_controller s1(std::make_unique<core::bang_bang_controller>());
+    static_cast<void>(core::run_controlled(faulted, s0, profile));
+    static_cast<void>(core::run_controlled(healthy, s1, profile));
+
+    expect_traces_identical(batch.trace(0), faulted.trace());
+    expect_traces_identical(batch.trace(1), healthy.trace());
+    // The lane actually exercised the new kinds, not a quiet schedule.
+    const sim::detection_summary d =
+        sim::compute_detection_summary(faulted.trace().view(), &campaign);
+    EXPECT_EQ(d.fault_onsets, 3U);
+    EXPECT_GT(d.detected, 0U);
+    EXPECT_EQ(d.drift_onsets, 1U);
 }
 
 TEST(FaultMonitor, SensorAgeChannelTracksThePollClock) {

@@ -5,7 +5,12 @@
 // the foundation under core::rollout_controller.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "core/fault_monitor.hpp"
+#include "sim/fault_schedule.hpp"
 #include "sim/server_batch.hpp"
+#include "sim/server_config.hpp"
 #include "sim/server_simulator.hpp"
 #include "sim/server_state.hpp"
 #include "thermal/rc_batch.hpp"
@@ -268,6 +273,78 @@ TEST(SnapshotRoundtrip, RcStateMovesBetweenNetworkAndBatchLane) {
     EXPECT_EQ(back.powers, scalar_now.powers);
     EXPECT_EQ(back.edge_g, scalar_now.edge_g);
     EXPECT_EQ(back.ambient_c, scalar_now.ambient_c);
+}
+
+TEST(SnapshotRoundtrip, CusumMidAccumulationRoundTripsBitwise) {
+    // Snapshot while a slow drift's CUSUM sum is strictly between zero
+    // and the decision bound — accumulated evidence with no verdict
+    // flipped yet.  The restored twin (scalar and batch lane alike) must
+    // resume the accumulation bitwise: same alarm poll, same walk to
+    // failed, same recover/clear path.
+    workload::utilization_profile profile("steady");
+    profile.constant(60.0, util::seconds_t{500.0});
+    sim::server_config config = sim::paper_server();
+    config.monitor.enabled = true;
+    const auto drift_ev = [](double t, sim::fault_kind kind, std::size_t target, double value) {
+        sim::fault_event e;
+        e.t_s = t;
+        e.kind = kind;
+        e.target = target;
+        e.value = value;
+        return e;
+    };
+    const sim::fault_schedule campaign(
+        {drift_ev(45.0, sim::fault_kind::sensor_drift, 2, -0.25),
+         drift_ev(150.0, sim::fault_kind::sensor_recover, 2, 0.0)});
+
+    sim::server_simulator a(config);
+    a.bind_workload(profile);
+    a.bind_fault_schedule(campaign);
+    a.force_cold_start();
+    a.advance(65_s);  // polls at 50 and 60 scored; the ramp is still shallow
+    ASSERT_NE(a.monitor(), nullptr);
+    const double mid_neg = a.monitor()->sensor_cusum_neg_c(2);
+    ASSERT_GT(mid_neg, 0.0);
+    ASSERT_LT(mid_neg, config.monitor.sensor_cusum_h_c);
+    ASSERT_EQ(a.monitor()->sensor_health(2), core::component_health::healthy);
+    const sim::server_state snap = a.snapshot_state();
+
+    sim::server_simulator b(config);
+    b.bind_workload(profile);
+    b.bind_fault_schedule(campaign);
+    b.restore_state(snap);
+    EXPECT_EQ(b.monitor()->sensor_cusum_neg_c(2), mid_neg);
+    EXPECT_EQ(b.monitor()->sensor_cusum_pos_c(2), a.monitor()->sensor_cusum_pos_c(2));
+
+    sim::server_batch batch(config, 2);
+    batch.bind_workload(0, profile);
+    batch.bind_workload(1, profile);
+    batch.bind_fault_schedule(0, campaign);
+    batch.load_lane_state(0, snap);
+    EXPECT_EQ(batch.monitor(0)->sensor_cusum_neg_c(2), mid_neg);
+
+    a.clear_trace();
+    batch.clear_trace(0);
+    double peak_neg = 0.0;
+    bool reached_failed = false;
+    for (int k = 0; k < 300; ++k) {
+        a.step(1_s);
+        b.step(1_s);
+        batch.step(1_s);
+        peak_neg = std::max(peak_neg, b.monitor()->sensor_cusum_neg_c(2));
+        reached_failed = reached_failed ||
+                         b.monitor()->sensor_health(2) == core::component_health::failed;
+    }
+    // The accumulation continued through the restore: the sum hit the
+    // clamped bound, the verdict walked to failed, and the recovery at
+    // t = 150 cleared it again.
+    EXPECT_DOUBLE_EQ(peak_neg, config.monitor.sensor_cusum_h_c);
+    EXPECT_TRUE(reached_failed);
+    EXPECT_EQ(b.monitor()->sensor_health(2), core::component_health::healthy);
+    expect_rows_identical(a.trace(), 0, b.trace());
+    expect_rows_identical(a.trace(), 0, batch.trace(0));
+    EXPECT_EQ(a.monitor()->sensor_cusum_neg_c(2), b.monitor()->sensor_cusum_neg_c(2));
+    EXPECT_EQ(a.monitor()->sensor_cusum_neg_c(2), batch.monitor(0)->sensor_cusum_neg_c(2));
 }
 
 TEST(SnapshotRoundtrip, ShapeMismatchesAreRejected) {
