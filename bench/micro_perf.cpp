@@ -11,9 +11,11 @@
 #include "core/rollout_controller.hpp"
 #include "fit/nlls.hpp"
 #include "sim/batch_trace.hpp"
+#include "sim/fleet.hpp"
 #include "sim/server_batch.hpp"
 #include "sim/server_simulator.hpp"
 #include "sim/simulation_trace.hpp"
+#include "thermal/numerics.hpp"
 #include "thermal/server_thermal_model.hpp"
 #include "thermal/steady_state.hpp"
 #include "workload/paper_tests.hpp"
@@ -115,6 +117,58 @@ void BM_BatchStep(benchmark::State& state) {
     state.SetLabel("per-server simulated seconds per wall second");
 }
 BENCHMARK(BM_BatchStep)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_BatchStepSimd(benchmark::State& state) {
+    // The same batched plant second under the relaxed numerics tier: the
+    // thermal kernel runs the vectorized block-local integrator
+    // (rc_batch_kernels) instead of the bitwise lane loop.  Read against
+    // BM_BatchStep at the same N for the SIMD payoff; the acceptance bar
+    // is N=256 per-server cost at or below the scalar plant.
+    const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+    sim::server_batch batch(sim::paper_server(), lanes, thermal::numerics_tier::relaxed);
+    workload::utilization_profile p("bench");
+    p.constant(60.0, util::seconds_t{1e9});
+    for (std::size_t l = 0; l < lanes; ++l) {
+        batch.bind_workload(l, p);
+    }
+    for (auto _ : state) {
+        batch.step(1_s);
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(lanes));
+    state.SetLabel("per-server simulated seconds per wall second");
+}
+BENCHMARK(BM_BatchStepSimd)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_FleetStep(benchmark::State& state) {
+    // Sharded fleet stepping: N lanes split across K server_batch shards
+    // stepped on a K-wide thread pool (sim::fleet).  args = (lanes,
+    // shards); items = server-steps, directly comparable to BM_BatchStep.
+    // Shard results are bitwise invariant in K (the fleet suite pins
+    // that), so this family measures pure partitioning/pool overhead or
+    // payoff on the host at hand.
+    const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+    const std::size_t shards = static_cast<std::size_t>(state.range(1));
+    sim::fleet_config fc;
+    fc.shards = shards;
+    fc.threads = shards;
+    sim::fleet fleet(sim::paper_server(), lanes, fc);
+    workload::utilization_profile p("bench");
+    p.constant(60.0, util::seconds_t{1e9});
+    for (std::size_t l = 0; l < lanes; ++l) {
+        fleet.bind_workload(l, p);
+    }
+    for (auto _ : state) {
+        fleet.step(1_s);
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(lanes));
+    state.SetLabel("per-server simulated seconds per wall second");
+}
+BENCHMARK(BM_FleetStep)
+    ->Args({1024, 1})
+    ->Args({1024, 4})
+    ->Args({10240, 1})
+    ->Args({10240, 4})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_TraceRecord(benchmark::State& state) {
     // Pure recording cost: one columnar row append (shared timestamp +
@@ -232,6 +286,43 @@ void BM_RolloutDecision(benchmark::State& state) {
     state.SetLabel("rollout decisions per second");
 }
 BENCHMARK(BM_RolloutDecision);
+
+void BM_RolloutDecisionSharded(benchmark::State& state) {
+    // The same decision with the engine's scale-out levers on: candidate
+    // lanes under the relaxed (vectorized) numerics tier, split across
+    // shards.  Scores and the argmin are shard/thread invariant (pinned
+    // by the fleet suite), so the delta vs BM_RolloutDecision is pure
+    // kernel speed plus partitioning overhead on this host.
+    sim::server_simulator s;
+    workload::utilization_profile p("bench");
+    p.constant(60.0, util::seconds_t{1e9});
+    s.bind_workload(p);
+    s.force_cold_start();
+    s.advance(300_s);
+
+    core::rollout_controller_config cfg;
+    cfg.horizon = 120_s;
+    cfg.lattice_radius = 2;
+    cfg.engine.shards = 4;
+    cfg.engine.threads = 1;
+    cfg.engine.tier = thermal::numerics_tier::relaxed;
+    core::rollout_controller roll(std::make_unique<core::bang_bang_controller>(), cfg);
+    const core::simulator_plant_view plant(s);
+    roll.attach_plant(&plant);
+
+    core::controller_inputs in;
+    in.now = s.now();
+    in.utilization_pct = s.measured_utilization(240_s);
+    in.max_cpu_temp = s.max_cpu_sensor_temp();
+    in.current_rpm = s.average_fan_rpm();
+    in.system_power = s.system_power_reading();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(roll.decide(in));
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel("rollout decisions per second");
+}
+BENCHMARK(BM_RolloutDecisionSharded);
 
 void BM_LeakageFit(benchmark::State& state) {
     sim::server_simulator s;

@@ -37,9 +37,20 @@ if [ "$BUILD_TYPE" != "Release" ] && [ "${ALLOW_NON_RELEASE:-0}" != "1" ]; then
     exit 1
 fi
 
+# Record the parallel topology alongside the numbers: Google Benchmark's
+# own num_cpus only sees the affinity mask, which hides how wide the
+# thread-pool benches (BM_FleetStep, BM_RolloutDecisionSharded) actually
+# ran.  LTSC_THREADS is the pool override honored across the library.
+HW_THREADS=$(nproc --all 2>/dev/null || getconf _NPROCESSORS_CONF)
+AFFINE_THREADS=$(nproc 2>/dev/null || echo "$HW_THREADS")
+POOL_THREADS="${LTSC_THREADS:-$AFFINE_THREADS}"
+
 "$BUILD_DIR/bench/micro_perf" \
     --benchmark_filter="$FILTER" \
     --benchmark_min_time="$MIN_TIME" \
+    --benchmark_context=hw_threads="$HW_THREADS" \
+    --benchmark_context=affine_threads="$AFFINE_THREADS" \
+    --benchmark_context=pool_threads="$POOL_THREADS" \
     --benchmark_out=BENCH_micro.json \
     --benchmark_out_format=json
 

@@ -233,4 +233,28 @@ std::vector<sim::run_metrics> run_controlled_batch(
     return out;
 }
 
+std::vector<sim::run_metrics> run_controlled_fleet(
+    sim::fleet& fleet, const std::vector<fan_controller*>& controllers,
+    const std::vector<workload::utilization_profile>& profiles, const runtime_config& config) {
+    const std::size_t n = fleet.lane_count();
+    util::ensure(controllers.size() == n, "run_controlled_fleet: controller count != lane count");
+    util::ensure(profiles.size() == n, "run_controlled_fleet: profile count != lane count");
+
+    std::vector<sim::run_metrics> out(n);
+    fleet.for_each_shard([&](std::size_t s) {
+        const std::size_t lo = fleet.shard_offset(s);
+        const std::size_t hi = fleet.shard_offset(s + 1);
+        const std::vector<fan_controller*> shard_controllers(
+            controllers.begin() + static_cast<std::ptrdiff_t>(lo),
+            controllers.begin() + static_cast<std::ptrdiff_t>(hi));
+        const std::vector<workload::utilization_profile> shard_profiles(
+            profiles.begin() + static_cast<std::ptrdiff_t>(lo),
+            profiles.begin() + static_cast<std::ptrdiff_t>(hi));
+        std::vector<sim::run_metrics> metrics =
+            run_controlled_batch(fleet.shard(s), shard_controllers, shard_profiles, config);
+        std::move(metrics.begin(), metrics.end(), out.begin() + static_cast<std::ptrdiff_t>(lo));
+    });
+    return out;
+}
+
 }  // namespace ltsc::core

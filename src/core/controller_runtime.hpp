@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/controller.hpp"
+#include "sim/fleet.hpp"
 #include "sim/metrics.hpp"
 #include "sim/server_batch.hpp"
 #include "sim/server_simulator.hpp"
@@ -95,6 +96,19 @@ struct runtime_config {
 /// polling — while the remaining lanes run to completion.
 [[nodiscard]] std::vector<sim::run_metrics> run_controlled_batch(
     sim::server_batch& batch, const std::vector<fan_controller*>& controllers,
+    const std::vector<workload::utilization_profile>& profiles,
+    const runtime_config& config = {});
+
+/// Sharded analog of run_controlled_batch: each fleet shard runs its
+/// lane block as an independent run_controlled_batch on the fleet's
+/// thread pool, and the metrics are assembled shard-major — which is
+/// global lane order, since shards own contiguous lane blocks.  Shards
+/// share no mutable state, so results are invariant under shard count
+/// and thread count (per-lane they match a plain run_controlled_batch
+/// of the same tier).  Controllers and profiles are indexed by global
+/// lane.
+[[nodiscard]] std::vector<sim::run_metrics> run_controlled_fleet(
+    sim::fleet& fleet, const std::vector<fan_controller*>& controllers,
     const std::vector<workload::utilization_profile>& profiles,
     const runtime_config& config = {});
 

@@ -19,9 +19,9 @@ const server_config& front_checked(const std::vector<server_config>& configs) {
 
 }  // namespace
 
-server_batch::server_batch(std::vector<server_config> configs)
+server_batch::server_batch(std::vector<server_config> configs, thermal::numerics_tier tier)
     : proto_(front_checked(configs).thermal),
-      batch_(proto_.network(), configs.size()),
+      batch_(proto_.network(), configs.size(), thermal::integration_scheme::rk4, tier),
       traces_(configs.size()),
       active_(configs.size(), 1) {
     lanes_.reserve(configs.size());
@@ -30,8 +30,9 @@ server_batch::server_batch(std::vector<server_config> configs)
     }
 }
 
-server_batch::server_batch(const server_config& config, std::size_t lanes)
-    : server_batch(std::vector<server_config>(lanes, config)) {}
+server_batch::server_batch(const server_config& config, std::size_t lanes,
+                           thermal::numerics_tier tier)
+    : server_batch(std::vector<server_config>(lanes, config), tier) {}
 
 server_batch::lane_state& server_batch::at(std::size_t lane) {
     util::ensure(lane < lanes_.size(), "server_batch: lane out of range");

@@ -1,0 +1,33 @@
+// The tiered-equivalence contract for batch thermal kernels.
+//
+// Every batch plant in this repo steps N lanes through one instruction
+// stream.  The *numerics tier* picks the floating-point contract those
+// kernels honour:
+//
+//  - `bitwise` (default): every lane performs the exact operation
+//    sequence of its scalar twin (rc_network + transient_solver driven
+//    through the same schedule).  Pinned by the batch-equivalence,
+//    golden-trace, and determinism suites; any result obtained in this
+//    tier is bitwise-reproducible against the scalar plant.
+//
+//  - `relaxed`: kernels may reorder, fuse (FMA), and vectorize lane
+//    arithmetic — reciprocal-multiply instead of per-node division,
+//    fused stage updates, explicit SIMD widths over lanes.  Results
+//    stay deterministic for a given build, and are *packing-invariant*:
+//    a lane's trajectory does not depend on its position in the batch,
+//    the batch's lane count, shard assignment, or thread count (the
+//    kernels use identical elementwise op sequences in vector bodies
+//    and scalar tails).  Divergence from the bitwise tier is bounded by
+//    the relaxed-equivalence suite (ULP/absolute tolerance vs scalar
+//    twins), not pinned bitwise.
+#pragma once
+
+namespace ltsc::thermal {
+
+/// Floating-point contract for batch lane kernels.
+enum class numerics_tier {
+    bitwise,  ///< Per-lane bitwise equality with the scalar plant.
+    relaxed,  ///< Vectorized/fused; deterministic + packing-invariant.
+};
+
+}  // namespace ltsc::thermal

@@ -1,0 +1,62 @@
+// Relaxed-tier batch integration kernels (see thermal/numerics.hpp).
+//
+// These step N lanes through the RK4 / forward-Euler substep loops with
+// explicit SIMD widths over lanes.  The implementation lives in its own
+// translation unit (rc_batch_simd.cpp) so the build can hand that one
+// file wider arch flags (-march=native) than the rest of the library
+// while the interface stays plain `double*`.
+//
+// Numerics: lane arithmetic is elementwise (no cross-lane reductions),
+// every operation is IEEE correctly rounded, and the scalar tail uses
+// the exact same op sequence as the vector body (util/simd.hpp pack
+// contract), so results are deterministic for a given build and
+// invariant under lane packing, batch size, shard assignment, and
+// thread count.  They are NOT bitwise-equal to the bitwise tier:
+// the kernels use reciprocal-multiply instead of per-node division,
+// fused multiply-adds where the ISA has them, and fused stage updates.
+#pragma once
+
+#include <cstddef>
+
+namespace ltsc::thermal {
+
+class rc_network;
+
+namespace relaxed {
+
+/// Native vector width (doubles per pack) the kernel TU was built with.
+[[nodiscard]] std::size_t simd_width();
+
+/// Whether the kernel TU fuses multiply-adds (single rounding).
+[[nodiscard]] bool fused_madd();
+
+/// Scratch doubles step_rk4/step_euler need for a topology of
+/// `nodes` nodes and the given flattened edge counts.
+[[nodiscard]] std::size_t scratch_doubles(std::size_t nodes, std::size_t internal_edges,
+                                          std::size_t ambient_edges);
+
+/// Lane-contiguous batch state, rc_batch layout: value of node i,
+/// lane l at `buf[i * lanes + l]`; conductance of insertion-order edge
+/// e at `edge_g[e * lanes + l]`.
+struct step_args {
+    const rc_network* topo = nullptr;  ///< Shared topology (flattened edges).
+    std::size_t lanes = 0;
+    std::size_t nodes = 0;
+    double* temps = nullptr;           ///< [node][lane], updated in place.
+    const double* powers = nullptr;    ///< [node][lane]
+    const double* inv_caps = nullptr;  ///< [node][lane] reciprocal heat capacities.
+    const double* ambient = nullptr;   ///< [lane]
+    const double* edge_g = nullptr;    ///< [edge][lane]
+    const double* h = nullptr;         ///< [lane] substep size.
+    const int* substeps = nullptr;     ///< [lane] substep count; 0 = masked lane.
+    double* scratch = nullptr;         ///< >= scratch_doubles(...) doubles.
+};
+
+/// RK4 substep loop; a lane with substeps[l] == 0 is left untouched.
+void step_rk4(const step_args& a);
+
+/// Forward-Euler substep loop; same masking contract.
+void step_euler(const step_args& a);
+
+}  // namespace relaxed
+}  // namespace ltsc::thermal

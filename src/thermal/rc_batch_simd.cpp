@@ -1,0 +1,286 @@
+// Relaxed-tier SIMD batch kernels.  This TU is compiled with the
+// widest arch flags the build allows (see LTSC_SIMD_NATIVE in the root
+// CMakeLists) plus -ffp-contract=off, so the only fused operations are
+// the explicit pack::madd calls — a requirement of the packing
+// invariance contract (util/simd.hpp).
+//
+// Structure: lanes are processed in blocks of pack width W (scalar tail
+// with pack<1>).  Because lane arithmetic never crosses lanes, the
+// *entire* substep loop runs block-locally: each block gathers its
+// lanes' state into a tiny [node][W] working set, integrates all
+// substeps there, and scatters the result back.  One streaming pass
+// over the batch arrays per macro step regardless of substep count.
+#include "thermal/rc_batch_kernels.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "thermal/rc_network.hpp"
+#include "util/simd.hpp"
+
+namespace ltsc::thermal::relaxed {
+namespace {
+
+namespace simd = ltsc::util::simd;
+
+struct topo_view {
+    const rc_network::flat_internal_edge* internal = nullptr;
+    std::size_t internal_count = 0;
+    const rc_network::flat_ambient_edge* ambient = nullptr;
+    std::size_t ambient_count = 0;
+};
+
+topo_view make_view(const rc_network& topo) {
+    const auto& in = topo.flat_internal_edges();
+    const auto& am = topo.flat_ambient_edges();
+    return topo_view{in.data(), in.size(), am.data(), am.size()};
+}
+
+// Block-local working set carved out of the caller's scratch.  All
+// buffers are [slot][W] with W the block width.
+struct block_buffers {
+    double* t = nullptr;    ///< [node][W] lane temperatures (the state).
+    double* tmp = nullptr;  ///< [node][W] RK4 stage temperatures.
+    double* k1 = nullptr;   ///< [node][W] stage slopes (k1..k4).
+    double* k2 = nullptr;
+    double* k3 = nullptr;
+    double* k4 = nullptr;
+    double* p = nullptr;    ///< [node][W] powers.
+    double* ic = nullptr;   ///< [node][W] reciprocal capacities.
+    double* gi = nullptr;   ///< [internal edge][W] conductances.
+    double* ga = nullptr;   ///< [ambient edge][W] conductances.
+    double* amb = nullptr;  ///< [W] ambients.
+    double* hb = nullptr;   ///< [W] substep h.
+    double* h2 = nullptr;   ///< [W] 0.5 * h.
+    double* h6 = nullptr;   ///< [W] h / 6 (as h * (1/6)).
+    double* subd = nullptr; ///< [W] substep counts as doubles (mask compare).
+};
+
+template <std::size_t W>
+block_buffers carve(double* s, std::size_t nodes, std::size_t ei, std::size_t ea) {
+    block_buffers b;
+    const auto grab = [&s](std::size_t n) {
+        double* p = s;
+        s += n;
+        return p;
+    };
+    b.t = grab(nodes * W);
+    b.tmp = grab(nodes * W);
+    b.k1 = grab(nodes * W);
+    b.k2 = grab(nodes * W);
+    b.k3 = grab(nodes * W);
+    b.k4 = grab(nodes * W);
+    b.p = grab(nodes * W);
+    b.ic = grab(nodes * W);
+    b.gi = grab(ei * W);
+    b.ga = grab(ea * W);
+    b.amb = grab(W);
+    b.hb = grab(W);
+    b.h2 = grab(W);
+    b.h6 = grab(W);
+    b.subd = grab(W);
+    return b;
+}
+
+/// Raw heat flow at block temperatures `at` into `k`: internal edges
+/// then ambient edges, same accumulation order as the bitwise kernel.
+/// The (flow + power) * inv_cap finish is fused into the stage updates.
+template <typename P>
+inline void flow_into(const topo_view& tv, std::size_t nodes, const block_buffers& b,
+                      const double* at, double* k) {
+    constexpr std::size_t W = P::width;
+    const P zero = P::broadcast(0.0);
+    for (std::size_t i = 0; i < nodes; ++i) {
+        zero.store(k + i * W);
+    }
+    for (std::size_t e = 0; e < tv.internal_count; ++e) {
+        const auto& ed = tv.internal[e];
+        const P g = P::load(b.gi + e * W);
+        const P q = g * (P::load(at + ed.b * W) - P::load(at + ed.a * W));
+        (P::load(k + ed.a * W) + q).store(k + ed.a * W);
+        (P::load(k + ed.b * W) - q).store(k + ed.b * W);
+    }
+    const P amb = P::load(b.amb);
+    for (std::size_t e = 0; e < tv.ambient_count; ++e) {
+        const auto& ed = tv.ambient[e];
+        const P g = P::load(b.ga + e * W);
+        P::madd(g, amb - P::load(at + ed.n * W), P::load(k + ed.n * W)).store(k + ed.n * W);
+    }
+}
+
+/// Finishes a stage: k <- (k + p) * ic, tmp <- t + f * k (blended where
+/// masked so finished lanes' stage state stays frozen).
+template <typename P, bool Masked>
+inline void stage_update(std::size_t nodes, const block_buffers& b, double* k, const double* f,
+                         typename P::mask m) {
+    constexpr std::size_t W = P::width;
+    const P fv = P::load(f);
+    for (std::size_t i = 0; i < nodes; ++i) {
+        const P kv = (P::load(k + i * W) + P::load(b.p + i * W)) * P::load(b.ic + i * W);
+        kv.store(k + i * W);
+        P up = P::madd(kv, fv, P::load(b.t + i * W));
+        if constexpr (Masked) {
+            up = P::select(m, up, P::load(b.tmp + i * W));
+        }
+        up.store(b.tmp + i * W);
+    }
+}
+
+/// Final RK4 combine: t <- t + h/6 * (k1 + k4 + 2*(k2 + k3)); k4 is
+/// finished inline.
+template <typename P, bool Masked>
+inline void final_update(std::size_t nodes, const block_buffers& b, typename P::mask m) {
+    constexpr std::size_t W = P::width;
+    const P h6 = P::load(b.h6);
+    const P two = P::broadcast(2.0);
+    for (std::size_t i = 0; i < nodes; ++i) {
+        const P k4v = (P::load(b.k4 + i * W) + P::load(b.p + i * W)) * P::load(b.ic + i * W);
+        const P sum =
+            (P::load(b.k1 + i * W) + k4v) + two * (P::load(b.k2 + i * W) + P::load(b.k3 + i * W));
+        const P told = P::load(b.t + i * W);
+        P tn = P::madd(sum, h6, told);
+        if constexpr (Masked) {
+            tn = P::select(m, tn, told);
+        }
+        tn.store(b.t + i * W);
+    }
+}
+
+template <typename P, bool Masked>
+inline void rk4_substeps(const topo_view& tv, std::size_t nodes, const block_buffers& b,
+                         int block_max) {
+    const P subp = P::load(b.subd);
+    for (int s = 0; s < block_max; ++s) {
+        typename P::mask m{};
+        if constexpr (Masked) {
+            m = P::less(P::broadcast(static_cast<double>(s)), subp);
+        }
+        flow_into<P>(tv, nodes, b, b.t, b.k1);
+        stage_update<P, Masked>(nodes, b, b.k1, b.h2, m);
+        flow_into<P>(tv, nodes, b, b.tmp, b.k2);
+        stage_update<P, Masked>(nodes, b, b.k2, b.h2, m);
+        flow_into<P>(tv, nodes, b, b.tmp, b.k3);
+        stage_update<P, Masked>(nodes, b, b.k3, b.hb, m);
+        flow_into<P>(tv, nodes, b, b.tmp, b.k4);
+        final_update<P, Masked>(nodes, b, m);
+    }
+}
+
+template <typename P, bool Masked>
+inline void euler_substeps(const topo_view& tv, std::size_t nodes, const block_buffers& b,
+                           int block_max) {
+    constexpr std::size_t W = P::width;
+    const P subp = P::load(b.subd);
+    const P hb = P::load(b.hb);
+    for (int s = 0; s < block_max; ++s) {
+        typename P::mask m{};
+        if constexpr (Masked) {
+            m = P::less(P::broadcast(static_cast<double>(s)), subp);
+        }
+        flow_into<P>(tv, nodes, b, b.t, b.k1);
+        for (std::size_t i = 0; i < nodes; ++i) {
+            const P d = (P::load(b.k1 + i * W) + P::load(b.p + i * W)) * P::load(b.ic + i * W);
+            const P told = P::load(b.t + i * W);
+            P tn = P::madd(d, hb, told);
+            if constexpr (Masked) {
+                tn = P::select(m, tn, told);
+            }
+            tn.store(b.t + i * W);
+        }
+    }
+}
+
+/// Gathers one block, runs all substeps block-locally, scatters back.
+template <typename P, bool Rk4>
+void step_block(const step_args& a, const topo_view& tv, const block_buffers& b,
+                std::size_t lane0) {
+    constexpr std::size_t W = P::width;
+    const std::size_t L = a.lanes;
+    const std::size_t N = a.nodes;
+
+    int block_max = 0;
+    int block_min = std::numeric_limits<int>::max();
+    for (std::size_t w = 0; w < W; ++w) {
+        const int s = a.substeps[lane0 + w];
+        b.subd[w] = static_cast<double>(s);
+        block_max = std::max(block_max, s);
+        block_min = std::min(block_min, s);
+    }
+    if (block_max == 0) {
+        return;  // Whole block masked out; state left untouched.
+    }
+
+    for (std::size_t i = 0; i < N; ++i) {
+        P::load(a.temps + i * L + lane0).store(b.t + i * W);
+        P::load(a.powers + i * L + lane0).store(b.p + i * W);
+        P::load(a.inv_caps + i * L + lane0).store(b.ic + i * W);
+        if constexpr (Rk4) {
+            // Stage temps start at the lane state so masked lanes hold
+            // deterministic values.
+            P::load(a.temps + i * L + lane0).store(b.tmp + i * W);
+        }
+    }
+    for (std::size_t e = 0; e < tv.internal_count; ++e) {
+        P::load(a.edge_g + tv.internal[e].src * L + lane0).store(b.gi + e * W);
+    }
+    for (std::size_t e = 0; e < tv.ambient_count; ++e) {
+        P::load(a.edge_g + tv.ambient[e].src * L + lane0).store(b.ga + e * W);
+    }
+    P::load(a.ambient + lane0).store(b.amb);
+    const P hb = P::load(a.h + lane0);
+    hb.store(b.hb);
+    (P::broadcast(0.5) * hb).store(b.h2);
+    (P::broadcast(1.0 / 6.0) * hb).store(b.h6);
+
+    if (block_min == block_max) {
+        if constexpr (Rk4) {
+            rk4_substeps<P, false>(tv, N, b, block_max);
+        } else {
+            euler_substeps<P, false>(tv, N, b, block_max);
+        }
+    } else {
+        if constexpr (Rk4) {
+            rk4_substeps<P, true>(tv, N, b, block_max);
+        } else {
+            euler_substeps<P, true>(tv, N, b, block_max);
+        }
+    }
+
+    for (std::size_t i = 0; i < N; ++i) {
+        P::load(b.t + i * W).store(a.temps + i * L + lane0);
+    }
+}
+
+template <bool Rk4>
+void step_impl(const step_args& a) {
+    const topo_view tv = make_view(*a.topo);
+    constexpr std::size_t W = simd::native_width;
+    std::size_t l = 0;
+    if constexpr (W > 1) {
+        const block_buffers bw = carve<W>(a.scratch, a.nodes, tv.internal_count, tv.ambient_count);
+        for (; l + W <= a.lanes; l += W) {
+            step_block<simd::pack<W>, Rk4>(a, tv, bw, l);
+        }
+    }
+    const block_buffers b1 = carve<1>(a.scratch, a.nodes, tv.internal_count, tv.ambient_count);
+    for (; l < a.lanes; ++l) {
+        step_block<simd::pack<1>, Rk4>(a, tv, b1, l);
+    }
+}
+
+}  // namespace
+
+std::size_t simd_width() { return simd::native_width; }
+
+bool fused_madd() { return simd::fused_madd; }
+
+std::size_t scratch_doubles(std::size_t nodes, std::size_t internal_edges,
+                            std::size_t ambient_edges) {
+    return (8 * nodes + internal_edges + ambient_edges + 5) * simd::native_width;
+}
+
+void step_rk4(const step_args& a) { step_impl<true>(a); }
+
+void step_euler(const step_args& a) { step_impl<false>(a); }
+
+}  // namespace ltsc::thermal::relaxed

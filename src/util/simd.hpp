@@ -1,0 +1,169 @@
+// Portable SIMD pack abstraction for the relaxed-tier batch kernels.
+//
+// A pack<W> is W doubles processed with one instruction stream.  The
+// width is selected at compile time per translation unit from the
+// target ISA (AVX-512 -> 8, AVX -> 4, SSE2 -> 2, otherwise scalar), so
+// a kernel TU compiled with wider arch flags than the rest of the build
+// picks the wide pack while the interface stays plain `double*`.
+//
+// Determinism contract (what makes relaxed-tier results shard- and
+// packing-invariant): every pack operation is lane-elementwise and
+// IEEE-754 correctly rounded, and `madd` is *fused* exactly when
+// `fused_madd` is true — in the vector packs via the FMA intrinsic and
+// in pack<1> via std::fma — so a value computed in a vector body is
+// bitwise-identical to the same value computed in the scalar tail.
+// Kernel TUs must therefore be compiled with -ffp-contract=off: the
+// only fused operations allowed are the explicit `madd` calls,
+// otherwise the compiler could contract a scalar-tail mul+add that the
+// intrinsic body keeps separate (or vice versa) and tail lanes would
+// diverge from body lanes.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
+namespace ltsc::util::simd {
+
+#if defined(LTSC_SIMD_WIDTH)
+inline constexpr std::size_t native_width = LTSC_SIMD_WIDTH;
+#elif defined(__AVX512F__)
+inline constexpr std::size_t native_width = 8;
+#elif defined(__AVX__)
+inline constexpr std::size_t native_width = 4;
+#elif defined(__SSE2__)
+inline constexpr std::size_t native_width = 2;
+#else
+inline constexpr std::size_t native_width = 1;
+#endif
+
+/// Whether madd() fuses (single rounding).  AVX-512 implies FMA.
+#if defined(__FMA__) || defined(__AVX512F__)
+inline constexpr bool fused_madd = true;
+#else
+inline constexpr bool fused_madd = false;
+#endif
+
+template <std::size_t W>
+struct pack;
+
+/// Scalar fallback and tail pack.  Mirrors the vector packs operation
+/// for operation (see the determinism contract above).
+template <>
+struct pack<1> {
+    static constexpr std::size_t width = 1;
+    double v;
+
+    static pack load(const double* p) { return {*p}; }
+    void store(double* p) const { *p = v; }
+    static pack broadcast(double x) { return {x}; }
+
+    friend pack operator+(pack a, pack b) { return {a.v + b.v}; }
+    friend pack operator-(pack a, pack b) { return {a.v - b.v}; }
+    friend pack operator*(pack a, pack b) { return {a.v * b.v}; }
+
+    /// a*b + c, fused iff fused_madd.
+    static pack madd(pack a, pack b, pack c) {
+        if constexpr (fused_madd) {
+            return {std::fma(a.v, b.v, c.v)};
+        } else {
+            return {a.v * b.v + c.v};
+        }
+    }
+
+    using mask = bool;
+    static mask less(pack a, pack b) { return a.v < b.v; }
+    /// a where m, else b.
+    static pack select(mask m, pack a, pack b) { return m ? a : b; }
+};
+
+#if defined(__SSE2__)
+template <>
+struct pack<2> {
+    static constexpr std::size_t width = 2;
+    __m128d v;
+
+    static pack load(const double* p) { return {_mm_loadu_pd(p)}; }
+    void store(double* p) const { _mm_storeu_pd(p, v); }
+    static pack broadcast(double x) { return {_mm_set1_pd(x)}; }
+
+    friend pack operator+(pack a, pack b) { return {_mm_add_pd(a.v, b.v)}; }
+    friend pack operator-(pack a, pack b) { return {_mm_sub_pd(a.v, b.v)}; }
+    friend pack operator*(pack a, pack b) { return {_mm_mul_pd(a.v, b.v)}; }
+
+    static pack madd(pack a, pack b, pack c) {
+#if defined(__FMA__)
+        return {_mm_fmadd_pd(a.v, b.v, c.v)};
+#else
+        return {_mm_add_pd(_mm_mul_pd(a.v, b.v), c.v)};
+#endif
+    }
+
+    using mask = __m128d;
+    static mask less(pack a, pack b) { return _mm_cmplt_pd(a.v, b.v); }
+    static pack select(mask m, pack a, pack b) {
+#if defined(__SSE4_1__)
+        return {_mm_blendv_pd(b.v, a.v, m)};
+#else
+        return {_mm_or_pd(_mm_and_pd(m, a.v), _mm_andnot_pd(m, b.v))};
+#endif
+    }
+};
+#endif  // __SSE2__
+
+#if defined(__AVX__)
+template <>
+struct pack<4> {
+    static constexpr std::size_t width = 4;
+    __m256d v;
+
+    static pack load(const double* p) { return {_mm256_loadu_pd(p)}; }
+    void store(double* p) const { _mm256_storeu_pd(p, v); }
+    static pack broadcast(double x) { return {_mm256_set1_pd(x)}; }
+
+    friend pack operator+(pack a, pack b) { return {_mm256_add_pd(a.v, b.v)}; }
+    friend pack operator-(pack a, pack b) { return {_mm256_sub_pd(a.v, b.v)}; }
+    friend pack operator*(pack a, pack b) { return {_mm256_mul_pd(a.v, b.v)}; }
+
+    static pack madd(pack a, pack b, pack c) {
+#if defined(__FMA__)
+        return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+#else
+        return {_mm256_add_pd(_mm256_mul_pd(a.v, b.v), c.v)};
+#endif
+    }
+
+    using mask = __m256d;
+    static mask less(pack a, pack b) { return _mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ); }
+    static pack select(mask m, pack a, pack b) { return {_mm256_blendv_pd(b.v, a.v, m)}; }
+};
+#endif  // __AVX__
+
+#if defined(__AVX512F__)
+template <>
+struct pack<8> {
+    static constexpr std::size_t width = 8;
+    __m512d v;
+
+    static pack load(const double* p) { return {_mm512_loadu_pd(p)}; }
+    void store(double* p) const { _mm512_storeu_pd(p, v); }
+    static pack broadcast(double x) { return {_mm512_set1_pd(x)}; }
+
+    friend pack operator+(pack a, pack b) { return {_mm512_add_pd(a.v, b.v)}; }
+    friend pack operator-(pack a, pack b) { return {_mm512_sub_pd(a.v, b.v)}; }
+    friend pack operator*(pack a, pack b) { return {_mm512_mul_pd(a.v, b.v)}; }
+
+    static pack madd(pack a, pack b, pack c) { return {_mm512_fmadd_pd(a.v, b.v, c.v)}; }
+
+    using mask = __mmask8;
+    static mask less(pack a, pack b) { return _mm512_cmp_pd_mask(a.v, b.v, _CMP_LT_OQ); }
+    static pack select(mask m, pack a, pack b) { return {_mm512_mask_blend_pd(m, b.v, a.v)}; }
+};
+#endif  // __AVX512F__
+
+using native_pack = pack<native_width>;
+
+}  // namespace ltsc::util::simd

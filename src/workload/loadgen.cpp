@@ -58,19 +58,11 @@ double loadgen::instantaneous_utilization(util::seconds_t t) const {
     return phase < duty ? peak : 0.0;
 }
 
-double loadgen::measured_utilization(util::seconds_t t, util::seconds_t window) const {
-    util::ensure(window.value() > 0.0, "loadgen::measured_utilization: non-positive window");
-    {
-        const std::lock_guard<std::mutex> lock(measured_cache_mutex_);
-        if (measured_cache_valid_ && measured_cache_t_ == t.value() &&
-            measured_cache_window_ == window.value()) {
-            return measured_cache_value_;
-        }
-    }
+double loadgen::measured_utilization_sampled(util::seconds_t t, util::seconds_t window) const {
+    util::ensure(window.value() > 0.0,
+                 "loadgen::measured_utilization_sampled: non-positive window");
     // Integrate the instantaneous load over the window with a step well
-    // below the PWM period so duty edges are resolved.  Computed outside
-    // the lock: concurrent misses at most duplicate work, and the result
-    // is a pure function of (t, window) so last-writer-wins is harmless.
+    // below the PWM period so duty edges are resolved.
     const double t1 = t.value();
     const double t0 = std::max(0.0, t1 - window.value());
     if (t1 <= t0) {
@@ -83,7 +75,156 @@ double loadgen::measured_utilization(util::seconds_t t, util::seconds_t window) 
         acc += instantaneous_utilization(util::seconds_t{x});
         ++n;
     }
-    const double value = n > 0 ? acc / n : instantaneous_utilization(t);
+    return n > 0 ? acc / n : instantaneous_utilization(t);
+}
+
+namespace {
+
+/// The odd part of a finite positive double's integer significand.  A
+/// k-fold running sum of `v` is exact iff k * odd_significand(v) still
+/// fits in the 53-bit mantissa.
+long long odd_significand(double v) {
+    int e = 0;
+    const double m = std::frexp(v, &e);  // v = m * 2^e, m in [0.5, 1)
+    auto sig = static_cast<long long>(std::ldexp(m, 53));
+    while (sig % 2 == 0) {
+        sig /= 2;
+    }
+    return sig;
+}
+
+/// Busy quarter-second slots among slot indices [0, i): slots whose
+/// residue mod `q4` (the PWM period in slots) is below `r_star`.
+long long busy_below(long long i, long long q4, long long r_star) {
+    return (i / q4) * r_star + std::min(i % q4, r_star);
+}
+
+}  // namespace
+
+bool loadgen::measured_analytic(double t0, double t1, double& out) const {
+    const double period = config_.pwm_period.value();
+    // Eligibility: the reference sum's step must be exactly 0.25 s
+    // (period >= 16 s), the window start must sit on the quarter-second
+    // grid so every sample position t0 + 0.25*k is an exact double, and
+    // all slot indices must stay well inside exact-integer range.
+    if (period < 16.0) {
+        return false;
+    }
+    const double i0d = t0 * 4.0;  // exact: multiplication by 4
+    const double i1d = t1 * 4.0;
+    const double end4 = profile_.duration().value() * 4.0;
+    if (!(i1d < 9.0e15) || !(end4 < 9.0e15) || i0d != std::floor(i0d)) {
+        return false;
+    }
+    const auto i0 = static_cast<long long>(i0d);
+    const auto i1 = static_cast<long long>(std::ceil(i1d));  // count of slots < 4*t1
+    const long long n = i1 - i0;
+    if (n <= 0 || n > 2000000000LL) {  // the reference loop counts in int
+        return false;
+    }
+    const double peak = 100.0 * config_.stress_intensity;
+    // Closed-form phase counting needs the period on the slot grid too;
+    // ramps and off-grid periods are counted slot by slot instead.
+    const double q4d = period * 4.0;
+    const bool dyadic_period = q4d == std::floor(q4d) && q4d < 9.0e15;
+    const auto q4 = static_cast<long long>(dyadic_period ? q4d : 0.0);
+
+    const auto count_by_sampling = [&](long long lo, long long hi) {
+        long long busy = 0;
+        for (long long i = lo; i < hi; ++i) {
+            busy += instantaneous_utilization(util::seconds_t{0.25 * static_cast<double>(i)}) > 0.0;
+        }
+        return busy;
+    };
+
+    long long busy = 0;
+    for (const utilization_profile::segment& s : profile_.segments()) {
+        // Slot range of this segment clipped to the window: a sample
+        // x = i/4 lands in [s.t0, s.t1) iff 4*s.t0 <= i < 4*s.t1, and
+        // both products are exact.
+        const long long lo = std::max(i0, static_cast<long long>(std::ceil(s.t0 * 4.0)));
+        const long long hi = std::min(i1, static_cast<long long>(std::ceil(s.t1 * 4.0)));
+        if (hi <= lo) {
+            continue;
+        }
+        if (s.u0 != s.u1) {  // ramp: the duty threshold moves per sample
+            busy += count_by_sampling(lo, hi);
+            continue;
+        }
+        const double u = s.u0;
+        if (u <= 0.0) {
+            continue;  // idle segment
+        }
+        if (u >= peak) {
+            busy += hi - lo;  // saturated: every slot is busy
+            continue;
+        }
+        if (!dyadic_period) {
+            busy += count_by_sampling(lo, hi);
+            continue;
+        }
+        // A slot with residue r (mod q4) samples phase fl((0.25*r)/period)
+        // — fmod is exact on the slot grid — and is busy iff that rounded
+        // quotient is < duty.  The quotient is monotone in r, so the busy
+        // residues are exactly a prefix [0, r_star); find the threshold
+        // by bisection on the *rounded* comparison the reference makes.
+        const double duty = u / peak;
+        long long lo_r = 0;   // phase(0) = 0 < duty (duty > 0)
+        long long hi_r = q4;  // phase(q4) = 1 >= duty
+        while (hi_r - lo_r > 1) {
+            const long long mid = lo_r + (hi_r - lo_r) / 2;
+            if (0.25 * static_cast<double>(mid) / period < duty) {
+                lo_r = mid;
+            } else {
+                hi_r = mid;
+            }
+        }
+        const long long r_star = hi_r;
+        busy += busy_below(hi, q4, r_star) - busy_below(lo, q4, r_star);
+    }
+    // Slots past the profile end are idle (utilization_at returns 0)
+    // and contribute nothing; nothing to add for them.
+
+    // The reference accumulator is `busy` sequential additions of
+    // `peak` (the 0.0 samples add exactly).  When every partial sum
+    // k*peak is representable the whole chain is exact and collapses to
+    // one multiplication; otherwise replay the cheap addition chain.
+    double acc = 0.0;
+    if (busy > 0) {
+        const bool exact_chain = odd_significand(peak) <= (1LL << 53) / busy;
+        if (exact_chain) {
+            acc = peak * static_cast<double>(busy);
+        } else {
+            for (long long k = 0; k < busy; ++k) {
+                acc += peak;
+            }
+        }
+    }
+    out = acc / static_cast<double>(n);
+    return true;
+}
+
+double loadgen::measured_utilization(util::seconds_t t, util::seconds_t window) const {
+    util::ensure(window.value() > 0.0, "loadgen::measured_utilization: non-positive window");
+    {
+        const std::lock_guard<std::mutex> lock(measured_cache_mutex_);
+        if (measured_cache_valid_ && measured_cache_t_ == t.value() &&
+            measured_cache_window_ == window.value()) {
+            return measured_cache_value_;
+        }
+    }
+    // Computed outside the lock: concurrent misses at most duplicate
+    // work, and the result is a pure function of (t, window) so
+    // last-writer-wins is harmless.
+    const double t1 = t.value();
+    const double t0 = std::max(0.0, t1 - window.value());
+    if (t1 <= t0) {
+        return instantaneous_utilization(t);
+    }
+    double value = 0.0;
+    if (!measured_analytic(t0, t1, value)) {
+        value = measured_utilization_sampled(t, window);
+    }
     const std::lock_guard<std::mutex> lock(measured_cache_mutex_);
     measured_cache_t_ = t.value();
     measured_cache_window_ = window.value();

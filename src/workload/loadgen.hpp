@@ -57,18 +57,39 @@ public:
     /// instantaneous utilization over the window [t - window, t].
     /// Deterministic in (t, window); the last result is memoized because
     /// the controller runtime asks for the same instant several times per
-    /// decision (system plus per-socket views) and each evaluation
-    /// integrates hundreds of PWM samples.  Thread-safe: one loadgen is
-    /// shared by every rollout lane (bind_workload copies nothing), so
-    /// the memo mutates under `const` from concurrent evaluations — the
-    /// cache is mutex-guarded, and a racing miss at worst recomputes the
-    /// same deterministic value.
+    /// decision (system plus per-socket views).  Thread-safe: one
+    /// loadgen is shared by every rollout lane (bind_workload copies
+    /// nothing), so the memo mutates under `const` from concurrent
+    /// evaluations — the cache is mutex-guarded, and a racing miss at
+    /// worst recomputes the same deterministic value.
+    ///
+    /// Evaluation is analytic — O(profile segments) counting of busy
+    /// duty slots, not a sweep of the window — and *bitwise equal* to
+    /// the reference Riemann sum below: every sample of that sum is
+    /// either 0 or the stress peak, adding 0.0 is exact, and on the
+    /// dyadic quarter-second grid the sample positions, the duty-edge
+    /// comparisons, and the accumulated sum are all reproduced exactly
+    /// (pinned by the loadgen equivalence suite).  Configurations off
+    /// that grid (PWM period < 16 s or a window edge not on a multiple
+    /// of 0.25 s) fall back to the reference sum itself.
     [[nodiscard]] double measured_utilization(util::seconds_t t, util::seconds_t window) const;
+
+    /// Reference implementation of measured_utilization: the original
+    /// sampled Riemann sum over the window.  Public so equivalence
+    /// tests can pin the analytic path against it; not memoized.
+    [[nodiscard]] double measured_utilization_sampled(util::seconds_t t,
+                                                      util::seconds_t window) const;
 
     [[nodiscard]] const utilization_profile& profile() const { return profile_; }
     [[nodiscard]] const loadgen_config& config() const { return config_; }
 
 private:
+    /// Analytic fast path: counts busy duty slots in closed form and
+    /// reconstructs the reference sum's exact value.  Returns false
+    /// (leaving `out` untouched) when the configuration is off the
+    /// dyadic grid the exactness argument needs.
+    [[nodiscard]] bool measured_analytic(double t0, double t1, double& out) const;
+
     utilization_profile profile_;
     loadgen_config config_;
 

@@ -52,7 +52,9 @@ public:
     /// Samples the profile on a uniform grid (for CSV export / plotting).
     [[nodiscard]] util::time_series sampled(util::seconds_t dt) const;
 
-private:
+    /// One piecewise-linear piece: target ramps u0 -> u1 over [t0, t1).
+    /// Segments are contiguous (t0 of segment k+1 equals t1 of segment
+    /// k) and constant iff u0 == u1.
     struct segment {
         double t0 = 0.0;
         double t1 = 0.0;
@@ -60,6 +62,11 @@ private:
         double u1 = 0.0;
     };
 
+    /// Read-only segment list, in time order (loadgen's analytic
+    /// utilization measurement integrates the duty cycle per segment).
+    [[nodiscard]] const std::vector<segment>& segments() const { return segments_; }
+
+private:
     void append(double u0, double u1, double duration_s);
 
     std::string name_;

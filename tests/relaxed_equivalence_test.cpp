@@ -1,0 +1,344 @@
+// Relaxed-tier divergence suite.
+//
+// The relaxed numerics tier (thermal/numerics.hpp) lets the batch
+// kernels reorder, vectorize, and fuse lane arithmetic, so its results
+// are only *tolerance-equal* to the bitwise scalar twins — but they
+// must be close (the integrator is the same RK4/Euler at the same
+// substeps; only rounding placement differs), and they must be
+// *deterministic and packing-invariant*: the SIMD contract in
+// util/simd.hpp makes the vector body bitwise-identical to the scalar
+// tail, so a lane's relaxed trajectory cannot depend on where it sits
+// in a batch or how many lanes surround it.  This suite pins all three
+// properties, plus the analytic measured-utilization fast path against
+// its sampled reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/fault_schedule.hpp"
+#include "sim/server_batch.hpp"
+#include "sim/server_config.hpp"
+#include "thermal/numerics.hpp"
+#include "thermal/rc_batch.hpp"
+#include "thermal/rc_network.hpp"
+#include "util/rng.hpp"
+#include "workload/loadgen.hpp"
+#include "workload/paper_tests.hpp"
+#include "workload/profile.hpp"
+
+namespace {
+
+using namespace ltsc;
+using namespace ltsc::util::literals;
+using thermal::integration_scheme;
+using thermal::numerics_tier;
+
+/// Small heterogeneous network: a few stiff nodes (small capacity, big
+/// conductance) so the stable-substep planner produces ragged per-lane
+/// substep counts once per-lane conductances diverge.
+thermal::rc_network make_network() {
+    thermal::rc_network net(22_degC);
+    const auto die0 = net.add_node("die0", 40.0);
+    const auto die1 = net.add_node("die1", 45.0);
+    const auto sink0 = net.add_node("sink0", 350.0);
+    const auto sink1 = net.add_node("sink1", 380.0);
+    const auto board = net.add_node("board", 900.0);
+    const auto dimm = net.add_node("dimm", 60.0);
+    net.add_edge(die0, sink0, 9.0);
+    net.add_edge(die1, sink1, 8.5);
+    net.add_edge(sink0, board, 2.5);
+    net.add_edge(sink1, board, 2.3);
+    net.add_edge(board, dimm, 1.1);
+    net.add_edge(die0, die1, 0.4);
+    net.add_ambient_edge(sink0, 3.0);
+    net.add_ambient_edge(sink1, 2.8);
+    net.add_ambient_edge(board, 1.5);
+    net.add_ambient_edge(dimm, 0.9);
+    return net;
+}
+
+/// Seeds lane `l` of `batch` with a deterministic per-lane state:
+/// distinct powers, temperatures, and (stiffness-changing) conductance
+/// and capacity tweaks, so no two lanes integrate the same trajectory
+/// or substep count.
+void personalize_lane(thermal::rc_batch& batch, std::size_t l, std::size_t salt) {
+    util::pcg32 rng(0xd1ce + salt, l);
+    const std::size_t nodes = batch.node_count();
+    for (std::size_t n = 0; n < nodes; ++n) {
+        const thermal::node_id id{n};
+        batch.set_power(id, l, util::watts_t{5.0 + static_cast<double>(rng.next_u32() % 90)});
+        batch.set_temperature(id, l,
+                              util::celsius_t{20.0 + static_cast<double>(rng.next_u32() % 40)});
+    }
+    // Stiffness spread: scale one die edge and one die capacity so the
+    // lanes' stable substeps differ (masked-substep path).
+    batch.set_conductance(thermal::edge_id{0}, l,
+                          6.0 + static_cast<double>(rng.next_u32() % 7));
+    batch.set_heat_capacity(thermal::node_id{0}, l,
+                            20.0 + static_cast<double>(rng.next_u32() % 40));
+    batch.set_ambient(l, util::celsius_t{18.0 + static_cast<double>(rng.next_u32() % 8)});
+}
+
+double max_abs_divergence(const thermal::rc_batch& a, const thermal::rc_batch& b) {
+    EXPECT_EQ(a.lane_count(), b.lane_count());
+    EXPECT_EQ(a.node_count(), b.node_count());
+    double worst = 0.0;
+    for (std::size_t l = 0; l < a.lane_count(); ++l) {
+        for (std::size_t n = 0; n < a.node_count(); ++n) {
+            const thermal::node_id id{n};
+            const double ta = a.temperature(id, l).value();
+            const double tb = b.temperature(id, l).value();
+            EXPECT_TRUE(std::isfinite(ta));
+            EXPECT_TRUE(std::isfinite(tb));
+            worst = std::max(worst, std::abs(ta - tb));
+        }
+    }
+    return worst;
+}
+
+void run_tier_divergence(integration_scheme scheme) {
+    const thermal::rc_network net = make_network();
+    constexpr std::size_t kLanes = 13;  // vector blocks + a scalar tail at any width
+    thermal::rc_batch bitwise(net, kLanes, scheme, numerics_tier::bitwise);
+    thermal::rc_batch relaxed(net, kLanes, scheme, numerics_tier::relaxed);
+    ASSERT_EQ(relaxed.tier(), numerics_tier::relaxed);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+        personalize_lane(bitwise, l, 7);
+        personalize_lane(relaxed, l, 7);
+    }
+    // Long enough for rounding-placement differences to accumulate if
+    // they were going to; mid-run power flips exercise fresh transients.
+    for (int k = 0; k < 600; ++k) {
+        if (k == 200) {
+            for (std::size_t l = 0; l < kLanes; ++l) {
+                bitwise.set_power(thermal::node_id{0}, l, 140_W);
+                relaxed.set_power(thermal::node_id{0}, l, 140_W);
+            }
+        }
+        bitwise.step(1_s);
+        relaxed.step(1_s);
+        const double div = max_abs_divergence(bitwise, relaxed);
+        ASSERT_LT(div, 1e-6) << "step " << k;
+    }
+}
+
+TEST(RelaxedEquivalence, Rk4StaysWithinToleranceOfBitwise) {
+    run_tier_divergence(integration_scheme::rk4);
+}
+
+TEST(RelaxedEquivalence, EulerStaysWithinToleranceOfBitwise) {
+    run_tier_divergence(integration_scheme::explicit_euler);
+}
+
+/// The load-bearing SIMD contract: a relaxed lane's trajectory is a
+/// function of that lane's state only — bitwise invariant under how
+/// lanes are packed into batches.  A wide batch integrates most lanes
+/// through the vector body; single-lane batches integrate everything
+/// through the scalar tail.  They must agree exactly.
+void run_packing_invariance(integration_scheme scheme) {
+    const thermal::rc_network net = make_network();
+    constexpr std::size_t kLanes = 11;
+    thermal::rc_batch wide(net, kLanes, scheme, numerics_tier::relaxed);
+    std::vector<std::unique_ptr<thermal::rc_batch>> solo;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+        personalize_lane(wide, l, 3);
+        solo.push_back(std::make_unique<thermal::rc_batch>(net, 1, scheme,
+                                                           numerics_tier::relaxed));
+    }
+    // Mirror each wide lane's personalization into its solo batch
+    // (personalize_lane streams the rng by lane index, so replay it).
+    for (std::size_t l = 0; l < kLanes; ++l) {
+        util::pcg32 rng(0xd1ce + 3, l);
+        const std::size_t nodes = wide.node_count();
+        for (std::size_t n = 0; n < nodes; ++n) {
+            const thermal::node_id id{n};
+            solo[l]->set_power(id, 0,
+                               util::watts_t{5.0 + static_cast<double>(rng.next_u32() % 90)});
+            solo[l]->set_temperature(
+                id, 0, util::celsius_t{20.0 + static_cast<double>(rng.next_u32() % 40)});
+        }
+        solo[l]->set_conductance(thermal::edge_id{0}, 0,
+                                 6.0 + static_cast<double>(rng.next_u32() % 7));
+        solo[l]->set_heat_capacity(thermal::node_id{0}, 0,
+                                   20.0 + static_cast<double>(rng.next_u32() % 40));
+        solo[l]->set_ambient(0, util::celsius_t{18.0 + static_cast<double>(rng.next_u32() % 8)});
+    }
+    for (int k = 0; k < 300; ++k) {
+        wide.step(1_s);
+        for (std::size_t l = 0; l < kLanes; ++l) {
+            solo[l]->step(1_s);
+        }
+    }
+    for (std::size_t l = 0; l < kLanes; ++l) {
+        for (std::size_t n = 0; n < wide.node_count(); ++n) {
+            const thermal::node_id id{n};
+            ASSERT_EQ(wide.temperature(id, l).value(), solo[l]->temperature(id, 0).value())
+                << "lane " << l << " node " << n << " depends on packing";
+        }
+    }
+}
+
+TEST(RelaxedEquivalence, Rk4LaneResultsAreBitwisePackingInvariant) {
+    run_packing_invariance(integration_scheme::rk4);
+}
+
+TEST(RelaxedEquivalence, EulerLaneResultsAreBitwisePackingInvariant) {
+    run_packing_invariance(integration_scheme::explicit_euler);
+}
+
+TEST(RelaxedEquivalence, RelaxedStepIsDeterministic) {
+    const thermal::rc_network net = make_network();
+    thermal::rc_batch a(net, 9, integration_scheme::rk4, numerics_tier::relaxed);
+    thermal::rc_batch b(net, 9, integration_scheme::rk4, numerics_tier::relaxed);
+    for (std::size_t l = 0; l < 9; ++l) {
+        personalize_lane(a, l, 11);
+        personalize_lane(b, l, 11);
+    }
+    for (int k = 0; k < 200; ++k) {
+        a.step(1_s);
+        b.step(1_s);
+    }
+    EXPECT_EQ(max_abs_divergence(a, b), 0.0);
+}
+
+sim::fault_event ev(double t, sim::fault_kind kind, std::size_t target = 0, double value = 0.0,
+                    double duration = 0.0) {
+    sim::fault_event e;
+    e.t_s = t;
+    e.kind = kind;
+    e.target = target;
+    e.value = value;
+    e.duration_s = duration;
+    return e;
+}
+
+/// Full plant comparison under the relaxed tier, with a fault campaign
+/// firing mid-run and the residual monitor watching: temperatures stay
+/// tolerance-close to the bitwise plant and the monitor reaches the
+/// same discrete verdicts (the residuals dwarf the tier divergence).
+TEST(RelaxedEquivalence, ServerBatchWithFaultsAndMonitorTracksBitwise) {
+    sim::server_config cfg = sim::paper_server();
+    cfg.sensor_noise_sigma = 0.0;  // isolate numerics: no RNG stream in temps
+    cfg.monitor.enabled = true;
+    const workload::utilization_profile profile =
+        workload::utilization_profile("relaxed-faults")
+            .constant(60.0, 10.0_min)
+            .ramp(60.0, 25.0, 5.0_min)
+            .constant(25.0, 5.0_min);
+    const sim::fault_schedule campaign({
+        ev(240.0, sim::fault_kind::fan_failure, 1),
+        ev(400.0, sim::fault_kind::sensor_bias, 2, 6.0),
+        ev(700.0, sim::fault_kind::fan_recover, 1),
+        ev(800.0, sim::fault_kind::sensor_recover, 2),
+    });
+
+    constexpr std::size_t kLanes = 5;
+    sim::server_batch bitwise(cfg, kLanes);
+    sim::server_batch relaxed(cfg, kLanes, thermal::numerics_tier::relaxed);
+    ASSERT_EQ(relaxed.tier(), thermal::numerics_tier::relaxed);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+        bitwise.bind_workload(l, profile);
+        relaxed.bind_workload(l, profile);
+        bitwise.bind_fault_schedule(l, campaign);
+        relaxed.bind_fault_schedule(l, campaign);
+    }
+    bitwise.force_cold_start();
+    relaxed.force_cold_start();
+
+    const int steps = static_cast<int>(profile.duration().value());
+    for (int k = 0; k < steps; ++k) {
+        if (k == 300) {
+            for (std::size_t l = 0; l < kLanes; ++l) {
+                bitwise.set_all_fans(l, 3900_rpm);
+                relaxed.set_all_fans(l, 3900_rpm);
+            }
+        }
+        bitwise.step(1_s);
+        relaxed.step(1_s);
+    }
+    for (std::size_t l = 0; l < kLanes; ++l) {
+        for (std::size_t s = 0; s < 2; ++s) {
+            const double tb = bitwise.true_cpu_temp(l, s).value();
+            const double tr = relaxed.true_cpu_temp(l, s).value();
+            EXPECT_NEAR(tb, tr, 1e-6) << "lane " << l << " socket " << s;
+        }
+        EXPECT_NEAR(bitwise.true_dimm_temp(l).value(), relaxed.true_dimm_temp(l).value(), 1e-6);
+        EXPECT_NEAR(bitwise.system_power_reading(l).value(),
+                    relaxed.system_power_reading(l).value(), 1e-4);
+        const core::fault_monitor* mb = bitwise.monitor(l);
+        const core::fault_monitor* mr = relaxed.monitor(l);
+        ASSERT_NE(mb, nullptr);
+        ASSERT_NE(mr, nullptr);
+        for (std::size_t p = 0; p < mb->fan_pair_count(); ++p) {
+            EXPECT_EQ(static_cast<int>(mb->fan_health(p)), static_cast<int>(mr->fan_health(p)))
+                << "lane " << l << " fan pair " << p;
+        }
+        for (std::size_t sn = 0; sn < mb->sensor_count(); ++sn) {
+            EXPECT_EQ(static_cast<int>(mb->sensor_health(sn)),
+                      static_cast<int>(mr->sensor_health(sn)))
+                << "lane " << l << " sensor " << sn;
+        }
+    }
+}
+
+// --- analytic measured_utilization vs the sampled reference ---------------
+
+TEST(RelaxedEquivalence, AnalyticMeasuredUtilizationMatchesSampledBitwise) {
+    util::pcg32 rng(0xfeedbeef, 9);
+    std::vector<workload::loadgen_config> configs;
+    configs.push_back({});  // stock: 240 s period, intensity 1
+    configs.push_back({util::seconds_t{180.5}, 1.0});   // dyadic off-round period
+    configs.push_back({util::seconds_t{240.0}, 0.97});  // peak with a long significand
+    configs.push_back({util::seconds_t{17.3}, 1.0});    // off-grid period: slot sampling
+    configs.push_back({util::seconds_t{10.0}, 1.0});    // step < 0.25 s: sampled fallback
+
+    std::vector<workload::utilization_profile> profiles;
+    profiles.push_back(workload::utilization_profile("const").constant(35.0, 20.0_min));
+    profiles.push_back(workload::utilization_profile("mix")
+                           .idle(2.0_min)
+                           .constant(72.5, 6.0_min)
+                           .ramp(72.5, 15.0, 7.0_min)
+                           .constant(100.0, 3.0_min)
+                           .constant(15.0, 4.0_min));
+    profiles.push_back(workload::utilization_profile("square").square(80.0, 20.0, 90.0_s, 5));
+    {
+        // Irrational-ish segment boundaries: exercises slot clipping.
+        workload::utilization_profile p("odd");
+        p.constant(41.7, util::seconds_t{333.33}).constant(63.9, util::seconds_t{777.77});
+        profiles.push_back(p);
+    }
+
+    for (const auto& lc : configs) {
+        for (const auto& profile : profiles) {
+            const workload::loadgen gen(profile, lc);
+            const double dur = profile.duration().value();
+            for (int i = 0; i < 40; ++i) {
+                // Integer-second instants (the runtime's cadence) plus a
+                // few off-grid stragglers that must take the fallback.
+                double t = std::floor(static_cast<double>(rng.next_u32() % 2000000) /
+                                      1000000.0 * dur);
+                double window = (i % 3 == 0) ? 240.0 : 30.0 + (rng.next_u32() % 400);
+                if (i % 7 == 0) {
+                    t += 0.125;  // still on no quarter grid after -window
+                    window = 33.7;
+                }
+                if (t <= 0.0) {
+                    t = 1.0;
+                }
+                const double analytic =
+                    gen.measured_utilization(util::seconds_t{t}, util::seconds_t{window});
+                const double sampled =
+                    gen.measured_utilization_sampled(util::seconds_t{t}, util::seconds_t{window});
+                ASSERT_EQ(analytic, sampled)
+                    << "period=" << lc.pwm_period.value() << " intensity=" << lc.stress_intensity
+                    << " profile=" << profile.name() << " t=" << t << " window=" << window;
+            }
+        }
+    }
+}
+
+}  // namespace
