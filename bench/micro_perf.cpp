@@ -4,6 +4,9 @@
 // binaries.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <cstdint>
+
 #include "core/bang_bang_controller.hpp"
 #include "core/characterization.hpp"
 #include "core/controller_runtime.hpp"
@@ -15,7 +18,10 @@
 #include "sim/server_batch.hpp"
 #include "sim/server_simulator.hpp"
 #include "sim/simulation_trace.hpp"
+#include "telemetry_service/online_metrics.hpp"
+#include "telemetry_service/row_group.hpp"
 #include "thermal/numerics.hpp"
+#include "util/spsc_ring.hpp"
 #include "thermal/server_thermal_model.hpp"
 #include "thermal/steady_state.hpp"
 #include "workload/paper_tests.hpp"
@@ -359,6 +365,69 @@ void BM_FullTable1Cell(benchmark::State& state) {
     state.SetLabel("80 simulated minutes per iteration");
 }
 BENCHMARK(BM_FullTable1Cell);
+
+void BM_TelemetryIngest(benchmark::State& state) {
+    // The telemetry service's per-group ingestion pipeline, minus
+    // threads: fill a ring slot with a 64-lane row-group (the publish
+    // copy), drain it, and fold it into the online state (the
+    // aggregator apply).  Items = lane-rows ingested.
+    constexpr std::size_t lanes = 64;
+    telemetry_service::row_group proto;
+    proto.shard = 0;
+    proto.lanes = lanes;
+    proto.active.assign((lanes + 63) / 64, ~0ULL);
+    proto.data.assign(lanes * telemetry_service::row_group::lane_doubles, 0.0);
+    telemetry_service::online_state online(lanes);
+    util::spsc_ring<telemetry_service::row_group> ring(8);
+    telemetry_service::row_group scratch;
+    double t = 0.0;
+    std::uint64_t epoch = 0;
+    for (auto _ : state) {
+        t += 1.0;
+        ++epoch;
+        for (std::size_t l = 0; l < lanes; ++l) {
+            double* slot = proto.data.data() +
+                           l * telemetry_service::row_group::lane_doubles;
+            slot[0] = t;
+            slot[1 + static_cast<std::size_t>(sim::trace_channel::total_power)] =
+                250.0 + static_cast<double>(l);
+            slot[1 + static_cast<std::size_t>(sim::trace_channel::max_sensor_temp)] =
+                60.0 + static_cast<double>(l % 7);
+        }
+        ring.try_push([&](telemetry_service::row_group& g) {
+            g.epoch = epoch;
+            g.shard = proto.shard;
+            g.lanes = proto.lanes;
+            g.active = proto.active;
+            g.data = proto.data;
+        });
+        ring.try_pop([&](telemetry_service::row_group& g) { scratch = std::move(g); });
+        online.apply_group(scratch, 0);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_TelemetryIngest);
+
+void BM_OnlineMetricsWindow(benchmark::State& state) {
+    // Pure online-engine row cost: one lane folding rows through whole
+    // 60-row windows (trapezoids, extrema, histogram, window close).
+    telemetry_service::online_state online(1);
+    double channels[sim::trace_channel_count] = {};
+    channels[static_cast<std::size_t>(sim::trace_channel::total_power)] = 250.0;
+    channels[static_cast<std::size_t>(sim::trace_channel::avg_fan_rpm)] = 2100.0;
+    channels[static_cast<std::size_t>(sim::trace_channel::avg_cpu_temp)] = 58.0;
+    channels[static_cast<std::size_t>(sim::trace_channel::max_sensor_temp)] = 63.0;
+    double t = 0.0;
+    for (auto _ : state) {
+        t += 1.0;
+        channels[static_cast<std::size_t>(sim::trace_channel::total_power)] =
+            250.0 + (t * 7.0 - static_cast<double>(static_cast<int>(t * 7.0 / 40.0)) * 40.0);
+        online.apply_row(0, t, channels);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OnlineMetricsWindow);
 
 }  // namespace
 

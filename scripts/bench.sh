@@ -45,12 +45,22 @@ HW_THREADS=$(nproc --all 2>/dev/null || getconf _NPROCESSORS_CONF)
 AFFINE_THREADS=$(nproc 2>/dev/null || echo "$HW_THREADS")
 POOL_THREADS="${LTSC_THREADS:-$AFFINE_THREADS}"
 
+# Provenance: which code and which build produced these numbers.  A
+# dirty tree is marked so a baseline recorded from uncommitted work is
+# distinguishable from the SHA it claims.
+GIT_SHA=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+    GIT_SHA="$GIT_SHA-dirty"
+fi
+
 "$BUILD_DIR/bench/micro_perf" \
     --benchmark_filter="$FILTER" \
     --benchmark_min_time="$MIN_TIME" \
     --benchmark_context=hw_threads="$HW_THREADS" \
     --benchmark_context=affine_threads="$AFFINE_THREADS" \
     --benchmark_context=pool_threads="$POOL_THREADS" \
+    --benchmark_context=git_sha="$GIT_SHA" \
+    --benchmark_context=build_type="$BUILD_TYPE" \
     --benchmark_out=BENCH_micro.json \
     --benchmark_out_format=json
 

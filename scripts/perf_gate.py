@@ -3,6 +3,7 @@
 
 Usage:
     perf_gate.py [--calibrate BENCH] CURRENT.json BASELINE.json BENCH [BENCH...]
+    perf_gate.py --self-test
 
 CURRENT.json and BASELINE.json are Google Benchmark JSON files (e.g. a
 fresh CI run vs. the checked-in BENCH_micro.json).  For every named
@@ -11,6 +12,12 @@ CURRENT must be at least (1 - PERF_GATE_TOLERANCE) of BASELINE.  The
 default tolerance is 0.20 (fail on a >20% regression); override with the
 PERF_GATE_TOLERANCE environment variable.
 
+A gated name missing from EITHER file is a hard error (exit 2), never a
+silent pass: a benchmark that got renamed, filtered out of the CI run,
+or never recorded into the baseline must fail the gate loudly instead of
+shrinking it.  Every missing name is reported before exiting so one run
+shows the full damage.
+
 --calibrate BENCH divides each side's throughput by that benchmark's
 throughput *from the same file* before comparing.  With a calibration
 benchmark whose cost is unaffected by the change under test (e.g. the
@@ -18,11 +25,16 @@ pure-compute BM_ThermalStep), absolute machine speed cancels and the
 gate compares code, not hardware — required when the baseline was
 recorded on a different machine than the CI runner.
 
+--self-test exercises the gate against synthetic in-memory results and
+verifies the exit-code contract (pass=0, regression=1, missing name=2);
+CI runs it before trusting the real gate.
+
 Exit codes: 0 pass, 1 regression, 2 usage/missing-benchmark error.
 """
 import json
 import os
 import sys
+import tempfile
 
 
 def throughput(entry):
@@ -44,15 +56,117 @@ def load(path):
     return out
 
 
-def lookup(table, name, path):
-    if name not in table:
-        print(f"perf_gate: {name} missing from {path}", file=sys.stderr)
-        sys.exit(2)
-    return throughput(table[name])
+def missing_names(current, baseline, current_path, baseline_path, names):
+    """Every (name, path) pair a gated benchmark is absent from."""
+    missing = []
+    for name in names:
+        if name not in current:
+            missing.append((name, current_path))
+        if name not in baseline:
+            missing.append((name, baseline_path))
+    return missing
+
+
+def run_gate(current_path, baseline_path, names, calibrate, tolerance):
+    current = load(current_path)
+    baseline = load(baseline_path)
+
+    checked = list(names) + ([calibrate] if calibrate else [])
+    missing = missing_names(current, baseline, current_path, baseline_path, checked)
+    if missing:
+        for name, path in missing:
+            print(f"perf_gate: {name} missing from {path}", file=sys.stderr)
+        print(
+            f"perf_gate: {len(missing)} missing gated benchmark(s) — a gated name "
+            "absent from the run or the baseline is an error, not a pass",
+            file=sys.stderr,
+        )
+        return 2
+
+    cur_scale = throughput(current[calibrate]) if calibrate else 1.0
+    base_scale = throughput(baseline[calibrate]) if calibrate else 1.0
+    unit = f"x {calibrate}" if calibrate else "items/s"
+
+    failed = False
+    for name in names:
+        cur = throughput(current[name]) / cur_scale
+        base = throughput(baseline[name]) / base_scale
+        ratio = cur / base
+        status = "OK" if ratio >= 1.0 - tolerance else "REGRESSION"
+        print(f"{name}: {cur:.3e} vs baseline {base:.3e} {unit} ({ratio:6.1%}) {status}")
+        failed = failed or status != "OK"
+    if failed:
+        print(f"perf_gate: regression beyond {tolerance:.0%} tolerance", file=sys.stderr)
+        return 1
+    return 0
+
+
+def self_test():
+    """Verifies the exit-code contract on synthetic benchmark files."""
+
+    def bench_doc(**items_per_second):
+        return {
+            "benchmarks": [
+                {"name": name, "items_per_second": value}
+                for name, value in items_per_second.items()
+            ]
+        }
+
+    def write(tmpdir, filename, doc):
+        path = os.path.join(tmpdir, filename)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    failures = []
+
+    def check(label, got, want):
+        status = "OK" if got == want else f"FAIL (got {got}, want {want})"
+        print(f"self-test: {label}: exit {want} {status}")
+        if got != want:
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        base = write(tmpdir, "base.json", bench_doc(BM_Cal=100.0, BM_Hot=1000.0))
+        same = write(tmpdir, "same.json", bench_doc(BM_Cal=100.0, BM_Hot=990.0))
+        slow = write(tmpdir, "slow.json", bench_doc(BM_Cal=100.0, BM_Hot=500.0))
+        sparse = write(tmpdir, "sparse.json", bench_doc(BM_Cal=100.0))
+
+        check("matching run passes", run_gate(same, base, ["BM_Hot"], "BM_Cal", 0.20), 0)
+        check("50% regression fails", run_gate(slow, base, ["BM_Hot"], "BM_Cal", 0.20), 1)
+        check(
+            "name missing from current is a hard error",
+            run_gate(sparse, base, ["BM_Hot"], "BM_Cal", 0.20),
+            2,
+        )
+        check(
+            "name missing from baseline is a hard error",
+            run_gate(same, sparse, ["BM_Hot"], "BM_Cal", 0.20),
+            2,
+        )
+        check(
+            "missing calibration benchmark is a hard error",
+            run_gate(same, base, ["BM_Hot"], "BM_Missing", 0.20),
+            2,
+        )
+        # A regression must not mask a missing name elsewhere in the list.
+        check(
+            "missing name outranks a simultaneous regression",
+            run_gate(slow, base, ["BM_Hot", "BM_Ghost"], "BM_Cal", 0.20),
+            2,
+        )
+
+    if failures:
+        print(f"perf_gate --self-test: {len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("perf_gate --self-test: all checks passed")
+    return 0
 
 
 def main(argv):
     args = argv[1:]
+    if args and args[0] == "--self-test":
+        return self_test()
     calibrate = None
     if args and args[0] == "--calibrate":
         if len(args) < 2:
@@ -63,26 +177,8 @@ def main(argv):
     if len(args) < 3:
         print(__doc__, file=sys.stderr)
         return 2
-    current_path, baseline_path = args[0], args[1]
-    current = load(current_path)
-    baseline = load(baseline_path)
-    cur_scale = lookup(current, calibrate, current_path) if calibrate else 1.0
-    base_scale = lookup(baseline, calibrate, baseline_path) if calibrate else 1.0
-    unit = f"x {calibrate}" if calibrate else "items/s"
-
     tolerance = float(os.environ.get("PERF_GATE_TOLERANCE", "0.20"))
-    failed = False
-    for name in args[2:]:
-        cur = lookup(current, name, current_path) / cur_scale
-        base = lookup(baseline, name, baseline_path) / base_scale
-        ratio = cur / base
-        status = "OK" if ratio >= 1.0 - tolerance else "REGRESSION"
-        print(f"{name}: {cur:.3e} vs baseline {base:.3e} {unit} ({ratio:6.1%}) {status}")
-        failed = failed or status != "OK"
-    if failed:
-        print(f"perf_gate: regression beyond {tolerance:.0%} tolerance", file=sys.stderr)
-        return 1
-    return 0
+    return run_gate(args[0], args[1], args[2:], calibrate, tolerance)
 
 
 if __name__ == "__main__":

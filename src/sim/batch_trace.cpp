@@ -26,6 +26,7 @@ void batch_trace::append(std::size_t lane, double t, const trace_row& row) {
     if (target == groups_) {
         arena_.resize(arena_.size() + lanes_ * slot_doubles_);
         ++groups_;
+        ++appended_groups_;
     }
     double* dst = slot(target, lane);
     dst[0] = t;
@@ -69,6 +70,17 @@ trace_view batch_trace::lane(std::size_t lane) const {
         out.channels_[c] = util::column_view(base, base + 1 + c, count_[lane], stride_bytes);
     }
     return out;
+}
+
+const double* batch_trace::group_data(std::size_t group) const {
+    util::ensure(group < groups_, "batch_trace::group_data: group out of range");
+    return slot(group, 0);
+}
+
+bool batch_trace::lane_in_group(std::size_t lane, std::size_t group) const {
+    util::ensure(lane < lanes_, "batch_trace::lane_in_group: lane out of range");
+    util::ensure(group < groups_, "batch_trace::lane_in_group: group out of range");
+    return group >= first_[lane] && group < first_[lane] + count_[lane];
 }
 
 void batch_trace::reserve_steps(std::size_t steps) {

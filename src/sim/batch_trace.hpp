@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sim/simulation_trace.hpp"
@@ -55,9 +56,29 @@ public:
     /// arena reset); exposed for storage accounting and tests.
     [[nodiscard]] std::size_t group_count() const { return groups_; }
 
+    /// Doubles per (group, lane) slot: the lane's timestamp followed by
+    /// its channel values in `trace_channel` order.
+    static constexpr std::size_t slot_doubles = 1 + trace_channel_count;
+
+    /// Lifetime count of row-groups ever opened, monotone across the
+    /// all-empty arena reset that `group_count()` is subject to.  A
+    /// publisher comparing this against its last-seen value can tell
+    /// whether a step actually appended a group (all-inert steps do
+    /// not) without being confused by clears.
+    [[nodiscard]] std::uint64_t appended_groups() const { return appended_groups_; }
+
+    /// Raw storage of one row-group: `lane_count() * slot_doubles`
+    /// doubles, lane-major ([lane][t, channels...]).  Slots of lanes
+    /// that did not record in this group hold stale data — check
+    /// `lane_in_group`.  Invalidated by append/clear.
+    [[nodiscard]] const double* group_data(std::size_t group) const;
+
+    /// Whether `lane` recorded a row in row-group `group`.
+    [[nodiscard]] bool lane_in_group(std::size_t lane, std::size_t group) const;
+
 private:
-    /// Doubles per (group, lane) slot: shared-per-lane timestamp + channels.
-    static constexpr std::size_t slot_doubles_ = 1 + trace_channel_count;
+    /// Backward-compatible internal alias.
+    static constexpr std::size_t slot_doubles_ = slot_doubles;
 
     [[nodiscard]] double* slot(std::size_t group, std::size_t lane) {
         return arena_.data() + (group * lanes_ + lane) * slot_doubles_;
@@ -68,6 +89,7 @@ private:
 
     std::size_t lanes_ = 0;
     std::size_t groups_ = 0;           ///< Row-groups written into the arena.
+    std::uint64_t appended_groups_ = 0;  ///< Lifetime row-groups opened (never resets).
     std::vector<double> arena_;        ///< [group][lane][1 + channels].
     std::vector<std::size_t> first_;   ///< [lane] group index of row 0.
     std::vector<std::size_t> count_;   ///< [lane] recorded rows.

@@ -170,7 +170,17 @@ const server_config& fleet::config(std::size_t lane) const {
 }
 
 void fleet::step(util::seconds_t dt) {
-    pool_.run_indexed(shards_.size(), [&](std::size_t s) { shards_[s]->step(dt); });
+    // The epoch is stamped before the fan-out so every shard of this
+    // step publishes the same value; the pool barrier then orders this
+    // step's publications before the next step's for every shard.
+    const std::uint64_t epoch = ++epoch_;
+    fleet_sink* const sink = sink_;
+    pool_.run_indexed(shards_.size(), [&](std::size_t s) {
+        shards_[s]->step(dt);
+        if (sink != nullptr) {
+            sink->on_shard_step(s, epoch, *shards_[s]);
+        }
+    });
 }
 
 void fleet::advance(util::seconds_t duration, util::seconds_t dt) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -36,6 +37,22 @@ struct fleet_config {
     std::size_t threads = 0;
     /// Thermal-kernel numerics of every shard (thermal/numerics.hpp).
     thermal::numerics_tier tier = thermal::numerics_tier::bitwise;
+};
+
+/// Observer of fleet stepping, called per shard per step.
+///
+/// Publication hook for the streaming telemetry service: after shard
+/// `s` finishes a step, `on_shard_step` runs *on the pool thread that
+/// stepped the shard*, before the step's barrier.  Calls for one shard
+/// are serialized across steps by that barrier (a happens-before edge
+/// even when the stepping thread changes), so a per-shard SPSC ring is
+/// a valid sink.  Implementations must not touch other shards or the
+/// fleet itself from the callback.
+class fleet_sink {
+public:
+    virtual ~fleet_sink() = default;
+    virtual void on_shard_step(std::size_t shard, std::uint64_t epoch,
+                               const server_batch& batch) = 0;
 };
 
 /// N simulated servers as K concurrently stepped server_batch shards.
@@ -105,12 +122,27 @@ public:
     void step(util::seconds_t dt = util::seconds_t{1.0});
     void advance(util::seconds_t duration, util::seconds_t dt = util::seconds_t{1.0});
 
+    // --- streaming publication ----------------------------------------------
+    /// Attaches a per-shard-step publication sink (nullptr detaches).
+    /// With no sink attached stepping is bitwise-identical to a fleet
+    /// that never had one: the hook is a single branch per shard step
+    /// and touches no plant state.  Attach/detach only while the fleet
+    /// is quiescent (no step in flight).
+    void attach_sink(fleet_sink* sink) { sink_ = sink; }
+    [[nodiscard]] fleet_sink* sink() const { return sink_; }
+
+    /// Completed fleet steps (the epoch stamped onto published
+    /// row-groups; 0 before the first step).
+    [[nodiscard]] std::uint64_t step_epoch() const { return epoch_; }
+
 private:
     std::size_t lanes_ = 0;
     thermal::numerics_tier tier_ = thermal::numerics_tier::bitwise;
     util::thread_pool pool_;
     std::vector<std::unique_ptr<server_batch>> shards_;
     std::vector<std::size_t> offsets_;  ///< [shard_count + 1] lane offsets.
+    fleet_sink* sink_ = nullptr;        ///< Optional row-group publication hook.
+    std::uint64_t epoch_ = 0;           ///< Completed fleet steps.
 };
 
 }  // namespace ltsc::sim

@@ -181,6 +181,10 @@ public:
     [[nodiscard]] trace_view trace(std::size_t lane) const;
     void clear_trace(std::size_t lane);
 
+    /// The shared lane-major recording arena (row-group publication for
+    /// the streaming telemetry service reads it directly).
+    [[nodiscard]] const batch_trace& traces() const { return traces_; }
+
     [[nodiscard]] const server_config& config(std::size_t lane) const;
 
 private:

@@ -1,0 +1,66 @@
+// Minimal HTTP/1.1 query endpoint for the telemetry service.
+//
+// Scope: GET-only, JSON-out, loopback-oriented.  One acceptor thread
+// distributes connections round-robin to a small pool of poll()-based
+// event-loop workers, so thousands of concurrent keep-alive pollers are
+// served by a handful of threads (the soak gate drives >= 1k).  This is
+// deliberately not a general web server: no TLS, no chunked bodies, no
+// request bodies, bounded request heads; a stalled peer can delay its
+// worker's write at worst one response.  Handlers run on worker
+// threads and must be thread-safe.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ltsc::telemetry_service {
+
+/// Maps a request path to a response body (already serialized JSON).
+/// Returns false for "no such resource" (served as 404).
+using http_handler = std::function<bool(const std::string& path, std::string& body)>;
+
+class http_server {
+public:
+    /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()),
+    /// spawns `worker_threads` event loops plus one acceptor, and
+    /// serves until destruction.  Throws util::ltsc_error when the
+    /// socket cannot be created or bound.
+    http_server(std::uint16_t port, std::size_t worker_threads, http_handler handler);
+    ~http_server();
+
+    http_server(const http_server&) = delete;
+    http_server& operator=(const http_server&) = delete;
+
+    /// The bound TCP port.
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+
+    /// Requests answered (any status) since construction.
+    [[nodiscard]] std::uint64_t requests_served() const {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct worker;
+
+    void accept_loop();
+    void worker_loop(worker* w);
+    /// Parses and answers every complete request buffered on one
+    /// connection.  Returns false when the connection should close.
+    bool serve_buffered(int fd, std::string& inbuf);
+
+    http_handler handler_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> requests_{0};
+    std::vector<std::unique_ptr<worker>> workers_;
+    std::thread acceptor_;
+};
+
+}  // namespace ltsc::telemetry_service

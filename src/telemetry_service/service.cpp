@@ -1,0 +1,357 @@
+#include "telemetry_service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace ltsc::telemetry_service {
+
+namespace {
+
+/// Appends a double as shortest round-trippable decimal (JSON number).
+void append_double(std::string& out, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+void append_field(std::string& out, const char* key, double v) {
+    out += '"';
+    out += key;
+    out += "\":";
+    append_double(out, v);
+}
+
+void append_field(std::string& out, const char* key, std::uint64_t v) {
+    out += '"';
+    out += key;
+    out += "\":";
+    out += std::to_string(v);
+}
+
+/// Seals a JSON body whose opening brace is written but whose closing
+/// brace is not: appends the checksum of everything so far as the final
+/// field.  Clients re-verify by hashing the body up to `,"checksum"`.
+void seal(std::string& out) {
+    const std::uint64_t sum = service::fnv1a(out);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(sum));
+    out += ",\"checksum\":\"";
+    out += buf;
+    out += "\"}";
+}
+
+}  // namespace
+
+std::uint64_t service::fnv1a(const std::string& s) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+service::service(sim::fleet& fleet, service_config cfg)
+    : fleet_(fleet),
+      cfg_(cfg),
+      state_(fleet.lane_count(), cfg.online),
+      shard_epochs_(fleet.shard_count(), 0) {
+    util::ensure(fleet_.sink() == nullptr, "service: fleet already has a sink");
+    const std::size_t shards = fleet_.shard_count();
+    rings_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+        rings_.push_back(std::make_unique<util::spsc_ring<row_group>>(cfg_.ring_slots));
+    }
+    last_appended_.assign(shards, 0);
+    dropped_.reset(new std::atomic<std::uint64_t>[shards]);
+    for (std::size_t s = 0; s < shards; ++s) {
+        dropped_[s].store(0, std::memory_order_relaxed);
+    }
+    aggregator_ = std::thread([this] { aggregator_loop(); });
+    if (cfg_.enable_http) {
+        http_ = std::make_unique<http_server>(
+            cfg_.port, cfg_.http_threads,
+            [this](const std::string& path, std::string& body) { return handle(path, body); });
+    }
+    fleet_.attach_sink(this);
+}
+
+service::~service() {
+    fleet_.attach_sink(nullptr);
+    http_.reset();  // Stop serving before the state stops advancing.
+    stop_.store(true, std::memory_order_release);
+    aggregator_.join();
+}
+
+void service::on_shard_step(std::size_t shard, std::uint64_t epoch,
+                            const sim::server_batch& batch) {
+    const sim::batch_trace& tr = batch.traces();
+    const std::uint64_t appended = tr.appended_groups();
+    if (appended == last_appended_[shard]) {
+        return;  // All lanes inert: the step recorded nothing.
+    }
+    last_appended_[shard] = appended;
+    const std::size_t group = tr.group_count() - 1;
+    const std::size_t lanes = batch.lane_count();
+    const bool pushed = rings_[shard]->try_push([&](row_group& g) {
+        g.epoch = epoch;
+        g.shard = static_cast<std::uint32_t>(shard);
+        g.lanes = static_cast<std::uint32_t>(lanes);
+        g.active.assign((lanes + 63) / 64, 0);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            if (tr.lane_in_group(l, group)) {
+                g.active[l / 64] |= 1ULL << (l % 64);
+            }
+        }
+        const double* src = tr.group_data(group);
+        g.data.assign(src, src + lanes * sim::batch_trace::slot_doubles);
+    });
+    if (pushed) {
+        published_.fetch_add(1, std::memory_order_release);
+    } else {
+        dropped_[shard].fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void service::aggregator_loop() {
+    row_group scratch;
+    for (;;) {
+        bool idle = true;
+        for (std::size_t s = 0; s < rings_.size(); ++s) {
+            while (rings_[s]->try_pop([&](row_group& g) { scratch = std::move(g); })) {
+                idle = false;
+                {
+                    std::unique_lock<std::shared_mutex> lock(state_mutex_);
+                    state_.apply_group(scratch, fleet_.shard_offset(s));
+                    shard_epochs_[s] = std::max(shard_epochs_[s], scratch.epoch);
+                }
+                applied_.fetch_add(1, std::memory_order_release);
+            }
+        }
+        if (idle) {
+            if (stop_.load(std::memory_order_acquire)) {
+                return;  // Stopped and every ring is dry.
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    }
+}
+
+void service::drain() const {
+    while (applied_.load(std::memory_order_acquire) <
+           published_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+}
+
+fleet_snapshot service::metrics() const {
+    fleet_snapshot snap;
+    snap.lanes = fleet_.lane_count();
+    snap.shards = fleet_.shard_count();
+    std::uint64_t dropped = 0;
+    for (std::size_t s = 0; s < snap.shards; ++s) {
+        dropped += dropped_[s].load(std::memory_order_relaxed);
+    }
+    snap.dropped_groups = dropped;
+
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    snap.shard_epochs = shard_epochs_;
+    snap.complete_epoch =
+        *std::min_element(shard_epochs_.begin(), shard_epochs_.end());
+    snap.rows = state_.rows();
+    snap.row_groups = state_.row_groups();
+    snap.closed_windows = state_.closed_windows();
+    snap.guard_trip_rows = state_.guard_trip_rows();
+    snap.sensor_alarm_rows = state_.sensor_alarm_rows();
+    snap.fan_alarm_rows = state_.fan_alarm_rows();
+    snap.closed_energy_kwh = state_.closed_energy_kwh();
+    snap.max_temp_c = state_.max_temp_c();
+    if (state_.rows() > 0) {
+        const util::fixed_histogram& h = state_.margin_histogram();
+        snap.margin_p01_c = h.quantile(0.01);
+        snap.margin_p50_c = h.quantile(0.50);
+        snap.margin_p99_c = h.quantile(0.99);
+    }
+    return snap;
+}
+
+lane_window service::lane_window_snapshot(std::size_t lane) const {
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    return state_.lane(lane);
+}
+
+ingest_stats service::stats() const {
+    ingest_stats st;
+    st.published_groups = published_.load(std::memory_order_acquire);
+    st.applied_groups = applied_.load(std::memory_order_acquire);
+    for (std::size_t s = 0; s < fleet_.shard_count(); ++s) {
+        st.dropped_groups += dropped_[s].load(std::memory_order_relaxed);
+    }
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    st.rows = state_.rows();
+    return st;
+}
+
+std::string service::metrics_json() const {
+    const fleet_snapshot snap = metrics();
+    std::string out;
+    out.reserve(512 + 24 * snap.shard_epochs.size());
+    out += '{';
+    append_field(out, "lanes", static_cast<std::uint64_t>(snap.lanes));
+    out += ',';
+    append_field(out, "shards", static_cast<std::uint64_t>(snap.shards));
+    out += ',';
+    append_field(out, "complete_epoch", snap.complete_epoch);
+    out += ",\"shard_epochs\":[";
+    for (std::size_t s = 0; s < snap.shard_epochs.size(); ++s) {
+        if (s != 0) {
+            out += ',';
+        }
+        out += std::to_string(snap.shard_epochs[s]);
+    }
+    out += "],";
+    append_field(out, "rows", snap.rows);
+    out += ',';
+    append_field(out, "row_groups", snap.row_groups);
+    out += ',';
+    append_field(out, "dropped_groups", snap.dropped_groups);
+    out += ',';
+    append_field(out, "closed_windows", snap.closed_windows);
+    out += ',';
+    append_field(out, "guard_trip_rows", snap.guard_trip_rows);
+    out += ',';
+    append_field(out, "sensor_alarm_rows", snap.sensor_alarm_rows);
+    out += ',';
+    append_field(out, "fan_alarm_rows", snap.fan_alarm_rows);
+    out += ',';
+    append_field(out, "closed_energy_kwh", snap.closed_energy_kwh);
+    out += ',';
+    append_field(out, "max_temp_c", snap.max_temp_c);
+    out += ',';
+    append_field(out, "margin_p01_c", snap.margin_p01_c);
+    out += ',';
+    append_field(out, "margin_p50_c", snap.margin_p50_c);
+    out += ',';
+    append_field(out, "margin_p99_c", snap.margin_p99_c);
+    seal(out);
+    return out;
+}
+
+std::string service::health_json() const {
+    const ingest_stats st = stats();
+    std::uint64_t complete = 0;
+    {
+        std::shared_lock<std::shared_mutex> lock(state_mutex_);
+        complete = *std::min_element(shard_epochs_.begin(), shard_epochs_.end());
+    }
+    std::string out;
+    out.reserve(256);
+    out += "{\"status\":\"";
+    out += st.dropped_groups == 0 ? "ok" : "degraded";
+    out += "\",";
+    append_field(out, "lanes", static_cast<std::uint64_t>(fleet_.lane_count()));
+    out += ',';
+    append_field(out, "shards", static_cast<std::uint64_t>(fleet_.shard_count()));
+    out += ',';
+    append_field(out, "complete_epoch", complete);
+    out += ',';
+    append_field(out, "published_groups", st.published_groups);
+    out += ',';
+    append_field(out, "applied_groups", st.applied_groups);
+    out += ',';
+    append_field(out, "dropped_groups", st.dropped_groups);
+    out += ',';
+    append_field(out, "requests_served",
+                 http_ ? http_->requests_served() : std::uint64_t{0});
+    seal(out);
+    return out;
+}
+
+std::string service::lane_window_json(std::size_t lane) const {
+    const lane_window w = lane_window_snapshot(lane);
+    std::string out;
+    out.reserve(512);
+    out += '{';
+    append_field(out, "lane", static_cast<std::uint64_t>(lane));
+    out += ',';
+    append_field(out, "rows", w.rows);
+    out += ',';
+    append_field(out, "open_rows", static_cast<std::uint64_t>(w.open_rows));
+    out += ',';
+    append_field(out, "closed_windows", w.closed);
+    out += ",\"window\":";
+    if (!w.valid) {
+        out += "null";
+    } else {
+        out += '{';
+        append_field(out, "duration_s", w.metrics.duration_s);
+        out += ',';
+        append_field(out, "energy_kwh", w.metrics.energy_kwh);
+        out += ',';
+        append_field(out, "peak_power_w", w.metrics.peak_power_w);
+        out += ',';
+        append_field(out, "avg_rpm", w.metrics.avg_rpm);
+        out += ',';
+        append_field(out, "avg_cpu_temp_c", w.metrics.avg_cpu_temp_c);
+        out += ',';
+        append_field(out, "max_temp_c", w.metrics.max_temp_c);
+        out += ',';
+        append_field(out, "guard_trip_rows", w.guard_trip_rows);
+        out += '}';
+    }
+    seal(out);
+    return out;
+}
+
+std::uint16_t service::http_port() const {
+    util::ensure(http_ != nullptr, "service: HTTP endpoint disabled");
+    return http_->port();
+}
+
+std::uint64_t service::requests_served() const {
+    return http_ ? http_->requests_served() : 0;
+}
+
+bool service::handle(const std::string& path, std::string& body) {
+    // Strip any query string; the endpoints take none.
+    std::string p = path;
+    if (const std::size_t q = p.find('?'); q != std::string::npos) {
+        p.resize(q);
+    }
+    if (p == "/metrics") {
+        body = metrics_json();
+        return true;
+    }
+    if (p == "/health") {
+        body = health_json();
+        return true;
+    }
+    constexpr const char* prefix = "/lanes/";
+    constexpr const char* suffix = "/window";
+    if (p.rfind(prefix, 0) == 0 && p.size() > 7 + 7 &&
+        p.compare(p.size() - 7, 7, suffix) == 0) {
+        const std::string digits = p.substr(7, p.size() - 14);
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") != std::string::npos) {
+            return false;
+        }
+        std::size_t lane = 0;
+        for (const char c : digits) {
+            if (lane > fleet_.lane_count()) {
+                return false;  // Overflow guard; already out of range.
+            }
+            lane = lane * 10 + static_cast<std::size_t>(c - '0');
+        }
+        if (lane >= fleet_.lane_count()) {
+            return false;
+        }
+        body = lane_window_json(lane);
+        return true;
+    }
+    return false;
+}
+
+}  // namespace ltsc::telemetry_service

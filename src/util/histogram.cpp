@@ -1,0 +1,82 @@
+#include "util/histogram.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltsc::util {
+
+fixed_histogram::fixed_histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+    ensure(std::isfinite(lo) && std::isfinite(hi) && lo < hi,
+           "fixed_histogram: need a finite lo < hi range");
+    ensure(bins > 0, "fixed_histogram: need at least one bin");
+    inv_width_ = static_cast<double>(bins) / (hi - lo);
+}
+
+void fixed_histogram::add(double v) {
+    ensure(!counts_.empty(), "fixed_histogram::add: default-constructed histogram");
+    ensure(std::isfinite(v), "fixed_histogram::add: non-finite value");
+    std::size_t bin = 0;
+    if (v < lo_) {
+        ++clamped_low_;
+    } else if (v >= hi_) {
+        bin = counts_.size() - 1;
+        ++clamped_high_;
+    } else {
+        bin = static_cast<std::size_t>((v - lo_) * inv_width_);
+        // Rounding at the upper edge of the last in-range interval can
+        // land one past the end; clamp.
+        if (bin >= counts_.size()) {
+            bin = counts_.size() - 1;
+        }
+    }
+    ++counts_[bin];
+    ++total_;
+}
+
+void fixed_histogram::merge(const fixed_histogram& other) {
+    ensure(lo_ == other.lo_ && hi_ == other.hi_ && counts_.size() == other.counts_.size(),
+           "fixed_histogram::merge: grid mismatch");
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        counts_[i] += other.counts_[i];
+    }
+    total_ += other.total_;
+    clamped_low_ += other.clamped_low_;
+    clamped_high_ += other.clamped_high_;
+}
+
+void fixed_histogram::clear() {
+    for (auto& c : counts_) {
+        c = 0;
+    }
+    total_ = 0;
+    clamped_low_ = 0;
+    clamped_high_ = 0;
+}
+
+double fixed_histogram::quantile(double q) const {
+    ensure(total_ > 0, "fixed_histogram::quantile: empty histogram");
+    ensure(q >= 0.0 && q <= 1.0, "fixed_histogram::quantile: q outside [0, 1]");
+    // Rank of the q-th observation (1-based), clamped into [1, total].
+    const double want = q * static_cast<double>(total_);
+    std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(want));
+    if (rank == 0) {
+        rank = 1;
+    }
+    std::uint64_t cum = 0;
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0) {
+            continue;
+        }
+        if (cum + counts_[i] >= rank) {
+            const double frac = static_cast<double>(rank - cum) / static_cast<double>(counts_[i]);
+            return lo_ + (static_cast<double>(i) + frac) * width;
+        }
+        cum += counts_[i];
+    }
+    return hi_;  // Unreachable when counts are consistent with total_.
+}
+
+}  // namespace ltsc::util

@@ -1,0 +1,61 @@
+// Fixed-bin histogram for streaming quantiles.
+//
+// The online telemetry engine needs thermal-margin percentiles over an
+// unbounded stream of rows without keeping the rows: a histogram with a
+// fixed, pre-declared bin grid gives O(1) inserts, O(bins) quantile
+// queries, and exact mergeability across lanes/shards (bin-wise count
+// addition), at the cost of quantile resolution no finer than one bin
+// width.  Out-of-range values clamp into the edge bins (and are counted
+// separately) so the total never silently diverges from the row count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ltsc::util {
+
+class fixed_histogram {
+public:
+    /// Empty, unusable histogram (for containers); assign a real one
+    /// before adding.
+    fixed_histogram() = default;
+
+    /// Histogram over [lo, hi) split into `bins` equal-width bins.
+    fixed_histogram(double lo, double hi, std::size_t bins);
+
+    /// Adds one (finite) observation; values below `lo` land in bin 0,
+    /// values at or above `hi` in the last bin, both tallied in the
+    /// clamp counters.
+    void add(double v);
+
+    /// Bin-wise accumulation of another histogram with the identical
+    /// grid (throws on mismatch).
+    void merge(const fixed_histogram& other);
+
+    void clear();
+
+    [[nodiscard]] std::uint64_t total() const { return total_; }
+    [[nodiscard]] std::uint64_t clamped_low() const { return clamped_low_; }
+    [[nodiscard]] std::uint64_t clamped_high() const { return clamped_high_; }
+    [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+    [[nodiscard]] double lo() const { return lo_; }
+    [[nodiscard]] double hi() const { return hi_; }
+    [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+    /// Quantile `q` in [0, 1]: the value below which a fraction `q` of
+    /// the observations fall, linearly interpolated inside the owning
+    /// bin.  Monotone in q.  Throws on an empty histogram.
+    [[nodiscard]] double quantile(double q) const;
+
+private:
+    double lo_ = 0.0;
+    double hi_ = 0.0;
+    double inv_width_ = 0.0;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t clamped_low_ = 0;
+    std::uint64_t clamped_high_ = 0;
+};
+
+}  // namespace ltsc::util

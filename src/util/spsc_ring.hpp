@@ -1,0 +1,99 @@
+// Lock-free single-producer/single-consumer ring of reusable slots.
+//
+// The telemetry ingestion path publishes one row-group per fleet-shard
+// step; the aggregator drains them on its own thread.  Neither side may
+// block or allocate on the hot path, so the ring hands out *slots* to
+// in-place fill/drain callbacks instead of moving values through the
+// API: slot payloads (vectors sized on first use) keep their capacity
+// across laps and a steady-state push copies straight into warm memory.
+//
+// Concurrency contract: at most one thread pushes and at most one
+// thread pops at any moment.  The producer role may migrate between
+// threads (fleet shards are stepped by whichever pool thread picks the
+// index up) as long as successive pushes are ordered by an external
+// happens-before edge — the thread pool's batch barrier provides it.
+// `try_push` fails (returns false) on a full ring instead of waiting:
+// back-pressure policy (count-and-drop, for the telemetry service)
+// belongs to the caller.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ltsc::util {
+
+template <typename T>
+class spsc_ring {
+public:
+    /// Ring with at least `min_slots` slots (rounded up to a power of
+    /// two so index masking replaces modulo).  Slots are
+    /// default-constructed once and reused for the ring's lifetime.
+    explicit spsc_ring(std::size_t min_slots) {
+        ensure(min_slots > 0, "spsc_ring: need at least one slot");
+        std::size_t cap = 1;
+        while (cap < min_slots) {
+            cap <<= 1;
+        }
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    spsc_ring(const spsc_ring&) = delete;
+    spsc_ring& operator=(const spsc_ring&) = delete;
+
+    [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+    /// Occupied slots at some recent instant (exact only when the other
+    /// side is quiescent); for stats and tests, not for flow control.
+    [[nodiscard]] std::size_t size() const {
+        const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        const std::uint64_t head = head_.load(std::memory_order_acquire);
+        return static_cast<std::size_t>(tail - head);
+    }
+
+    [[nodiscard]] bool empty() const { return size() == 0; }
+
+    /// Producer side: invokes `fill(slot)` on the next free slot and
+    /// publishes it.  Returns false (without calling `fill`) when the
+    /// ring is full.
+    template <typename Fill>
+    bool try_push(Fill&& fill) {
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        const std::uint64_t head = head_.load(std::memory_order_acquire);
+        if (tail - head == slots_.size()) {
+            return false;
+        }
+        fill(slots_[static_cast<std::size_t>(tail) & mask_]);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer side: invokes `drain(slot)` on the oldest occupied slot
+    /// and retires it.  Returns false (without calling `drain`) when the
+    /// ring is empty.
+    template <typename Drain>
+    bool try_pop(Drain&& drain) {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        if (head == tail) {
+            return false;
+        }
+        drain(slots_[static_cast<std::size_t>(head) & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+private:
+    std::vector<T> slots_;
+    std::size_t mask_ = 0;
+    // Head and tail live on separate cache lines so the producer's tail
+    // stores never invalidate the consumer's head line and vice versa.
+    alignas(64) std::atomic<std::uint64_t> head_{0};  ///< Next slot to pop.
+    alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< Next slot to push.
+};
+
+}  // namespace ltsc::util
